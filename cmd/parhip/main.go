@@ -1,0 +1,151 @@
+// Command parhip partitions a graph from the command line.
+//
+// The input is either a METIS-format graph file (-graph) or a generated
+// instance (-family with -n). Output is a quality report and, optionally,
+// the block assignment (one line per node) written to -out.
+//
+// Examples:
+//
+//	parhip -family web -n 20000 -k 8 -pes 8 -mode eco
+//	parhip -graph mygraph.metis -k 2 -out blocks.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		graphFile = flag.String("graph", "", "METIS graph file to partition")
+		family    = flag.String("family", "", "generated family: rgg, delaunay, rmat, ba, web, mesh3d, grid")
+		n         = flag.Int("n", 10000, "node count for generated graphs")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		k         = flag.Int("k", 2, "number of blocks")
+		pes       = flag.Int("pes", 4, "simulated processing elements")
+		mode      = flag.String("mode", "fast", "fast, eco or minimal")
+		class     = flag.String("class", "auto", "graph class: social, mesh or auto")
+		eps       = flag.Float64("eps", 0.03, "allowed imbalance")
+		baseline  = flag.Bool("baseline", false, "run the matching-based baseline instead")
+		out       = flag.String("out", "", "write the block of each node to this file")
+	)
+	flag.Parse()
+
+	g, cls, err := loadGraph(*graphFile, *family, int32(*n), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parhip:", err)
+		os.Exit(1)
+	}
+	opt := parhip.Options{
+		PEs:  *pes,
+		Eps:  *eps,
+		Seed: *seed,
+	}
+	switch *mode {
+	case "fast":
+		opt.Mode = parhip.Fast
+	case "eco":
+		opt.Mode = parhip.Eco
+	case "minimal":
+		opt.Mode = parhip.Minimal
+	default:
+		fmt.Fprintf(os.Stderr, "parhip: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	switch *class {
+	case "social":
+		opt.Class = parhip.Social
+	case "mesh":
+		opt.Class = parhip.Mesh
+	case "auto":
+		opt.Class = cls
+	default:
+		fmt.Fprintf(os.Stderr, "parhip: unknown class %q\n", *class)
+		os.Exit(1)
+	}
+
+	fmt.Printf("graph: n=%d m=%d   k=%d  pes=%d  mode=%s\n",
+		g.NumNodes(), g.NumEdges(), *k, *pes, *mode)
+	start := time.Now()
+	var res parhip.Result
+	if *baseline {
+		res, err = parhip.PartitionBaseline(g, int32(*k), opt, 0)
+	} else {
+		res, err = parhip.Partition(g, int32(*k), opt)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parhip:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("cut=%d  imbalance=%.4f  feasible=%v  commvol=%d  time=%.3fs\n",
+		res.Cut, res.Imbalance, res.Feasible,
+		parhip.CommunicationVolume(g, res.Part, int32(*k)), elapsed.Seconds())
+	if len(res.Stats.Levels) > 0 {
+		fmt.Print("hierarchy:")
+		for _, lv := range res.Stats.Levels {
+			fmt.Printf(" %d", lv.N)
+		}
+		fmt.Println(" nodes")
+	}
+	if *out != "" {
+		if err := writeBlocks(*out, res.Part); err != nil {
+			fmt.Fprintln(os.Stderr, "parhip:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func loadGraph(file, family string, n int32, seed uint64) (*parhip.Graph, parhip.GraphClass, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		var g *parhip.Graph
+		if strings.HasSuffix(file, ".bgf") || strings.HasSuffix(file, ".bin") {
+			g, err = graph.ReadBinary(f)
+		} else {
+			g, err = parhip.ReadMetis(f)
+		}
+		return g, parhip.Social, err
+	}
+	if family == "" {
+		return nil, 0, fmt.Errorf("need -graph or -family")
+	}
+	g, err := gen.ByFamily(gen.Family(family), n, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	cls := parhip.Social
+	switch gen.Family(family) {
+	case gen.FamilyRGG, gen.FamilyDelaunay, gen.FamilyMesh3D, gen.FamilyGrid:
+		cls = parhip.Mesh
+	}
+	return g, cls, nil
+}
+
+func writeBlocks(path string, part []int32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, b := range part {
+		w.WriteString(strconv.Itoa(int(b)))
+		w.WriteByte('\n')
+	}
+	return w.Flush()
+}

@@ -1,0 +1,27 @@
+// Command probe reports how far the matching-based baseline can coarsen
+// each benchmark instance before stalling — the diagnostic behind the
+// paper's "ineffective coarsening" observation (§V-B) and the calibration
+// source for the memory-budget divisor used in the tables.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/exp"
+	"repro/internal/matchbase"
+)
+
+func main() {
+	for _, inst := range exp.BenchmarkSet(1) {
+		g := inst.Gen(42)
+		cfg := matchbase.DefaultConfig(2)
+		res, err := matchbase.Run(4, g, cfg)
+		if err != nil {
+			fmt.Printf("%-12s err %v\n", inst.Name, err)
+			continue
+		}
+		fmt.Printf("%-12s n=%6d coarsest=%6d ratio=n/%0.1f stalled=%v levels=%d\n",
+			inst.Name, g.NumNodes(), res.Stats.CoarsestN,
+			float64(g.NumNodes())/float64(res.Stats.CoarsestN), res.Stats.Stalled, len(res.Stats.Levels))
+	}
+}

@@ -1,0 +1,63 @@
+package parhip_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExamplePartition partitions a small ring of cliques into two blocks.
+func ExamplePartition() {
+	// Two 4-cliques joined by a single edge: the optimal bipartition cuts
+	// exactly that edge.
+	b := parhip.NewBuilder(8)
+	for u := int32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(u+4, v+4)
+		}
+	}
+	b.AddEdge(3, 4)
+	g := b.Build()
+
+	res, err := parhip.Partition(g, 2, parhip.Options{PEs: 2, Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("cut:", res.Cut)
+	fmt.Println("feasible:", res.Feasible)
+	fmt.Println("same block within clique 1:", res.Part[0] == res.Part[3])
+	fmt.Println("same block within clique 2:", res.Part[4] == res.Part[7])
+	fmt.Println("cliques separated:", res.Part[0] != res.Part[4])
+	// Output:
+	// cut: 1
+	// feasible: true
+	// same block within clique 1: true
+	// same block within clique 2: true
+	// cliques separated: true
+}
+
+// ExampleClusterModularity clusters two communities without fixing k.
+func ExampleClusterModularity() {
+	b := parhip.NewBuilder(8)
+	for u := int32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(u+4, v+4)
+		}
+	}
+	b.AddEdge(0, 4)
+	g := b.Build()
+
+	clusters, q := parhip.ClusterModularity(g, 1)
+	fmt.Println("clique 1 together:", clusters[0] == clusters[3])
+	fmt.Println("clique 2 together:", clusters[4] == clusters[7])
+	fmt.Println("separated:", clusters[0] != clusters[4])
+	fmt.Println("modularity positive:", q > 0)
+	// Output:
+	// clique 1 together: true
+	// clique 2 together: true
+	// separated: true
+	// modularity positive: true
+}

@@ -1,0 +1,41 @@
+// Quickstart: build a small graph, partition it into two blocks, inspect
+// the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A 4x4 grid: sixteen nodes, rook-move neighbours.
+	const side = 4
+	b := parhip.NewBuilder(side * side)
+	id := func(r, c int32) int32 { return r*side + c }
+	for r := int32(0); r < side; r++ {
+		for c := int32(0); c < side; c++ {
+			if c+1 < side {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < side {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	g := b.Build()
+
+	res, err := parhip.Partition(g, 2, parhip.Options{PEs: 2, Class: parhip.Mesh, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("cut=%d imbalance=%.3f feasible=%v\n", res.Cut, res.Imbalance, res.Feasible)
+	for r := int32(0); r < side; r++ {
+		for c := int32(0); c < side; c++ {
+			fmt.Printf("%d ", res.Part[id(r, c)])
+		}
+		fmt.Println()
+	}
+}

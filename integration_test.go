@@ -1,0 +1,112 @@
+package parhip
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/kaffpa"
+	"repro/internal/partition"
+)
+
+// End-to-end integration tests across module boundaries.
+
+// The parallel system and the sequential multilevel partitioner must land
+// in the same quality regime on the same input.
+func TestIntegrationParallelVsSequentialQuality(t *testing.T) {
+	g, _ := gen.PlantedPartition(3000, 20, 10, 0.6, 13)
+	k := int32(4)
+	seqCfg := kaffpa.DefaultConfig(k)
+	seqCfg.Seed = 2
+	seq, err := kaffpa.Partition(g, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Partition(g, k, Options{PEs: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := partition.EdgeCut(g, seq)
+	pc := par.Cut
+	if pc > 2*sc || sc > 2*pc {
+		t.Fatalf("parallel cut %d and sequential cut %d differ by more than 2x", pc, sc)
+	}
+}
+
+// Round trip a generated graph through METIS text and binary formats, then
+// partition the reloaded copy: the pipeline a downstream user runs.
+func TestIntegrationIORoundTripThenPartition(t *testing.T) {
+	g := gen.DelaunayLike(1600, 4)
+	var metis, bin bytes.Buffer
+	if err := WriteMetis(&metis, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMetis(&metis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g2, 4, Options{PEs: 2, Class: Mesh, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("infeasible after METIS round trip")
+	}
+	// Binary round trip preserves the graph exactly, so the same seed gives
+	// the same partition.
+	if err := WriteBinary(&bin, g2); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := ReadBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Partition(g3, 4, Options{PEs: 2, Class: Mesh, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cut != res.Cut {
+		t.Fatalf("binary round trip changed the run: cut %d vs %d", res2.Cut, res.Cut)
+	}
+}
+
+// Prepartition improvement through the public API.
+func TestIntegrationPrepartitionPublicAPI(t *testing.T) {
+	g, _ := gen.PlantedPartition(1500, 12, 9, 0.5, 6)
+	k := int32(4)
+	pre := make([]int32, g.NumNodes())
+	for v := int32(0); v < g.NumNodes(); v++ {
+		pre[v] = v % k
+	}
+	preCut := EdgeCut(g, pre)
+	res, err := Partition(g, k, Options{PEs: 2, Seed: 3, Prepartition: pre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut > preCut {
+		t.Fatalf("prepartition worsened: %d -> %d", preCut, res.Cut)
+	}
+}
+
+// The headline comparison end to end through the public API: ParHIP beats
+// the baseline on a community graph.
+func TestIntegrationHeadlineComparison(t *testing.T) {
+	g := gen.WebCrawlLike(8000, 60, 10, 0.4, 80, 9)
+	k := int32(8)
+	opt := Options{PEs: 2, Seed: 1}
+	ours, err := Partition(g, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := PartitionBaseline(g, k, opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ours.Cut >= base.Cut {
+		t.Fatalf("ParHIP cut %d not better than baseline %d on a web graph", ours.Cut, base.Cut)
+	}
+	// And the baseline fails under the calibrated memory budget.
+	if _, err := PartitionBaseline(g, k, opt, int64(g.NumNodes())/6); err == nil {
+		t.Fatal("baseline should exceed the memory budget on a web-crawl graph")
+	}
+}

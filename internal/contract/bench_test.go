@@ -1,0 +1,31 @@
+package contract
+
+import (
+	"testing"
+
+	"repro/internal/dgraph"
+	"repro/internal/gen"
+	"repro/internal/mpi"
+	"repro/internal/sclp"
+)
+
+func BenchmarkContractSeq(b *testing.B) {
+	g, _ := gen.PlantedPartition(20000, 100, 10, 0.5, 1)
+	labels := sclp.Cluster(g, sclp.ClusterConfig{U: 600, Iterations: 3, DegreeOrder: true, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Contract(g, labels)
+	}
+}
+
+func BenchmarkParContractP4(b *testing.B) {
+	g, _ := gen.PlantedPartition(20000, 100, 10, 0.5, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mpi.NewWorld(4).Run(func(c *mpi.Comm) {
+			d := dgraph.FromGraph(c, g)
+			labels := sclp.ParCluster(d, sclp.ParClusterConfig{U: 600, Iterations: 3, Seed: 1})
+			ParContract(d, labels)
+		})
+	}
+}

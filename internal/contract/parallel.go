@@ -1,0 +1,251 @@
+package contract
+
+import (
+	"sort"
+
+	"repro/internal/dgraph"
+	"repro/internal/hashtab"
+)
+
+// ParResult is the outcome of one parallel contraction step.
+type ParResult struct {
+	// Coarse is the contracted distributed graph with a fresh uniform node
+	// distribution over the coarse ID space.
+	Coarse *dgraph.DGraph
+	// FineToCoarse maps each local fine node to its global coarse node ID
+	// (the mapping C of §IV-C).
+	FineToCoarse []int64
+}
+
+// ParContract contracts the clustering given by labels (NTotal entries,
+// ghosts in sync; label values are global fine node IDs) following §IV-C:
+//
+//  1. Each cluster ID is sent to the rank owning that ID in the fine
+//     distribution, which counts its distinct IDs.
+//  2. A prefix sum over the distinct counts yields the mapping q from
+//     cluster IDs to the contiguous coarse ID space.
+//  3. Ranks query q for every cluster ID they reference (local and ghost)
+//     and derive C(v) = q(label(v)).
+//  4. Each rank builds its local weighted quotient edges by hashing and
+//     sends every coarse edge and node-weight contribution to the rank
+//     owning the coarse source node in the new uniform distribution.
+//  5. Owners aggregate and assemble the coarse distributed graph.
+//
+// Collective.
+func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
+	c := fine.Comm
+	size := c.Size()
+	nl := fine.NLocal()
+
+	// Step 1: route distinct local cluster IDs to their responsible ranks.
+	seen := hashtab.NewSetI64(int(nl) + 16)
+	toResp := make([][]int64, size)
+	for v := int32(0); v < nl; v++ {
+		l := labels[v]
+		if seen.Insert(l) {
+			toResp[fine.Owner(l)] = append(toResp[fine.Owner(l)], l)
+		}
+	}
+	incoming := c.Alltoallv(toResp)
+	distinct := hashtab.NewSetI64(64)
+	var respLabels []int64
+	for _, buf := range incoming {
+		for _, l := range buf {
+			if distinct.Insert(l) {
+				respLabels = append(respLabels, l)
+			}
+		}
+	}
+	// Deterministic coarse IDs: sort the responsible labels.
+	sort.Slice(respLabels, func(i, j int) bool { return respLabels[i] < respLabels[j] })
+
+	// Step 2: contiguous coarse ID space via an exclusive prefix sum.
+	myCount := int64(len(respLabels))
+	offset := c.ExScanSum(myCount)
+	coarseN := c.AllreduceSum1(myCount)
+	q := hashtab.NewMapI64(len(respLabels) + 16)
+	for i, l := range respLabels {
+		q.Put(l, offset+int64(i))
+	}
+
+	// Step 3: query q for every referenced cluster ID (local and ghost).
+	queries := hashtab.NewSetI64(int(fine.NTotal()) + 16)
+	queryByResp := make([][]int64, size)
+	for v := int32(0); v < fine.NTotal(); v++ {
+		l := labels[v]
+		if queries.Insert(l) {
+			queryByResp[fine.Owner(l)] = append(queryByResp[fine.Owner(l)], l)
+		}
+	}
+	queryIn := c.Alltoallv(queryByResp)
+	replies := make([][]int64, size)
+	for rk, buf := range queryIn {
+		if len(buf) == 0 {
+			continue
+		}
+		ans := make([]int64, len(buf))
+		for i, l := range buf {
+			id, ok := q.Get(l)
+			if !ok {
+				// A ghost-only cluster ID never observed by a local node of
+				// any rank cannot occur: every cluster has at least one
+				// member, and that member's rank reported the label.
+				panic("contract: unknown cluster ID queried")
+			}
+			ans[i] = id
+		}
+		replies[rk] = ans
+	}
+	answered := c.Alltoallv(replies)
+	labelToCoarse := hashtab.NewMapI64(int(fine.NTotal()) + 16)
+	for rk := 0; rk < size; rk++ {
+		for i, l := range queryByResp[rk] {
+			labelToCoarse.Put(l, answered[rk][i])
+		}
+	}
+	cOf := func(v int32) int64 {
+		id, ok := labelToCoarse.Get(labels[v])
+		if !ok {
+			panic("contract: missing coarse mapping")
+		}
+		return id
+	}
+	fineToCoarse := make([]int64, nl)
+	for v := int32(0); v < nl; v++ {
+		fineToCoarse[v] = cOf(v)
+	}
+
+	// Step 4: local quotient edges and node weights, routed to coarse
+	// owners under the new uniform distribution.
+	coarseVtx := dgraph.UniformVtxDist(coarseN, size)
+	ownerOfCoarse := func(id int64) int {
+		lo, hi := 0, size
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if coarseVtx[mid] <= id {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	// Accumulate local quotient edges: key = cu*coarseN + cv.
+	edgeAcc := hashtab.NewAccumulatorI64(1024)
+	nodeAcc := hashtab.NewAccumulatorI64(int(nl) + 16)
+	for v := int32(0); v < nl; v++ {
+		cu := fineToCoarse[v]
+		nodeAcc.Add(cu, fine.NW[v])
+		ws := fine.EdgeWeights(v)
+		for i, u := range fine.Neighbors(v) {
+			cv := cOf(u)
+			if cv != cu {
+				edgeAcc.Add(cu*coarseN+cv, ws[i])
+			}
+		}
+	}
+	edgeOut := make([][]int64, size)
+	edgeAcc.ForEach(func(key, w int64) {
+		cu := key / coarseN
+		cv := key % coarseN
+		o := ownerOfCoarse(cu)
+		edgeOut[o] = append(edgeOut[o], cu, cv, w)
+	})
+	nodeOut := make([][]int64, size)
+	nodeAcc.ForEach(func(cu, w int64) {
+		o := ownerOfCoarse(cu)
+		nodeOut[o] = append(nodeOut[o], cu, w)
+	})
+	edgeIn := c.Alltoallv(edgeOut)
+	nodeIn := c.Alltoallv(nodeOut)
+
+	// Step 5: assemble the local coarse subgraph.
+	lo := coarseVtx[c.Rank()]
+	cLocal := int32(coarseVtx[c.Rank()+1] - lo)
+	nw := make([]int64, cLocal)
+	for _, buf := range nodeIn {
+		for i := 0; i+1 < len(buf); i += 2 {
+			nw[buf[i]-lo] += buf[i+1]
+		}
+	}
+	type triple struct{ src, dst, w int64 }
+	var edges []triple
+	for _, buf := range edgeIn {
+		for i := 0; i+2 < len(buf); i += 3 {
+			edges = append(edges, triple{buf[i], buf[i+1], buf[i+2]})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].src != edges[j].src {
+			return edges[i].src < edges[j].src
+		}
+		return edges[i].dst < edges[j].dst
+	})
+	xadj := make([]int64, cLocal+1)
+	var adjG, adjW []int64
+	e := 0
+	for v := int32(0); v < cLocal; v++ {
+		src := lo + int64(v)
+		for e < len(edges) && edges[e].src == src {
+			// Merge duplicates (contributions from different fine ranks).
+			dst, w := edges[e].dst, edges[e].w
+			e++
+			for e < len(edges) && edges[e].src == src && edges[e].dst == dst {
+				w += edges[e].w
+				e++
+			}
+			adjG = append(adjG, dst)
+			adjW = append(adjW, w)
+		}
+		xadj[v+1] = int64(len(adjG))
+	}
+	coarse := dgraph.Build(c, coarseVtx, nw, xadj, adjG, adjW)
+	return &ParResult{Coarse: coarse, FineToCoarse: fineToCoarse}
+}
+
+// ParLift transfers a partition of the fine graph up to the coarse graph.
+// It requires the clustering to be partition-homogeneous (every cluster
+// inside one block), which holds when the partition was used as the
+// clustering constraint (V-cycles, §IV-D): each fine rank sends
+// (C(v), block(v)) pairs to the coarse owners, which adopt the (consistent)
+// value. The returned slice has coarse.NTotal() entries with ghosts synced.
+// Collective.
+func ParLift(fine *dgraph.DGraph, coarse *dgraph.DGraph, fineToCoarse []int64, finePart []int64) []int64 {
+	c := fine.Comm
+	size := c.Size()
+	out := make([][]int64, size)
+	seen := hashtab.NewSetI64(int(fine.NLocal()) + 16)
+	for v := int32(0); v < fine.NLocal(); v++ {
+		cu := fineToCoarse[v]
+		if seen.Insert(cu) {
+			o := coarse.Owner(cu)
+			out[o] = append(out[o], cu, finePart[v])
+		}
+	}
+	in := c.Alltoallv(out)
+	coarsePart := make([]int64, coarse.NTotal())
+	for _, buf := range in {
+		for i := 0; i+1 < len(buf); i += 2 {
+			lu, ok := coarse.ToLocal(buf[i])
+			if !ok || coarse.IsGhost(lu) {
+				continue
+			}
+			coarsePart[lu] = buf[i+1]
+		}
+	}
+	coarse.SyncGhosts(coarsePart)
+	return coarsePart
+}
+
+// ParProject transfers a partition of the coarse graph down to the fine
+// graph: every fine local node asks the owner of its coarse representative
+// for that node's block (§IV-C, uncoarsening), and ghost entries of the
+// result are synchronized. coarsePart must hold one value per coarse-local
+// node (extra ghost entries are ignored). Collective.
+func ParProject(fine *dgraph.DGraph, coarse *dgraph.DGraph, fineToCoarse []int64, coarsePart []int64) []int64 {
+	finePart := make([]int64, fine.NTotal())
+	answers := coarse.LookupI64(coarsePart[:coarse.NLocal()], fineToCoarse)
+	copy(finePart, answers)
+	fine.SyncGhosts(finePart)
+	return finePart
+}

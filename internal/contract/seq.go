@@ -1,0 +1,64 @@
+// Package contract implements cluster contraction and uncoarsening (§III
+// and §IV-C of the paper), sequentially and in parallel.
+//
+// Contracting a clustering replaces each cluster by a single coarse node
+// whose weight is the total weight of the cluster's members; coarse nodes
+// are connected iff their clusters are adjacent, with edge weight equal to
+// the total weight of the fine edges between them. By construction, a
+// partition of the coarse graph induces a partition of the fine graph with
+// the same cut and balance.
+package contract
+
+import (
+	"repro/internal/graph"
+	"repro/internal/hashtab"
+)
+
+// Contract builds the coarse graph for the given cluster labels (arbitrary
+// values; nodes with equal labels form one cluster). It returns the coarse
+// graph and the fine-to-coarse node map. Coarse IDs are assigned in order
+// of the smallest fine node ID in each cluster, making the result
+// deterministic.
+func Contract(g *graph.Graph, labels []int32) (*graph.Graph, []int32) {
+	n := g.NumNodes()
+	// Assign contiguous coarse IDs by first occurrence.
+	lmap := hashtab.NewMapI64(1024)
+	fineToCoarse := make([]int32, n)
+	var coarseN int32
+	for v := int32(0); v < n; v++ {
+		id, inserted := lmap.PutIfAbsent(int64(labels[v]), int64(coarseN))
+		if inserted {
+			coarseN++
+		}
+		fineToCoarse[v] = int32(id)
+	}
+	b := graph.NewBuilder(coarseN)
+	cw := make([]int64, coarseN)
+	for v := int32(0); v < n; v++ {
+		cw[fineToCoarse[v]] += g.NW[v]
+	}
+	for c := int32(0); c < coarseN; c++ {
+		b.SetNodeWeight(c, cw[c])
+	}
+	for v := int32(0); v < n; v++ {
+		cv := fineToCoarse[v]
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			cu := fineToCoarse[u]
+			if cv < cu { // add each coarse edge pair once; builder sums duplicates
+				b.AddEdgeW(cv, cu, ws[i])
+			}
+		}
+	}
+	return b.Build(), fineToCoarse
+}
+
+// Project transfers a coarse partition to the fine level: fine node v is
+// assigned the block of its coarse representative.
+func Project(coarsePart []int32, fineToCoarse []int32) []int32 {
+	fine := make([]int32, len(fineToCoarse))
+	for v, c := range fineToCoarse {
+		fine[v] = coarsePart[c]
+	}
+	return fine
+}

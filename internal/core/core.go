@@ -1,0 +1,356 @@
+// Package core implements ParHIP, the overall parallel system of the paper
+// (§IV-E): recursive parallel cluster coarsening, initial partitioning of
+// the replicated coarsest graph by the distributed evolutionary algorithm
+// KaFFPaE, parallel uncoarsening with size-constrained label propagation as
+// local search, and iterated V-cycles.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/dgraph"
+	"repro/internal/evo"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/sclp"
+)
+
+// GraphClass selects the coarsening size-constraint factor f (§V-A: 14 on
+// social networks and web graphs, 20000 on mesh type networks).
+type GraphClass int
+
+// Graph classes.
+const (
+	ClassSocial GraphClass = iota
+	ClassMesh
+)
+
+// Config parameterizes a ParHIP run.
+type Config struct {
+	K   int32
+	Eps float64
+
+	// Class picks the default SizeFactor; SizeFactor overrides when > 0.
+	Class      GraphClass
+	SizeFactor float64
+
+	// CoarsenIters / RefineIters are the label propagation iteration
+	// counts (paper: 3 and 6).
+	CoarsenIters int
+	RefineIters  int
+
+	// VCycles is the number of multilevel iterations (fast 2, eco 5,
+	// minimal 1).
+	VCycles int
+
+	// CoarsestPerBlock stops coarsening once GlobalN <= CoarsestPerBlock*K
+	// (the paper uses 10000*k at web scale; the reduced-scale default is
+	// 100). MinCoarsest is an absolute floor.
+	CoarsestPerBlock int64
+	MinCoarsest      int64
+
+	// PhasesPerRound is the label propagation communication granularity.
+	PhasesPerRound int
+
+	// EvoPopulation and EvoRounds control KaFFPaE on the coarsest graph;
+	// EvoRounds = 0 computes only the initial population (fast/minimal).
+	// EvoTimeBudget, when positive, replaces EvoRounds by a wall-clock
+	// budget divided by the number of PEs (eco: t_p = t_1/p).
+	EvoPopulation int
+	EvoRounds     int
+	EvoTimeBudget time.Duration
+
+	// Objective is the fitness the evolutionary algorithm minimizes on the
+	// coarsest graph (§VI extension; default: edge cut). Label propagation
+	// refinement remains cut-driven.
+	Objective evo.Objective
+
+	// Prepartition, when non-nil (one block per global node), is fed into
+	// the first V-cycle exactly like the previous cycle's solution: cut
+	// edges survive coarsening and the evolutionary population is seeded
+	// with it, so the result is never worse (§VI: "This prepartition could
+	// be directly fed into the first V-cycle and consecutively be
+	// improved"). It must be a feasible k-way partition.
+	Prepartition []int32
+
+	// Seed drives all randomness (identical value on every rank).
+	Seed uint64
+}
+
+func (c *Config) normalize() {
+	if c.Eps <= 0 {
+		c.Eps = 0.03
+	}
+	if c.SizeFactor <= 0 {
+		if c.Class == ClassMesh {
+			c.SizeFactor = 20000
+		} else {
+			c.SizeFactor = 14
+		}
+	}
+	if c.CoarsenIters <= 0 {
+		c.CoarsenIters = 3
+	}
+	if c.RefineIters <= 0 {
+		c.RefineIters = 6
+	}
+	if c.VCycles <= 0 {
+		c.VCycles = 1
+	}
+	if c.CoarsestPerBlock <= 0 {
+		c.CoarsestPerBlock = 100
+	}
+	if c.MinCoarsest <= 0 {
+		c.MinCoarsest = 300
+	}
+	if c.PhasesPerRound <= 0 {
+		c.PhasesPerRound = 8
+	}
+	if c.EvoPopulation <= 0 {
+		c.EvoPopulation = 3
+	}
+}
+
+// FastConfig mirrors the paper's fast setting: 2 V-cycles, evolutionary
+// algorithm computes the initial population only.
+func FastConfig(k int32, class GraphClass) Config {
+	return Config{K: k, Class: class, VCycles: 2, EvoRounds: 0, Seed: 1}
+}
+
+// EcoConfig mirrors the paper's eco setting: 5 V-cycles and an actual
+// evolutionary search on the coarsest graph.
+func EcoConfig(k int32, class GraphClass) Config {
+	return Config{K: k, Class: class, VCycles: 5, EvoRounds: 3, Seed: 1}
+}
+
+// MinimalConfig mirrors the paper's minimal variant: a single V-cycle.
+func MinimalConfig(k int32, class GraphClass) Config {
+	return Config{K: k, Class: class, VCycles: 1, EvoRounds: 0, Seed: 1}
+}
+
+// LevelStat records one hierarchy level of the first V-cycle.
+type LevelStat struct {
+	N int64
+	M int64
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	Levels      []LevelStat // fine-to-coarse, first V-cycle, incl. input
+	CoarsenTime time.Duration
+	InitTime    time.Duration
+	RefineTime  time.Duration
+	TotalTime   time.Duration
+	Cut         int64
+	Imbalance   float64
+	Feasible    bool
+	Comm        mpi.Stats // whole-world traffic (filled by Run)
+}
+
+// levelRec keeps the objects needed to walk back up the hierarchy.
+type levelRec struct {
+	fine         *dgraph.DGraph
+	coarse       *dgraph.DGraph
+	fineToCoarse []int64
+}
+
+// PartitionDistributed runs ParHIP on an already distributed graph and
+// returns this rank's NTotal-length block assignment (ghosts synced)
+// together with run statistics. Collective; cfg must be identical on every
+// rank.
+func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) {
+	if cfg.K < 1 {
+		return nil, Stats{}, fmt.Errorf("core: k = %d", cfg.K)
+	}
+	cfg.normalize()
+	c := d.Comm
+	startAll := time.Now()
+	var st Stats
+	if cfg.K == 1 {
+		part := make([]int64, d.NTotal())
+		st.Feasible = true
+		st.TotalTime = time.Since(startAll)
+		return part, st, nil
+	}
+	// Shared stream: identical on every rank, used for cross-rank-consistent
+	// decisions (level seeds, the per-cycle size factor f).
+	shared := rng.New(cfg.Seed)
+	totalWeight := d.GlobalNodeWeight()
+	lmax := partition.Lmax(totalWeight, cfg.K, cfg.Eps)
+	coarsestLimit := cfg.CoarsestPerBlock * int64(cfg.K)
+	if coarsestLimit < cfg.MinCoarsest {
+		coarsestLimit = cfg.MinCoarsest
+	}
+	maxNW := d.MaxNodeWeightGlobal()
+
+	var part []int64 // current partition on the finest level (NTotal, synced)
+	if cfg.Prepartition != nil {
+		if int64(len(cfg.Prepartition)) != d.GlobalN {
+			return nil, Stats{}, fmt.Errorf("core: prepartition has %d entries for %d nodes",
+				len(cfg.Prepartition), d.GlobalN)
+		}
+		part = make([]int64, d.NTotal())
+		for v := int32(0); v < d.NTotal(); v++ {
+			part[v] = int64(cfg.Prepartition[d.ToGlobal(v)])
+		}
+	}
+	for cycle := 0; cycle < cfg.VCycles; cycle++ {
+		f := cfg.SizeFactor
+		if cycle > 0 {
+			// Later V-cycles diversify with a random factor f in [10, 25]
+			// (§V-A); drawn from the shared stream so all ranks agree.
+			f = float64(shared.IntRange(10, 25))
+		}
+		u := int64(float64(lmax) / f)
+		if u < maxNW {
+			u = maxNW
+		}
+
+		// --- Parallel coarsening ---
+		tCoarsen := time.Now()
+		cur := d
+		var constraint []int64
+		if part != nil {
+			constraint = part
+		}
+		var levels []levelRec
+		if cycle == 0 {
+			st.Levels = append(st.Levels, LevelStat{N: d.GlobalN, M: d.GlobalM})
+		}
+		for cur.GlobalN > coarsestLimit {
+			labels := sclp.ParCluster(cur, sclp.ParClusterConfig{
+				U:              u,
+				Iterations:     cfg.CoarsenIters,
+				DegreeOrder:    true,
+				PhasesPerRound: cfg.PhasesPerRound,
+				Constraint:     constraint,
+				Seed:           shared.Uint64(),
+			})
+			res := contract.ParContract(cur, labels)
+			if res.Coarse.GlobalN >= cur.GlobalN*19/20 {
+				break // coarsening stalled
+			}
+			if constraint != nil {
+				constraint = contract.ParLift(cur, res.Coarse, res.FineToCoarse, constraint)
+			}
+			levels = append(levels, levelRec{fine: cur, coarse: res.Coarse, fineToCoarse: res.FineToCoarse})
+			cur = res.Coarse
+			if cycle == 0 {
+				st.Levels = append(st.Levels, LevelStat{N: cur.GlobalN, M: cur.GlobalM})
+			}
+		}
+		st.CoarsenTime += time.Since(tCoarsen)
+
+		// --- Initial partitioning: replicate coarsest graph, run KaFFPaE ---
+		tInit := time.Now()
+		coarsest := cur.Gather()
+		var initial []int32
+		if constraint != nil {
+			initial = gatherPart(cur, constraint)
+		}
+		evoCfg := evo.Config{
+			K:              cfg.K,
+			Eps:            cfg.Eps,
+			PopulationSize: cfg.EvoPopulation,
+			Rounds:         cfg.EvoRounds,
+			MutationProb:   0.1,
+			MigrateEvery:   2,
+			Seed:           shared.Uint64(),
+			Initial:        initial,
+			Objective:      cfg.Objective,
+		}
+		if cfg.EvoTimeBudget > 0 {
+			evoCfg.TimeBudget = cfg.EvoTimeBudget / time.Duration(c.Size())
+		}
+		best := evo.Evolve(c, coarsest, evoCfg)
+		st.InitTime += time.Since(tInit)
+
+		// --- Parallel uncoarsening with label propagation local search ---
+		tRefine := time.Now()
+		curPart := make([]int64, cur.NTotal())
+		for v := int32(0); v < cur.NTotal(); v++ {
+			curPart[v] = int64(best[cur.ToGlobal(v)])
+		}
+		sclp.ParRefine(cur, curPart, sclp.ParRefineConfig{
+			K: cfg.K, Lmax: lmax, Iterations: cfg.RefineIters,
+			PhasesPerRound: cfg.PhasesPerRound, Seed: shared.Uint64(),
+		})
+		for i := len(levels) - 1; i >= 0; i-- {
+			lv := levels[i]
+			curPart = contract.ParProject(lv.fine, lv.coarse, lv.fineToCoarse, curPart)
+			sclp.ParRefine(lv.fine, curPart, sclp.ParRefineConfig{
+				K: cfg.K, Lmax: lmax, Iterations: cfg.RefineIters,
+				PhasesPerRound: cfg.PhasesPerRound, Seed: shared.Uint64(),
+			})
+		}
+		st.RefineTime += time.Since(tRefine)
+		part = curPart
+	}
+
+	st.Cut = d.EdgeCut(part)
+	bw := d.BlockWeights(part, cfg.K)
+	var mx int64
+	feasible := true
+	for _, w := range bw {
+		if w > mx {
+			mx = w
+		}
+		if w > lmax {
+			feasible = false
+		}
+	}
+	st.Imbalance = float64(mx)/(float64(totalWeight)/float64(cfg.K)) - 1
+	st.Feasible = feasible
+	st.TotalTime = time.Since(startAll)
+	return part, st, nil
+}
+
+// gatherPart assembles the full global partition (one entry per global
+// node) from a distributed NTotal-length assignment. Collective.
+func gatherPart(d *dgraph.DGraph, part []int64) []int32 {
+	parts := d.Comm.Allgatherv(part[:d.NLocal()])
+	out := make([]int32, d.GlobalN)
+	var gv int64
+	for _, p := range parts {
+		for _, b := range p {
+			out[gv] = int32(b)
+			gv++
+		}
+	}
+	return out
+}
+
+// Result is the outcome of a replicated-input run.
+type Result struct {
+	Part  partition.Partition
+	Stats Stats
+}
+
+// Run partitions g with P simulated PEs and returns the full partition and
+// the statistics observed on rank 0. It is the entry point used by the
+// examples and the experiment harness.
+func Run(P int, g *graph.Graph, cfg Config) (Result, error) {
+	var res Result
+	var runErr error
+	world := mpi.NewWorld(P)
+	world.Run(func(c *mpi.Comm) {
+		d := dgraph.FromGraph(c, g)
+		part, st, err := PartitionDistributed(d, cfg)
+		if err != nil {
+			if c.Rank() == 0 {
+				runErr = err
+			}
+			return
+		}
+		full := gatherPart(d, part)
+		if c.Rank() == 0 {
+			st.Comm = world.TotalStats()
+			res = Result{Part: full, Stats: st}
+		}
+	})
+	return res, runErr
+}

@@ -1,0 +1,62 @@
+package dgraph
+
+import (
+	"fmt"
+
+	"repro/internal/hashtab"
+	"repro/internal/mpi"
+)
+
+// Build constructs a distributed graph when each rank already holds the CSR
+// rows of its own contiguous range with neighbours given as global IDs:
+// nw[i] is the weight of global node vtxdist[rank]+i, and that node's
+// neighbours are adjGlobal[xadj[i]:xadj[i+1]] with weights adjw. Ghost
+// weights are fetched from the owners, and the global edge count is
+// computed collectively. The parallel contraction algorithm uses this to
+// assemble each coarse level. Collective.
+func Build(c *mpi.Comm, vtxdist []int64, nw []int64, xadj []int64, adjGlobal []int64, adjw []int64) *DGraph {
+	if len(vtxdist) != c.Size()+1 {
+		panic(fmt.Sprintf("dgraph: vtxdist has %d entries for %d ranks", len(vtxdist), c.Size()))
+	}
+	lo := vtxdist[c.Rank()]
+	hi := vtxdist[c.Rank()+1]
+	nLocal := int32(hi - lo)
+	if int32(len(nw)) != nLocal || len(xadj) != int(nLocal)+1 {
+		panic("dgraph: Build called with inconsistent local arrays")
+	}
+	d := &DGraph{
+		Comm:    c,
+		GlobalN: vtxdist[c.Size()],
+		VtxDist: vtxdist,
+		nLocal:  nLocal,
+		g2l:     hashtab.NewMapI64(16),
+		XAdj:    xadj,
+	}
+	d.Adj = make([]int32, len(adjGlobal))
+	d.AdjW = adjw
+	for i, gu := range adjGlobal {
+		if gu >= lo && gu < hi {
+			d.Adj[i] = int32(gu - lo)
+		} else {
+			d.Adj[i] = d.internGhost(gu)
+		}
+	}
+	d.NW = append(append([]int64(nil), nw...), make([]int64, len(d.ghostGlobal))...)
+	d.finalize()
+	// Fetch ghost node weights from their owners.
+	if d.Comm.Size() > 0 {
+		answers := d.LookupI64(d.NW[:d.nLocal], d.ghostGlobal)
+		copy(d.NW[d.nLocal:], answers)
+	}
+	var localEdges int64
+	for i, u := range d.Adj {
+		_ = i
+		if u < d.nLocal {
+			localEdges++ // counted twice (both endpoints local)
+		} else {
+			localEdges += 1 // ghost edge: counted once here, once on the other owner
+		}
+	}
+	d.GlobalM = c.AllreduceSum1(localEdges) / 2
+	return d
+}

@@ -1,0 +1,458 @@
+// Package dgraph implements the distributed graph data structure from
+// §IV-A of the paper.
+//
+// Every rank owns a contiguous range of global node IDs. A rank stores the
+// CSR adjacency of its local nodes; endpoints outside the local range are
+// ghost (halo) nodes, appended after the local nodes in local ID space.
+// Global IDs of local nodes translate to local IDs by subtracting the range
+// start; ghost nodes are translated through a hash table, exactly as the
+// paper describes. For each ghost node the owning rank is stored for O(1)
+// lookup.
+package dgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/hashtab"
+	"repro/internal/mpi"
+)
+
+// DGraph is one rank's share of a distributed graph plus its ghost halo.
+type DGraph struct {
+	Comm *mpi.Comm
+
+	// GlobalN and GlobalM are the global node and undirected edge counts.
+	GlobalN int64
+	GlobalM int64
+
+	// VtxDist has size+1 entries; rank p owns global IDs
+	// [VtxDist[p], VtxDist[p+1]).
+	VtxDist []int64
+
+	// CSR over local nodes. Adj holds local IDs: values below NLocal()
+	// are local nodes, values >= NLocal() index ghosts.
+	XAdj []int64
+	Adj  []int32
+	AdjW []int64
+
+	// NW holds node weights for local nodes followed by ghosts.
+	NW []int64
+
+	nLocal      int32
+	ghostGlobal []int64 // global ID per ghost, in local-ID order
+	ghostOwner  []int32 // owning rank per ghost
+	g2l         *hashtab.MapI64
+
+	// adjRanks[v] lists the distinct ranks owning ghost neighbours of local
+	// node v (nil for non-interface nodes). Used to push label updates only
+	// to PEs that can see them (§IV-A).
+	adjRanks [][]int32
+}
+
+// UniformVtxDist splits n nodes into size contiguous chunks of nearly equal
+// size (the first n mod size chunks are one larger).
+func UniformVtxDist(n int64, size int) []int64 {
+	vd := make([]int64, size+1)
+	base := n / int64(size)
+	rem := n % int64(size)
+	for p := 0; p < size; p++ {
+		vd[p+1] = vd[p] + base
+		if int64(p) < rem {
+			vd[p+1]++
+		}
+	}
+	return vd
+}
+
+// FromGraph builds this rank's share of g using a uniform contiguous node
+// distribution. Every rank must pass an identical g (SPMD); only the local
+// slice and halo are retained.
+func FromGraph(c *mpi.Comm, g *graph.Graph) *DGraph {
+	n := int64(g.NumNodes())
+	vd := UniformVtxDist(n, c.Size())
+	return FromGraphDist(c, g, vd)
+}
+
+// FromGraphDist is FromGraph with an explicit node distribution.
+func FromGraphDist(c *mpi.Comm, g *graph.Graph, vtxdist []int64) *DGraph {
+	lo := vtxdist[c.Rank()]
+	hi := vtxdist[c.Rank()+1]
+	nLocal := int32(hi - lo)
+	d := &DGraph{
+		Comm:    c,
+		GlobalN: int64(g.NumNodes()),
+		GlobalM: g.NumEdges(),
+		VtxDist: vtxdist,
+		nLocal:  nLocal,
+		g2l:     hashtab.NewMapI64(16),
+	}
+	d.XAdj = make([]int64, nLocal+1)
+	nw := make([]int64, nLocal)
+	for v := int32(0); v < nLocal; v++ {
+		gv := lo + int64(v)
+		d.XAdj[v+1] = d.XAdj[v] + int64(g.Degree(int32(gv)))
+		nw[v] = g.NW[gv]
+	}
+	d.Adj = make([]int32, d.XAdj[nLocal])
+	d.AdjW = make([]int64, d.XAdj[nLocal])
+	pos := 0
+	for v := int32(0); v < nLocal; v++ {
+		gv := int32(lo + int64(v))
+		ws := g.EdgeWeights(gv)
+		for i, u := range g.Neighbors(gv) {
+			gu := int64(u)
+			var lu int32
+			if gu >= lo && gu < hi {
+				lu = int32(gu - lo)
+			} else {
+				lu = d.internGhost(gu)
+			}
+			d.Adj[pos] = lu
+			d.AdjW[pos] = ws[i]
+			pos++
+		}
+	}
+	d.NW = append(nw, make([]int64, len(d.ghostGlobal))...)
+	for i, gu := range d.ghostGlobal {
+		d.NW[int(nLocal)+i] = g.NW[gu]
+	}
+	d.finalize()
+	return d
+}
+
+// internGhost returns the local ID for global node gu, creating a ghost
+// entry if needed. Only valid during construction.
+func (d *DGraph) internGhost(gu int64) int32 {
+	if lu, ok := d.g2l.Get(gu); ok {
+		return int32(lu)
+	}
+	lu := d.nLocal + int32(len(d.ghostGlobal))
+	d.ghostGlobal = append(d.ghostGlobal, gu)
+	d.ghostOwner = append(d.ghostOwner, int32(d.Owner(gu)))
+	d.g2l.Put(gu, int64(lu))
+	return lu
+}
+
+// finalize computes the per-node adjacent-rank lists.
+func (d *DGraph) finalize() {
+	d.adjRanks = make([][]int32, d.nLocal)
+	var scratch []int32
+	for v := int32(0); v < d.nLocal; v++ {
+		scratch = scratch[:0]
+		for _, u := range d.Neighbors(v) {
+			if u >= d.nLocal {
+				scratch = append(scratch, d.ghostOwner[u-d.nLocal])
+			}
+		}
+		if len(scratch) == 0 {
+			continue
+		}
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+		uniq := scratch[:1]
+		for _, r := range scratch[1:] {
+			if r != uniq[len(uniq)-1] {
+				uniq = append(uniq, r)
+			}
+		}
+		d.adjRanks[v] = append([]int32(nil), uniq...)
+	}
+}
+
+// NLocal returns the number of nodes this rank owns.
+func (d *DGraph) NLocal() int32 { return d.nLocal }
+
+// NGhost returns the number of ghost nodes on this rank.
+func (d *DGraph) NGhost() int32 { return int32(len(d.ghostGlobal)) }
+
+// NTotal returns local + ghost node count (the length of per-node arrays).
+func (d *DGraph) NTotal() int32 { return d.nLocal + int32(len(d.ghostGlobal)) }
+
+// FirstGlobal returns the first global ID owned by this rank.
+func (d *DGraph) FirstGlobal() int64 { return d.VtxDist[d.Comm.Rank()] }
+
+// IsGhost reports whether local ID v refers to a ghost node.
+func (d *DGraph) IsGhost(v int32) bool { return v >= d.nLocal }
+
+// IsInterface reports whether local node v has a neighbour on another rank.
+func (d *DGraph) IsInterface(v int32) bool {
+	return v < d.nLocal && d.adjRanks[v] != nil
+}
+
+// AdjacentRanks returns the ranks owning ghost neighbours of local node v
+// (nil for interior nodes). The slice must not be modified.
+func (d *DGraph) AdjacentRanks(v int32) []int32 { return d.adjRanks[v] }
+
+// ToGlobal converts a local ID (local node or ghost) to its global ID.
+func (d *DGraph) ToGlobal(v int32) int64 {
+	if v < d.nLocal {
+		return d.FirstGlobal() + int64(v)
+	}
+	return d.ghostGlobal[v-d.nLocal]
+}
+
+// ToLocal converts a global ID to a local ID. ok is false when the node is
+// neither local nor a known ghost.
+func (d *DGraph) ToLocal(g int64) (int32, bool) {
+	lo := d.FirstGlobal()
+	if g >= lo && g < d.VtxDist[d.Comm.Rank()+1] {
+		return int32(g - lo), true
+	}
+	lu, ok := d.g2l.Get(g)
+	return int32(lu), ok
+}
+
+// Owner returns the rank owning global node g.
+func (d *DGraph) Owner(g int64) int {
+	// Binary search: largest p with VtxDist[p] <= g.
+	lo, hi := 0, len(d.VtxDist)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if d.VtxDist[mid] <= g {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// GhostOwner returns the rank owning ghost with local ID v.
+func (d *DGraph) GhostOwner(v int32) int32 { return d.ghostOwner[v-d.nLocal] }
+
+// Degree returns the degree of local node v.
+func (d *DGraph) Degree(v int32) int32 { return int32(d.XAdj[v+1] - d.XAdj[v]) }
+
+// Neighbors returns the local-ID neighbour list of local node v; entries
+// >= NLocal() are ghosts. The slice aliases internal storage.
+func (d *DGraph) Neighbors(v int32) []int32 { return d.Adj[d.XAdj[v]:d.XAdj[v+1]] }
+
+// EdgeWeights returns edge weights parallel to Neighbors(v).
+func (d *DGraph) EdgeWeights(v int32) []int64 { return d.AdjW[d.XAdj[v]:d.XAdj[v+1]] }
+
+// LocalNodeWeight returns the total weight of this rank's local nodes.
+func (d *DGraph) LocalNodeWeight() int64 {
+	var s int64
+	for v := int32(0); v < d.nLocal; v++ {
+		s += d.NW[v]
+	}
+	return s
+}
+
+// GlobalNodeWeight returns the total node weight across all ranks
+// (collective).
+func (d *DGraph) GlobalNodeWeight() int64 {
+	return d.Comm.AllreduceSum1(d.LocalNodeWeight())
+}
+
+// MaxNodeWeightGlobal returns the maximum node weight across all ranks
+// (collective).
+func (d *DGraph) MaxNodeWeightGlobal() int64 {
+	var mw int64
+	for v := int32(0); v < d.nLocal; v++ {
+		if d.NW[v] > mw {
+			mw = d.NW[v]
+		}
+	}
+	return d.Comm.AllreduceMax1(mw)
+}
+
+// Validate checks local structural invariants and, collectively, that ghost
+// metadata is consistent with the owners' data.
+func (d *DGraph) Validate() error {
+	if d.XAdj[0] != 0 || len(d.XAdj) != int(d.nLocal)+1 {
+		return fmt.Errorf("dgraph: bad XAdj shape")
+	}
+	for v := int32(0); v < d.nLocal; v++ {
+		if d.XAdj[v+1] < d.XAdj[v] {
+			return fmt.Errorf("dgraph: XAdj not monotone at %d", v)
+		}
+	}
+	nt := d.NTotal()
+	for i, u := range d.Adj {
+		if u < 0 || u >= nt {
+			return fmt.Errorf("dgraph: adjacency entry %d out of range", i)
+		}
+		if d.AdjW[i] <= 0 {
+			return fmt.Errorf("dgraph: non-positive edge weight at slot %d", i)
+		}
+	}
+	for i, g := range d.ghostGlobal {
+		if g >= d.FirstGlobal() && g < d.VtxDist[d.Comm.Rank()+1] {
+			return fmt.Errorf("dgraph: ghost %d is actually local", i)
+		}
+		if int(d.ghostOwner[i]) != d.Owner(g) {
+			return fmt.Errorf("dgraph: ghost %d owner mismatch", i)
+		}
+	}
+	// Ghost node weights must match the owners' values.
+	queries := append([]int64(nil), d.ghostGlobal...)
+	answers := d.LookupI64(d.NW[:d.nLocal], queries)
+	for i := range queries {
+		if answers[i] != d.NW[int(d.nLocal)+i] {
+			return fmt.Errorf("dgraph: ghost %d weight stale: have %d, owner has %d",
+				i, d.NW[int(d.nLocal)+i], answers[i])
+		}
+	}
+	return nil
+}
+
+// LookupI64 answers point queries against a distributed per-local-node
+// array: queries are global node IDs, and the result holds, for each query,
+// vals[q - ownerFirst] read on q's owner. Collective: all ranks must call.
+func (d *DGraph) LookupI64(vals []int64, queries []int64) []int64 {
+	size := d.Comm.Size()
+	// Group queries by owner, remembering the original position.
+	byOwner := make([][]int64, size)
+	posByOwner := make([][]int32, size)
+	for qi, q := range queries {
+		o := d.Owner(q)
+		byOwner[o] = append(byOwner[o], q)
+		posByOwner[o] = append(posByOwner[o], int32(qi))
+	}
+	incoming := d.Comm.Alltoallv(byOwner)
+	// Answer what we own.
+	replies := make([][]int64, size)
+	lo := d.FirstGlobal()
+	for r, qs := range incoming {
+		if len(qs) == 0 {
+			continue
+		}
+		ans := make([]int64, len(qs))
+		for i, q := range qs {
+			ans[i] = vals[q-lo]
+		}
+		replies[r] = ans
+	}
+	answered := d.Comm.Alltoallv(replies)
+	out := make([]int64, len(queries))
+	for r := 0; r < size; r++ {
+		for i, pos := range posByOwner[r] {
+			out[pos] = answered[r][i]
+		}
+	}
+	return out
+}
+
+// SyncGhosts overwrites the ghost tail of vals (indices NLocal()..NTotal())
+// with the owners' current local values. vals must have NTotal() entries.
+// Collective.
+func (d *DGraph) SyncGhosts(vals []int64) {
+	answers := d.LookupI64(vals[:d.nLocal], d.ghostGlobal)
+	copy(vals[d.nLocal:], answers)
+}
+
+// PushGhosts propagates updated values of the given changed local interface
+// nodes to the ranks holding them as ghosts, updating their vals arrays in
+// place. Nodes in changed that are not interface nodes are skipped. This is
+// the update-exchange from §IV-A, realized as one sparse all-to-all per
+// phase. Collective.
+func (d *DGraph) PushGhosts(vals []int64, changed []int32) {
+	size := d.Comm.Size()
+	out := make([][]int64, size)
+	for _, v := range changed {
+		for _, r := range d.adjRanks[v] {
+			out[r] = append(out[r], d.ToGlobal(v), vals[v])
+		}
+	}
+	in := d.Comm.Alltoallv(out)
+	for _, buf := range in {
+		for i := 0; i+1 < len(buf); i += 2 {
+			if lu, ok := d.ToLocal(buf[i]); ok && lu >= d.nLocal {
+				vals[lu] = buf[i+1]
+			}
+		}
+	}
+}
+
+// Gather replicates the full distributed graph on every rank. The paper
+// uses this on the coarsest graph before running the evolutionary
+// partitioner ("the distributed coarse graph is then collected on each
+// PE"). Collective.
+func (d *DGraph) Gather() *graph.Graph {
+	// Serialize local part: [nLocal, then per node: weight, degree,
+	// (globalNbr, w)*].
+	var buf []int64
+	buf = append(buf, int64(d.nLocal))
+	for v := int32(0); v < d.nLocal; v++ {
+		buf = append(buf, d.NW[v], int64(d.Degree(v)))
+		ws := d.EdgeWeights(v)
+		for i, u := range d.Neighbors(v) {
+			buf = append(buf, d.ToGlobal(u), ws[i])
+		}
+	}
+	parts := d.Comm.Allgatherv(buf)
+	n := d.GlobalN
+	xadj := make([]int64, n+1)
+	nw := make([]int64, n)
+	var adj []int32
+	var adjw []int64
+	var gv int64
+	for _, part := range parts {
+		i := 0
+		cnt := part[i]
+		i++
+		for c := int64(0); c < cnt; c++ {
+			nw[gv] = part[i]
+			deg := part[i+1]
+			i += 2
+			xadj[gv+1] = xadj[gv] + deg
+			for e := int64(0); e < deg; e++ {
+				adj = append(adj, int32(part[i]))
+				adjw = append(adjw, part[i+1])
+				i += 2
+			}
+			gv++
+		}
+	}
+	if gv != n {
+		panic(fmt.Sprintf("dgraph: gather reconstructed %d of %d nodes", gv, n))
+	}
+	return graph.FromCSR(xadj, adj, adjw, nw)
+}
+
+// EdgeCut computes the global weight of edges crossing between different
+// values of part, where part has NTotal() entries (ghost entries must be in
+// sync). Collective.
+func (d *DGraph) EdgeCut(part []int64) int64 {
+	var local int64
+	for v := int32(0); v < d.nLocal; v++ {
+		ws := d.EdgeWeights(v)
+		for i, u := range d.Neighbors(v) {
+			if part[v] != part[u] {
+				local += ws[i]
+			}
+		}
+	}
+	// Each cut edge is seen from both endpoints: twice on one rank if both
+	// endpoints are local, once on each of two ranks otherwise.
+	return d.Comm.AllreduceSum1(local) / 2
+}
+
+// BlockWeights returns the global node weight of blocks 0..k-1 under part
+// (NTotal() entries; only local entries are read). Collective.
+func (d *DGraph) BlockWeights(part []int64, k int32) []int64 {
+	local := make([]int64, k)
+	for v := int32(0); v < d.nLocal; v++ {
+		local[part[v]] += d.NW[v]
+	}
+	return d.Comm.AllreduceSum(local)
+}
+
+// GhostFraction returns the fraction of adjacency entries referring to
+// ghosts, the locality measure the paper reports for del vs rgg graphs
+// (§V-B). Collective.
+func (d *DGraph) GhostFraction() float64 {
+	var ghost int64
+	for _, u := range d.Adj {
+		if u >= d.nLocal {
+			ghost++
+		}
+	}
+	tot := d.Comm.AllreduceSum([]int64{ghost, int64(len(d.Adj))})
+	if tot[1] == 0 {
+		return 0
+	}
+	return float64(tot[0]) / float64(tot[1])
+}

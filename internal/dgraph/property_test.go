@@ -1,0 +1,132 @@
+package dgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+)
+
+// Property tests over random graphs and rank counts: the distributed view
+// must agree with the sequential graph no matter how nodes are split.
+
+func TestPropertyDistributedMatchesSequential(t *testing.T) {
+	f := func(seed uint64, pRaw uint8) bool {
+		P := int(pRaw%6) + 1
+		r := rng.New(seed)
+		n := r.Int31n(120) + 5
+		b := graph.NewBuilder(n)
+		for i := 0; i < int(n)*3; i++ {
+			u, v := r.Int31n(n), r.Int31n(n)
+			if u != v {
+				b.AddEdgeW(u, v, r.Int64n(4)+1)
+			}
+		}
+		g := b.Build()
+		ok := true
+		mpi.NewWorld(P).Run(func(c *mpi.Comm) {
+			d := FromGraph(c, g)
+			if d.Validate() != nil {
+				ok = false
+				return
+			}
+			// Per-node degree and weighted degree agree with g.
+			for v := int32(0); v < d.NLocal(); v++ {
+				gv := int32(d.ToGlobal(v))
+				if d.Degree(v) != g.Degree(gv) || d.NW[v] != g.NW[gv] {
+					ok = false
+					return
+				}
+				var wd int64
+				for _, w := range d.EdgeWeights(v) {
+					wd += w
+				}
+				if wd != g.WeightedDegree(gv) {
+					ok = false
+					return
+				}
+			}
+			// Global aggregates.
+			if d.GlobalNodeWeight() != g.TotalNodeWeight() {
+				ok = false
+			}
+			if d.GlobalM != g.NumEdges() {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEdgeCutMatchesSequential(t *testing.T) {
+	f := func(seed uint64, pRaw uint8) bool {
+		P := int(pRaw%5) + 1
+		g := gen.RGG(150, seed)
+		k := int64(4)
+		// Sequential reference cut of block(v) = v mod k.
+		var ref int64
+		for v := int32(0); v < g.NumNodes(); v++ {
+			ws := g.EdgeWeights(v)
+			for i, u := range g.Neighbors(v) {
+				if int64(v)%k != int64(u)%k {
+					ref += ws[i]
+				}
+			}
+		}
+		ref /= 2
+		ok := true
+		mpi.NewWorld(P).Run(func(c *mpi.Comm) {
+			d := FromGraph(c, g)
+			part := make([]int64, d.NTotal())
+			for v := int32(0); v < d.NTotal(); v++ {
+				part[v] = d.ToGlobal(v) % k
+			}
+			if d.EdgeCut(part) != ref {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGatherIdentity(t *testing.T) {
+	f := func(seed uint64, pRaw uint8) bool {
+		P := int(pRaw%4) + 1
+		g := gen.BarabasiAlbert(80, 3, seed)
+		ok := true
+		mpi.NewWorld(P).Run(func(c *mpi.Comm) {
+			d := FromGraph(c, g)
+			got := d.Gather()
+			if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+				ok = false
+				return
+			}
+			for v := int32(0); v < g.NumNodes(); v++ {
+				a, b := g.Neighbors(v), got.Neighbors(v)
+				if len(a) != len(b) {
+					ok = false
+					return
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package evo implements KaFFPaE (§II-C), the coarse-grained distributed
+// evolutionary partitioner run on the (replicated) coarsest graph of the
+// hierarchy.
+//
+// Every rank holds a copy of the graph and evolves a local population of
+// partitions. The combine operation feeds two parents into the multilevel
+// partitioner with their cut edges forbidden from contraction and the
+// better parent applied at the coarsest level, which guarantees offspring
+// at least as good as the better parent. Ranks exchange their best
+// individual with randomly chosen peers (randomized rumor spreading); the
+// globally best individual is selected collectively at the end.
+package evo
+
+import (
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/kaffpa"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// migrantTag is the user-message tag for exchanged individuals.
+const migrantTag = 9100
+
+// Objective selects the fitness the evolutionary search minimizes. The
+// paper's evaluation uses the edge cut; §VI proposes integrating
+// communication-volume style objectives "into the evolutionary algorithm
+// which is called on the coarsest graph", which the other values realize.
+type Objective int
+
+// Objectives.
+const (
+	// ObjectiveCut minimizes the total weight of cut edges (default).
+	ObjectiveCut Objective = iota
+	// ObjectiveCommVol minimizes the total communication volume.
+	ObjectiveCommVol
+	// ObjectiveMaxCommVol minimizes the busiest block's communication
+	// volume.
+	ObjectiveMaxCommVol
+	// ObjectiveMaxQuotientDegree minimizes the maximum number of
+	// neighbouring blocks over all blocks.
+	ObjectiveMaxQuotientDegree
+)
+
+func (o Objective) value(g *graph.Graph, p []int32, k int32) int64 {
+	switch o {
+	case ObjectiveCommVol:
+		return partition.CommunicationVolume(g, p, k)
+	case ObjectiveMaxCommVol:
+		return partition.MaxCommVolume(g, p, k)
+	case ObjectiveMaxQuotientDegree:
+		return int64(partition.MaxQuotientDegree(g, p, k))
+	default:
+		return partition.EdgeCut(g, p)
+	}
+}
+
+// Config controls one evolutionary run.
+type Config struct {
+	K   int32
+	Eps float64
+
+	// PopulationSize is the number of individuals kept per rank.
+	PopulationSize int
+	// Rounds is the number of combine/mutation steps per rank. Zero means
+	// "initial population only" — the paper's fast and minimal
+	// configurations give the evolutionary algorithm "only enough time to
+	// compute the initial population".
+	Rounds int
+	// TimeBudget optionally bounds the evolution by wall-clock time; when
+	// positive it overrides Rounds (the paper's eco setting uses
+	// t_p = t_1/p). Results under a time budget are not deterministic.
+	TimeBudget time.Duration
+	// MutationProb is the probability that a step runs a fresh multilevel
+	// partition instead of a combine.
+	MutationProb float64
+	// MigrateEvery controls rumor spreading: the local best is sent to one
+	// random peer every MigrateEvery steps (0 disables).
+	MigrateEvery int
+	// Seed drives all randomness; each rank derives an independent stream.
+	Seed uint64
+	// Initial optionally seeds the population with a known partition
+	// (V-cycles inject the projected previous solution, ensuring the
+	// result is at least as good).
+	Initial []int32
+	// Objective is the fitness to minimize (default: edge cut). Combine
+	// operators still optimize the cut internally (their no-worsening
+	// guarantee is cut-based); selection and migration use the objective.
+	Objective Objective
+}
+
+// DefaultConfig returns sensible defaults for a k-way evolution.
+func DefaultConfig(k int32) Config {
+	return Config{
+		K:              k,
+		Eps:            0.03,
+		PopulationSize: 4,
+		Rounds:         4,
+		MutationProb:   0.1,
+		MigrateEvery:   2,
+		Seed:           1,
+	}
+}
+
+type individual struct {
+	p        []int32
+	cut      int64 // objective value (edge cut under the default objective)
+	feasible bool
+}
+
+// better reports whether a beats b (feasibility first, then objective).
+func better(a, b individual) bool {
+	if a.feasible != b.feasible {
+		return a.feasible
+	}
+	return a.cut < b.cut
+}
+
+func evaluate(g *graph.Graph, p []int32, k int32, eps float64, obj Objective) individual {
+	return individual{
+		p:        p,
+		cut:      obj.value(g, p, k),
+		feasible: partition.IsFeasible(g, p, k, eps),
+	}
+}
+
+// Evolve runs the evolutionary algorithm and returns the globally best
+// partition, identical on every rank. Collective.
+func Evolve(c *mpi.Comm, g *graph.Graph, cfg Config) []int32 {
+	if cfg.PopulationSize < 2 {
+		cfg.PopulationSize = 2
+	}
+	if cfg.Eps <= 0 {
+		cfg.Eps = 0.03
+	}
+	r := rng.New(cfg.Seed).Split(uint64(c.Rank()))
+
+	base := kaffpa.DefaultConfig(cfg.K)
+	base.Eps = cfg.Eps
+
+	pop := make([]individual, 0, cfg.PopulationSize)
+	if cfg.Initial != nil {
+		pop = append(pop, evaluate(g, append([]int32(nil), cfg.Initial...), cfg.K, cfg.Eps, cfg.Objective))
+	}
+	for len(pop) < cfg.PopulationSize {
+		kc := base
+		kc.Seed = r.Uint64()
+		p, err := kaffpa.Partition(g, kc)
+		if err != nil {
+			panic("evo: " + err.Error())
+		}
+		pop = append(pop, evaluate(g, p, cfg.K, cfg.Eps, cfg.Objective))
+	}
+
+	bestIdx := func() int {
+		b := 0
+		for i := 1; i < len(pop); i++ {
+			if better(pop[i], pop[b]) {
+				b = i
+			}
+		}
+		return b
+	}
+	worstIdx := func() int {
+		w := 0
+		for i := 1; i < len(pop); i++ {
+			if better(pop[w], pop[i]) {
+				w = i
+			}
+		}
+		return w
+	}
+	insert := func(ind individual) {
+		w := worstIdx()
+		if better(ind, pop[w]) {
+			pop[w] = ind
+		}
+	}
+
+	start := time.Now()
+	step := 0
+	for {
+		if cfg.TimeBudget > 0 {
+			if time.Since(start) >= cfg.TimeBudget {
+				break
+			}
+		} else if step >= cfg.Rounds {
+			break
+		}
+		step++
+
+		// Pick up migrants pushed by peers.
+		for {
+			_, data, ok := c.TryRecvAny(migrantTag)
+			if !ok {
+				break
+			}
+			insert(evaluate(g, fromWire(data), cfg.K, cfg.Eps, cfg.Objective))
+		}
+
+		if c.Size() > 1 && cfg.MigrateEvery > 0 && step%cfg.MigrateEvery == 0 {
+			// Randomized rumor spreading: best individual to a random peer.
+			dst := r.Intn(c.Size() - 1)
+			if dst >= c.Rank() {
+				dst++
+			}
+			c.Send(dst, migrantTag, toWire(pop[bestIdx()].p))
+		}
+
+		if r.Float64() < cfg.MutationProb {
+			kc := base
+			kc.Seed = r.Uint64()
+			p, _ := kaffpa.Partition(g, kc)
+			insert(evaluate(g, p, cfg.K, cfg.Eps, cfg.Objective))
+			continue
+		}
+
+		// Combine two distinct parents.
+		i := r.Intn(len(pop))
+		j := r.Intn(len(pop) - 1)
+		if j >= i {
+			j++
+		}
+		p1, p2 := pop[i], pop[j]
+		parent := p1
+		if better(p2, p1) {
+			parent = p2
+		}
+		kc := base
+		kc.Seed = r.Uint64()
+		kc.Constraint = kaffpa.CompositeConstraint(p1.p, p2.p, cfg.K)
+		kc.InitialPartition = parent.p
+		child, err := kaffpa.Partition(g, kc)
+		if err != nil {
+			panic("evo: " + err.Error())
+		}
+		insert(evaluate(g, child, cfg.K, cfg.Eps, cfg.Objective))
+	}
+
+	// Drain any remaining migrants, then choose the global winner.
+	c.Barrier()
+	for {
+		_, data, ok := c.TryRecvAny(migrantTag)
+		if !ok {
+			break
+		}
+		insert(evaluate(g, fromWire(data), cfg.K, cfg.Eps, cfg.Objective))
+	}
+	best := pop[bestIdx()]
+	// Rank the local champions: (infeasible flag, cut, rank) ascending.
+	scores := c.Allgatherv([]int64{boolTo64(!best.feasible), best.cut})
+	winner := 0
+	for rk := 1; rk < len(scores); rk++ {
+		if scores[rk][0] != scores[winner][0] {
+			if scores[rk][0] < scores[winner][0] {
+				winner = rk
+			}
+			continue
+		}
+		if scores[rk][1] < scores[winner][1] {
+			winner = rk
+		}
+	}
+	var wire []int64
+	if c.Rank() == winner {
+		wire = toWire(best.p)
+	}
+	return fromWire(c.Bcast(winner, wire))
+}
+
+func toWire(p []int32) []int64 {
+	out := make([]int64, len(p))
+	for i, v := range p {
+		out[i] = int64(v)
+	}
+	return out
+}
+
+func fromWire(w []int64) []int32 {
+	out := make([]int32, len(w))
+	for i, v := range w {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+func boolTo64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

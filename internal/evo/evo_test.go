@@ -1,0 +1,167 @@
+package evo
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kaffpa"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+)
+
+func TestEvolveSingleRank(t *testing.T) {
+	g, _ := gen.PlantedPartition(800, 8, 8, 0.6, 1)
+	mpi.NewWorld(1).Run(func(c *mpi.Comm) {
+		cfg := DefaultConfig(4)
+		cfg.Rounds = 2
+		p := Evolve(c, g, cfg)
+		if err := partition.Validate(g, p, 4); err != nil {
+			t.Error(err)
+		}
+		if !partition.IsFeasible(g, p, 4, 0.03) {
+			t.Error("evolved partition infeasible")
+		}
+	})
+}
+
+func TestEvolveAllRanksAgree(t *testing.T) {
+	g, _ := gen.PlantedPartition(600, 6, 8, 0.6, 2)
+	const P = 4
+	results := make([][]int32, P)
+	mpi.NewWorld(P).Run(func(c *mpi.Comm) {
+		cfg := DefaultConfig(2)
+		cfg.Rounds = 2
+		results[c.Rank()] = Evolve(c, g, cfg)
+	})
+	for r := 1; r < P; r++ {
+		for v := range results[0] {
+			if results[r][v] != results[0][v] {
+				t.Fatalf("ranks 0 and %d disagree at node %d", r, v)
+			}
+		}
+	}
+}
+
+func TestEvolveBeatsSingleMultilevelRun(t *testing.T) {
+	// With several independent individuals plus combines, the evolved cut
+	// should be at least as good as a single multilevel run with the same
+	// base seed.
+	g, _ := gen.PlantedPartition(1200, 10, 8, 1.0, 3)
+	k := int32(4)
+	kc := kaffpa.DefaultConfig(k)
+	kc.Seed = 1
+	solo, err := kaffpa.Partition(g, kc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloCut := partition.EdgeCut(g, solo)
+	mpi.NewWorld(2).Run(func(c *mpi.Comm) {
+		cfg := DefaultConfig(k)
+		cfg.Seed = 1
+		cfg.Rounds = 3
+		p := Evolve(c, g, cfg)
+		cut := partition.EdgeCut(g, p)
+		if cut > soloCut*11/10 {
+			t.Errorf("evolved cut %d much worse than solo run %d", cut, soloCut)
+		}
+	})
+}
+
+func TestEvolveWithInitialNeverWorsens(t *testing.T) {
+	g, _ := gen.PlantedPartition(900, 8, 8, 0.7, 4)
+	k := int32(3)
+	kc := kaffpa.DefaultConfig(k)
+	kc.Seed = 9
+	initial, err := kaffpa.Partition(g, kc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initCut := partition.EdgeCut(g, initial)
+	mpi.NewWorld(2).Run(func(c *mpi.Comm) {
+		cfg := DefaultConfig(k)
+		cfg.Rounds = 2
+		cfg.Initial = initial
+		p := Evolve(c, g, cfg)
+		cut := partition.EdgeCut(g, p)
+		if cut > initCut {
+			t.Errorf("evolution worsened the injected individual: %d -> %d", initCut, cut)
+		}
+	})
+}
+
+func TestEvolveZeroRounds(t *testing.T) {
+	// Rounds = 0 is the fast/minimal configuration: initial population
+	// only; must still produce a valid global winner.
+	g := gen.RGG(500, 5)
+	mpi.NewWorld(3).Run(func(c *mpi.Comm) {
+		cfg := DefaultConfig(2)
+		cfg.Rounds = 0
+		p := Evolve(c, g, cfg)
+		if err := partition.Validate(g, p, 2); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestEvolveSmallGraph(t *testing.T) {
+	g := graph.Cycle(12)
+	mpi.NewWorld(2).Run(func(c *mpi.Comm) {
+		cfg := DefaultConfig(2)
+		cfg.Rounds = 1
+		p := Evolve(c, g, cfg)
+		if !partition.IsFeasible(g, p, 2, 0.03) {
+			t.Errorf("cycle partition infeasible: %v", p)
+		}
+		// Optimal cut of an even cycle bipartition is 2.
+		if cut := partition.EdgeCut(g, p); cut > 4 {
+			t.Errorf("cycle cut %d", cut)
+		}
+	})
+}
+
+func TestEvolveAlternativeObjectives(t *testing.T) {
+	g, _ := gen.PlantedPartition(800, 8, 8, 0.6, 5)
+	k := int32(4)
+	for _, obj := range []Objective{ObjectiveCommVol, ObjectiveMaxCommVol, ObjectiveMaxQuotientDegree} {
+		mpi.NewWorld(2).Run(func(c *mpi.Comm) {
+			cfg := DefaultConfig(k)
+			cfg.Rounds = 1
+			cfg.Objective = obj
+			p := Evolve(c, g, cfg)
+			if err := partition.Validate(g, p, k); err != nil {
+				t.Errorf("objective %d: %v", obj, err)
+			}
+			if !partition.IsFeasible(g, p, k, 0.03) {
+				t.Errorf("objective %d: infeasible", obj)
+			}
+		})
+	}
+}
+
+func TestObjectiveValues(t *testing.T) {
+	g := graph.Path(6)
+	p := []int32{0, 0, 1, 1, 2, 2}
+	if v := ObjectiveCut.value(g, p, 3); v != 2 {
+		t.Fatalf("cut objective %d", v)
+	}
+	if v := ObjectiveCommVol.value(g, p, 3); v != 4 {
+		t.Fatalf("commvol objective %d", v)
+	}
+	if v := ObjectiveMaxQuotientDegree.value(g, p, 3); v != 2 {
+		t.Fatalf("quotient degree objective %d", v)
+	}
+	if v := ObjectiveMaxCommVol.value(g, p, 3); v != 2 {
+		t.Fatalf("max commvol objective %d", v)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	p := []int32{0, 5, -1, 1 << 20}
+	got := fromWire(toWire(p))
+	for i := range p {
+		if got[i] != p[i] {
+			t.Fatalf("wire roundtrip %v -> %v", p, got)
+		}
+	}
+}

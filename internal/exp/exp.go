@@ -1,0 +1,265 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§V) at reduced scale, comparing the
+// ParHIP reproduction (fast/eco/minimal configurations) against the
+// ParMETIS-style matching baseline on a synthetic benchmark set.
+//
+// Scales are laptop-sized and ranks are goroutines, so absolute numbers
+// differ from the paper; the harness is built to reproduce the *shape* of
+// the results — who wins, by roughly what factor, and where the baseline
+// fails outright.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matchbase"
+)
+
+// Instance is one benchmark graph (a Table I row).
+type Instance struct {
+	Name  string
+	Type  string // "S" social/web, "M" mesh
+	Class core.GraphClass
+	Gen   func(seed uint64) *graph.Graph
+}
+
+// BenchmarkSet returns the synthetic analogue of Table I. scale multiplies
+// the base node counts (scale 1 keeps every instance below ~20k nodes so a
+// full table run stays in seconds-to-minutes territory).
+func BenchmarkSet(scale int32) []Instance {
+	if scale < 1 {
+		scale = 1
+	}
+	s := func(n int32) int32 { return n * scale }
+	return []Instance{
+		// Social / web analogues (paper: amazon, youtube, enwiki, eu-2005,
+		// in-2004, uk-2002, arabic, sk-2005, uk-2007).
+		{"ba-social", "S", core.ClassSocial, func(seed uint64) *graph.Graph {
+			return gen.BarabasiAlbert(s(6000), 5, seed)
+		}},
+		{"rmat-social", "S", core.ClassSocial, func(seed uint64) *graph.Graph {
+			sc := 0
+			for (int32(1) << sc) < s(8192) {
+				sc++
+			}
+			return gen.RMAT(sc, 8, 0.57, 0.19, 0.19, seed)
+		}},
+		{"web-comm", "S", core.ClassSocial, func(seed uint64) *graph.Graph {
+			g, _ := gen.PlantedPartition(s(8000), 60, 12, 0.5, seed)
+			return g
+		}},
+		{"web-large", "S", core.ClassSocial, func(seed uint64) *graph.Graph {
+			// Web-crawl analogue: a community core plus a large degree-one
+			// fringe hanging off few hub pages. The fringe is what defeats
+			// matching-based coarsening (a hub can match only one leaf per
+			// level), while cluster contraction absorbs whole stars at
+			// once — the paper's uk-2007 failure mode in miniature.
+			return gen.WebCrawlLike(s(16000), 100, 10, 0.4, 160, seed)
+		}},
+		// Mesh analogues (paper: packing, channel, hugebubbles, nlpkkt240,
+		// del*, rgg*).
+		{"rgg", "M", core.ClassMesh, func(seed uint64) *graph.Graph {
+			return gen.RGG(s(8000), seed)
+		}},
+		{"delaunay", "M", core.ClassMesh, func(seed uint64) *graph.Graph {
+			return gen.DelaunayLike(s(8100), seed)
+		}},
+		{"mesh3d", "M", core.ClassMesh, func(seed uint64) *graph.Graph {
+			side := int32(20)
+			for side*side*side < s(8000) {
+				side++
+			}
+			return gen.Mesh3D(side, side, side)
+		}},
+		{"bubbles", "M", core.ClassMesh, func(seed uint64) *graph.Graph {
+			return gen.DelaunayLike(s(16000), seed+3)
+		}},
+	}
+}
+
+// addHubs wires hubCount hubs (randomly chosen nodes) to spokes random
+// other nodes each.
+func addHubs(b *graph.Builder, n, hubCount, spokes int32, seed uint64) {
+	r := newRand(seed)
+	for h := int32(0); h < hubCount; h++ {
+		hub := r.Int31n(n)
+		for s := int32(0); s < spokes; s++ {
+			v := r.Int31n(n)
+			if v != hub {
+				b.AddEdge(hub, v)
+			}
+		}
+	}
+}
+
+// AlgoStats aggregates repeated runs of one algorithm on one instance.
+type AlgoStats struct {
+	AvgCut  float64
+	BestCut int64
+	AvgTime time.Duration
+	Failed  bool
+	Reason  string
+}
+
+func (a AlgoStats) cutString() string {
+	if a.Failed {
+		return "*"
+	}
+	return fmt.Sprintf("%.0f", a.AvgCut)
+}
+
+func (a AlgoStats) bestString() string {
+	if a.Failed {
+		return "*"
+	}
+	return fmt.Sprintf("%d", a.BestCut)
+}
+
+func (a AlgoStats) timeString() string {
+	if a.Failed {
+		return "*"
+	}
+	return fmt.Sprintf("%.2f", a.AvgTime.Seconds())
+}
+
+// runner executes one partitioning attempt.
+type runner func(g *graph.Graph, seed uint64) (cut int64, elapsed time.Duration, err error)
+
+func repeat(g *graph.Graph, reps int, r runner) AlgoStats {
+	var st AlgoStats
+	var sumCut float64
+	var sumTime time.Duration
+	st.BestCut = int64(1) << 62
+	for i := 0; i < reps; i++ {
+		cut, elapsed, err := r(g, uint64(i+1))
+		if err != nil {
+			st.Failed = true
+			st.Reason = err.Error()
+			return st
+		}
+		sumCut += float64(cut)
+		sumTime += elapsed
+		if cut < st.BestCut {
+			st.BestCut = cut
+		}
+	}
+	st.AvgCut = sumCut / float64(reps)
+	st.AvgTime = sumTime / time.Duration(reps)
+	return st
+}
+
+// TableOptions configures a Table II / Table III run.
+type TableOptions struct {
+	K     int32
+	PEs   int
+	Reps  int
+	Scale int32
+	// BudgetDivisor sets the baseline's per-PE memory budget to
+	// n/BudgetDivisor nodes (floored at twice the coarsest limit),
+	// modelling the paper's fixed 512 GB against growing graphs. 0
+	// disables the memory model.
+	BudgetDivisor int64
+}
+
+// TableRow is one instance's results across the three algorithms.
+type TableRow struct {
+	Instance Instance
+	N        int32
+	M        int64
+	Baseline AlgoStats
+	Fast     AlgoStats
+	Eco      AlgoStats
+}
+
+// RunTable executes the Table II (k=2) / Table III (k=32) experiment and
+// returns one row per benchmark instance.
+func RunTable(opt TableOptions) []TableRow {
+	if opt.PEs <= 0 {
+		opt.PEs = 4
+	}
+	if opt.Reps <= 0 {
+		opt.Reps = 3
+	}
+	var rows []TableRow
+	for _, inst := range BenchmarkSet(opt.Scale) {
+		g := inst.Gen(42)
+		row := TableRow{Instance: inst, N: g.NumNodes(), M: g.NumEdges()}
+		budget := int64(0)
+		if opt.BudgetDivisor > 0 {
+			budget = int64(g.NumNodes()) / opt.BudgetDivisor
+			floor := 2 * matchbase.DefaultConfig(opt.K).CoarsestPerBlock * int64(opt.K)
+			if budget < floor {
+				budget = floor
+			}
+		}
+		row.Baseline = repeat(g, opt.Reps, func(g *graph.Graph, seed uint64) (int64, time.Duration, error) {
+			cfg := matchbase.DefaultConfig(opt.K)
+			cfg.Seed = seed
+			cfg.MemoryBudgetNodes = budget
+			res, err := matchbase.Run(opt.PEs, g, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.Stats.Cut, res.Stats.TotalTime, nil
+		})
+		row.Fast = repeat(g, opt.Reps, func(g *graph.Graph, seed uint64) (int64, time.Duration, error) {
+			cfg := core.FastConfig(opt.K, inst.Class)
+			cfg.Seed = seed
+			res, err := core.Run(opt.PEs, g, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.Stats.Cut, res.Stats.TotalTime, nil
+		})
+		row.Eco = repeat(g, opt.Reps, func(g *graph.Graph, seed uint64) (int64, time.Duration, error) {
+			cfg := core.EcoConfig(opt.K, inst.Class)
+			cfg.Seed = seed
+			res, err := core.Run(opt.PEs, g, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.Stats.Cut, res.Stats.TotalTime, nil
+		})
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteTable renders rows in the layout of Tables II/III.
+func WriteTable(w io.Writer, title string, rows []TableRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-12s %-2s %8s %9s | %9s %9s %7s | %9s %9s %7s | %9s %9s %7s\n",
+		"graph", "T", "n", "m",
+		"base.avg", "base.best", "t[s]",
+		"fast.avg", "fast.best", "t[s]",
+		"eco.avg", "eco.best", "t[s]")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-2s %8d %9d | %9s %9s %7s | %9s %9s %7s | %9s %9s %7s\n",
+			r.Instance.Name, r.Instance.Type, r.N, r.M,
+			r.Baseline.cutString(), r.Baseline.bestString(), r.Baseline.timeString(),
+			r.Fast.cutString(), r.Fast.bestString(), r.Fast.timeString(),
+			r.Eco.cutString(), r.Eco.bestString(), r.Eco.timeString())
+	}
+	// Geometric-mean improvement over the baseline where it solved the
+	// instance (the aggregate the paper reports).
+	logSumFast, logSumEco := 0.0, 0.0
+	cnt := 0
+	for _, r := range rows {
+		if r.Baseline.Failed || r.Fast.Failed || r.Eco.Failed ||
+			r.Baseline.AvgCut == 0 || r.Fast.AvgCut == 0 || r.Eco.AvgCut == 0 {
+			continue
+		}
+		logSumFast += ln(r.Baseline.AvgCut / r.Fast.AvgCut)
+		logSumEco += ln(r.Baseline.AvgCut / r.Eco.AvgCut)
+		cnt++
+	}
+	if cnt > 0 {
+		fmt.Fprintf(w, "geo-mean cut ratio baseline/fast = %.3f, baseline/eco = %.3f (over %d solved instances)\n",
+			exp(logSumFast/float64(cnt)), exp(logSumEco/float64(cnt)), cnt)
+	}
+}

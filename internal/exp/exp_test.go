@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestBenchmarkSetShape(t *testing.T) {
+	set := BenchmarkSet(1)
+	if len(set) < 8 {
+		t.Fatalf("benchmark set has %d instances", len(set))
+	}
+	social, mesh := 0, 0
+	for _, inst := range set {
+		switch inst.Type {
+		case "S":
+			social++
+		case "M":
+			mesh++
+		default:
+			t.Fatalf("instance %s has type %q", inst.Name, inst.Type)
+		}
+		g := inst.Gen(1)
+		if g.NumNodes() < 1000 {
+			t.Fatalf("instance %s too small: %d nodes", inst.Name, g.NumNodes())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("instance %s: %v", inst.Name, err)
+		}
+	}
+	if social < 4 || mesh < 4 {
+		t.Fatalf("set composition: %d social, %d mesh", social, mesh)
+	}
+}
+
+func TestBenchmarkSetScale(t *testing.T) {
+	small := BenchmarkSet(1)[0].Gen(1)
+	big := BenchmarkSet(2)[0].Gen(1)
+	if big.NumNodes() <= small.NumNodes() {
+		t.Fatalf("scale 2 not larger: %d vs %d", big.NumNodes(), small.NumNodes())
+	}
+}
+
+func TestRepeatAggregates(t *testing.T) {
+	calls := 0
+	st := repeat(nil, 3, func(_ *graph.Graph, seed uint64) (int64, time.Duration, error) {
+		calls++
+		return int64(seed * 10), 0, nil
+	})
+	if calls != 3 {
+		t.Fatalf("runner called %d times", calls)
+	}
+	if st.BestCut != 10 || st.AvgCut != 20 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Failed {
+		t.Fatal("unexpected failure")
+	}
+}
+
+func TestWriteTableRendersFailures(t *testing.T) {
+	rows := []TableRow{{
+		Instance: Instance{Name: "x", Type: "S"},
+		N:        100, M: 200,
+		Baseline: AlgoStats{Failed: true, Reason: "memory"},
+		Fast:     AlgoStats{AvgCut: 10, BestCut: 8},
+		Eco:      AlgoStats{AvgCut: 9, BestCut: 7},
+	}}
+	var buf bytes.Buffer
+	WriteTable(&buf, "test", rows)
+	out := buf.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("failed baseline not rendered as *: %s", out)
+	}
+	if !strings.Contains(out, "x") {
+		t.Fatal("instance name missing")
+	}
+}
+
+func TestRunShrinkOnCommunityGraph(t *testing.T) {
+	g, _ := gen.PlantedPartition(3000, 30, 10, 0.3, 1)
+	rep := RunShrink("web", g, 2, 200, 1)
+	if len(rep.ClusterLevels) < 2 {
+		t.Fatalf("no cluster levels: %v", rep.ClusterLevels)
+	}
+	clusterShrink := float64(rep.ClusterLevels[0]) / float64(rep.ClusterLevels[1])
+	if clusterShrink < 3 {
+		t.Fatalf("cluster contraction shrink %.1fx too weak", clusterShrink)
+	}
+	if len(rep.MatchLevels) >= 2 {
+		matchShrink := float64(rep.MatchLevels[0]) / float64(rep.MatchLevels[1])
+		// Matching cannot beat 2x; cluster contraction should beat it
+		// clearly on a community graph (the §V-B contrast).
+		if matchShrink > 2.01 {
+			t.Fatalf("matching shrink %.1fx exceeds the 2x bound", matchShrink)
+		}
+		if clusterShrink <= matchShrink {
+			t.Fatalf("cluster %.1fx not better than matching %.1fx", clusterShrink, matchShrink)
+		}
+	}
+	var buf bytes.Buffer
+	WriteShrink(&buf, []ShrinkReport{rep})
+	if !strings.Contains(buf.String(), "first-step shrink") {
+		t.Fatal("shrink report missing summary line")
+	}
+}
+
+func TestWeakScalingSmall(t *testing.T) {
+	pts := RunWeakScaling([]int{1, 2}, 2048, 4, 1)
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.FastPerEdge <= 0 {
+			t.Fatalf("missing fast time for %s p=%d", pt.Family, pt.PEs)
+		}
+		if pt.FastCut <= 0 {
+			t.Fatalf("missing fast cut for %s p=%d", pt.Family, pt.PEs)
+		}
+	}
+	var buf bytes.Buffer
+	WriteWeakScaling(&buf, pts)
+	if !strings.Contains(buf.String(), "rgg") {
+		t.Fatal("weak scaling output missing family")
+	}
+}
+
+func TestStrongScalingSmall(t *testing.T) {
+	insts := []StrongInstance{
+		{Name: "del", Class: 1, G: gen.DelaunayLike(4096, 5)},
+	}
+	pts := RunStrongScaling(insts, []int{1, 2}, 2, 1)
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.FastTime <= 0 {
+			t.Fatalf("missing time: %+v", pt)
+		}
+	}
+	var buf bytes.Buffer
+	WriteStrongScaling(&buf, pts)
+	if !strings.Contains(buf.String(), "del") {
+		t.Fatal("strong scaling output missing instance")
+	}
+}

@@ -1,0 +1,12 @@
+package exp
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+func ln(x float64) float64  { return math.Log(x) }
+func exp(x float64) float64 { return math.Exp(x) }
+
+func newRand(seed uint64) *rng.RNG { return rng.New(seed) }

@@ -1,0 +1,229 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+func TestMaxFlowTextbook(t *testing.T) {
+	// Classic 4-node example: s=0, t=3.
+	//   0->1 cap 3, 0->2 cap 2, 1->2 cap 5, 1->3 cap 2, 2->3 cap 3
+	// Max flow = 5.
+	nw := NewNetwork(4)
+	nw.AddArc(0, 1, 3, 0)
+	nw.AddArc(0, 2, 2, 0)
+	nw.AddArc(1, 2, 5, 0)
+	nw.AddArc(1, 3, 2, 0)
+	nw.AddArc(2, 3, 3, 0)
+	if f := nw.MaxFlow(0, 3); f != 5 {
+		t.Fatalf("max flow %d, want 5", f)
+	}
+	reach := nw.MinCutFromSource(0)
+	if !reach[0] || reach[3] {
+		t.Fatalf("cut sides wrong: %v", reach)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	nw := NewNetwork(3)
+	nw.AddArc(0, 1, 7, 0)
+	if f := nw.MaxFlow(0, 2); f != 0 {
+		t.Fatalf("flow to unreachable sink = %d", f)
+	}
+}
+
+func TestMaxFlowParallelArcs(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.AddArc(0, 1, 2, 0)
+	nw.AddArc(0, 1, 3, 0)
+	if f := nw.MaxFlow(0, 1); f != 5 {
+		t.Fatalf("parallel arcs flow %d, want 5", f)
+	}
+}
+
+func TestMaxFlowUndirectedPath(t *testing.T) {
+	// Path 0-1-2-3 with undirected capacity 4 per edge: flow = 4.
+	nw := NewNetwork(4)
+	for v := int32(0); v < 3; v++ {
+		nw.AddArc(v, v+1, 4, 4)
+	}
+	if f := nw.MaxFlow(0, 3); f != 4 {
+		t.Fatalf("path flow %d, want 4", f)
+	}
+}
+
+func TestMaxFlowPanicsOnEqualTerminals(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNetwork(2).MaxFlow(1, 1)
+}
+
+// Min cut equals max flow on random small networks (checked against a
+// brute-force enumeration of s-t cuts).
+func TestMaxFlowMinCutDuality(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 8
+		type arc struct {
+			u, v int32
+			c    int64
+		}
+		var arcs []arc
+		nw := NewNetwork(n)
+		for i := 0; i < 16; i++ {
+			u := r.Int31n(n)
+			v := r.Int31n(n)
+			if u == v {
+				continue
+			}
+			c := r.Int64n(9) + 1
+			nw.AddArc(u, v, c, 0)
+			arcs = append(arcs, arc{u, v, c})
+		}
+		got := nw.MaxFlow(0, n-1)
+		// Brute force: minimum over all subsets S with 0 in S, n-1 not in S
+		// of the capacity crossing S -> V\S.
+		best := int64(1) << 62
+		for mask := 0; mask < 1<<n; mask++ {
+			if mask&1 == 0 || mask&(1<<(n-1)) != 0 {
+				continue
+			}
+			var capSum int64
+			for _, a := range arcs {
+				if mask&(1<<a.u) != 0 && mask&(1<<a.v) == 0 {
+					capSum += a.c
+				}
+			}
+			if capSum < best {
+				best = capSum
+			}
+		}
+		return got == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineNeverWorsens(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.DelaunayLike(400, seed)
+		n := g.NumNodes()
+		r := rng.New(seed)
+		k := int32(3)
+		p := make([]int32, n)
+		for v := range p {
+			p[v] = r.Int31n(k)
+		}
+		lmax := partition.Lmax(g.TotalNodeWeight(), k, 0.20)
+		before := partition.EdgeCut(g, p)
+		Refine(g, p, RefineConfig{K: k, Lmax: lmax, Rounds: 2, Seed: seed})
+		return partition.EdgeCut(g, p) <= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineImprovesJaggedBoundary(t *testing.T) {
+	// A 30x30 grid split by a jagged (sawtooth) boundary: the min cut
+	// through the corridor is the straight line.
+	const side = 30
+	g := graph.Grid2D(side, side)
+	p := make([]int32, side*side)
+	for r := int32(0); r < side; r++ {
+		boundary := side/2 + (r%4 - 2) // sawtooth between rows
+		for c := int32(0); c < side; c++ {
+			if c >= boundary {
+				p[r*side+c] = 1
+			}
+		}
+	}
+	lmax := partition.Lmax(g.TotalNodeWeight(), 2, 0.10)
+	before := partition.EdgeCut(g, p)
+	gain := Refine(g, p, RefineConfig{K: 2, Lmax: lmax, Rounds: 3, Seed: 1})
+	after := partition.EdgeCut(g, p)
+	if gain <= 0 || after >= before {
+		t.Fatalf("flow refinement: cut %d -> %d (gain %d)", before, after, gain)
+	}
+	if !partition.IsFeasible(g, p, 2, 0.10) {
+		t.Fatal("balance violated")
+	}
+	if after != before-gain {
+		t.Fatalf("reported gain %d inconsistent: %d -> %d", gain, before, after)
+	}
+}
+
+func TestRefineRespectsBalance(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.RGG(300, seed)
+		n := g.NumNodes()
+		k := int32(2)
+		p := make([]int32, n)
+		for v := int32(0); v < n; v++ {
+			p[v] = v % 2
+		}
+		lmax := partition.Lmax(g.TotalNodeWeight(), k, 0.03)
+		Refine(g, p, RefineConfig{K: k, Lmax: lmax, Rounds: 2, Seed: seed})
+		return partition.IsFeasible(g, p, k, 0.03)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineKWay(t *testing.T) {
+	g := gen.DelaunayLike(1600, 7)
+	k := int32(4)
+	r := rng.New(3)
+	p := make([]int32, g.NumNodes())
+	// Blocky but noisy start: quadrant plus noise.
+	side := int32(40)
+	for v := int32(0); v < g.NumNodes(); v++ {
+		row, col := v/side, v%side
+		p[v] = (row/(side/2))*2 + col/(side/2)
+		if r.Float64() < 0.05 {
+			p[v] = r.Int31n(k)
+		}
+	}
+	lmax := partition.Lmax(g.TotalNodeWeight(), k, 0.10)
+	before := partition.EdgeCut(g, p)
+	Refine(g, p, RefineConfig{K: k, Lmax: lmax, Rounds: 3, Seed: 4})
+	after := partition.EdgeCut(g, p)
+	if after >= before {
+		t.Fatalf("k-way flow refinement did not improve: %d -> %d", before, after)
+	}
+}
+
+func TestGrowCorridorBudget(t *testing.T) {
+	g := graph.Grid2D(10, 10)
+	p := make([]int32, 100)
+	for v := int32(0); v < 100; v++ {
+		if v%10 >= 5 {
+			p[v] = 1
+		}
+	}
+	corridor := growCorridor(g, p, 0, 1, 12)
+	var w int64
+	for _, v := range corridor {
+		w += g.NW[v]
+		if p[v] != 0 {
+			t.Fatalf("corridor contains node of wrong block")
+		}
+	}
+	// Budget is a soft stop: at most budget + one node weight.
+	if w > 13 {
+		t.Fatalf("corridor weight %d exceeds budget", w)
+	}
+	if len(corridor) == 0 {
+		t.Fatal("empty corridor on a split grid")
+	}
+}

@@ -1,0 +1,177 @@
+// Package flow implements max-flow/min-cut based local refinement, the
+// flow technique of the KaHIP framework the paper builds on (§II-C:
+// "KaHIP implements many different algorithms, for example flow-based
+// methods and more-localized local searches").
+//
+// The package provides a push-relabel max-flow solver and a pairwise
+// refinement that extracts a corridor around the boundary between two
+// blocks, computes a minimum cut separating the block cores through the
+// corridor, and adopts it when it improves the edge cut without violating
+// the balance bound.
+package flow
+
+// Network is a directed flow network with residual bookkeeping. Nodes are
+// dense int32 IDs; parallel arcs are allowed.
+type Network struct {
+	n     int32
+	heads [][]int32 // arc indices per node
+	to    []int32
+	cap   []int64
+	flow  []int64
+}
+
+// NewNetwork returns an empty network with n nodes.
+func NewNetwork(n int32) *Network {
+	return &Network{n: n, heads: make([][]int32, n)}
+}
+
+// NumNodes returns the node count.
+func (nw *Network) NumNodes() int32 { return nw.n }
+
+// AddArc adds a directed arc u->v with the given capacity and its residual
+// twin v->u with reverse capacity. For an undirected edge of weight w use
+// AddArc(u, v, w, w).
+func (nw *Network) AddArc(u, v int32, capacity, reverse int64) {
+	i := int32(len(nw.to))
+	nw.to = append(nw.to, v, u)
+	nw.cap = append(nw.cap, capacity, reverse)
+	nw.flow = append(nw.flow, 0, 0)
+	nw.heads[u] = append(nw.heads[u], i)
+	nw.heads[v] = append(nw.heads[v], i+1)
+}
+
+func (nw *Network) residual(arc int32) int64 { return nw.cap[arc] - nw.flow[arc] }
+
+// MaxFlow computes the maximum s-t flow with FIFO push-relabel and the gap
+// heuristic. It panics if s == t.
+func (nw *Network) MaxFlow(s, t int32) int64 {
+	if s == t {
+		panic("flow: source equals sink")
+	}
+	n := nw.n
+	height := make([]int32, n)
+	excess := make([]int64, n)
+	countAt := make([]int32, 2*n+1) // nodes per height, for the gap heuristic
+	inQueue := make([]bool, n)
+	var queue []int32
+
+	height[s] = n
+	for _, v := range height {
+		countAt[v]++
+	}
+	// Saturate source arcs.
+	for _, a := range nw.heads[s] {
+		if a%2 == 1 && nw.cap[a] == 0 {
+			continue
+		}
+		d := nw.residual(a)
+		if d <= 0 {
+			continue
+		}
+		v := nw.to[a]
+		nw.flow[a] += d
+		nw.flow[a^1] -= d
+		excess[v] += d
+		excess[s] -= d
+		if v != t && v != s && !inQueue[v] {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+	}
+
+	push := func(v int32, a int32) {
+		u := nw.to[a]
+		d := nw.residual(a)
+		if d > excess[v] {
+			d = excess[v]
+		}
+		nw.flow[a] += d
+		nw.flow[a^1] -= d
+		excess[v] -= d
+		excess[u] += d
+		if u != s && u != t && !inQueue[u] {
+			inQueue[u] = true
+			queue = append(queue, u)
+		}
+	}
+
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		for excess[v] > 0 {
+			// Push to admissible arcs.
+			pushed := false
+			for _, a := range nw.heads[v] {
+				if nw.residual(a) > 0 && height[v] == height[nw.to[a]]+1 {
+					push(v, a)
+					pushed = true
+					if excess[v] == 0 {
+						break
+					}
+				}
+			}
+			if excess[v] == 0 {
+				break
+			}
+			if !pushed {
+				// Relabel with the gap heuristic.
+				old := height[v]
+				minH := int32(2*n + 1)
+				for _, a := range nw.heads[v] {
+					if nw.residual(a) > 0 && height[nw.to[a]] < minH {
+						minH = height[nw.to[a]]
+					}
+				}
+				if minH >= 2*n {
+					height[v] = 2 * n
+				} else {
+					height[v] = minH + 1
+				}
+				countAt[old]--
+				countAt[height[v]]++
+				if countAt[old] == 0 && old < n {
+					// Gap: lift every node above the gap out of reach.
+					for u := int32(0); u < n; u++ {
+						if u != s && height[u] > old && height[u] <= n {
+							countAt[height[u]]--
+							height[u] = n + 1
+							countAt[height[u]]++
+						}
+					}
+				}
+				if height[v] >= 2*n {
+					break // unreachable; excess stays (flows back implicitly)
+				}
+			}
+		}
+	}
+	var out int64
+	for _, a := range nw.heads[t] {
+		// Incoming flow at t is the negative flow on t's outgoing residual
+		// twins.
+		out -= nw.flow[a]
+	}
+	return out
+}
+
+// MinCutFromSource returns, after MaxFlow, the set of nodes reachable from
+// s in the residual network: reachable[v] == true puts v on the source side
+// of a minimum cut.
+func (nw *Network) MinCutFromSource(s int32) []bool {
+	reach := make([]bool, nw.n)
+	reach[s] = true
+	stack := []int32{s}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range nw.heads[v] {
+			u := nw.to[a]
+			if !reach[u] && nw.residual(a) > 0 {
+				reach[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return reach
+}

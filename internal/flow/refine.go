@@ -1,0 +1,232 @@
+package flow
+
+import (
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// RefineConfig controls pairwise flow refinement.
+type RefineConfig struct {
+	K    int32
+	Lmax int64
+	// CorridorFactor scales the corridor weight grown into each side of a
+	// block-pair boundary: each side contributes up to
+	// CorridorFactor*(Lmax - weight(other block)) node weight, KaFFPa's
+	// "area" rule. Values around 1 are conservative; larger corridors
+	// allow bigger improvements but risk rejected (unbalanced) cuts.
+	CorridorFactor float64
+	// Rounds is the number of sweeps over adjacent block pairs.
+	Rounds int
+	// Seed drives the pair ordering.
+	Seed uint64
+}
+
+// Refine improves partition p in place by computing minimum cuts through
+// corridors around the boundaries of adjacent block pairs. It never
+// increases the edge cut and never breaks a satisfied balance bound.
+// It returns the total cut improvement.
+func Refine(g *graph.Graph, p []int32, cfg RefineConfig) int64 {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	if cfg.CorridorFactor <= 0 {
+		cfg.CorridorFactor = 1
+	}
+	r := rng.New(cfg.Seed)
+	var total int64
+	for round := 0; round < cfg.Rounds; round++ {
+		pairs := adjacentPairs(g, p, cfg.K)
+		r.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		var roundGain int64
+		for _, pr := range pairs {
+			roundGain += refinePair(g, p, pr[0], pr[1], cfg)
+		}
+		total += roundGain
+		if roundGain == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// adjacentPairs lists the edges of the quotient graph.
+func adjacentPairs(g *graph.Graph, p []int32, k int32) [][2]int32 {
+	seen := make(map[int64]bool)
+	var out [][2]int32
+	for v := int32(0); v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(v) {
+			a, b := p[v], p[u]
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			key := int64(a)*int64(k) + int64(b)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, [2]int32{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// refinePair runs one flow refinement between blocks a and b and returns
+// the cut improvement (0 when the candidate cut was rejected).
+func refinePair(g *graph.Graph, p []int32, a, b int32, cfg RefineConfig) int64 {
+	wa, wb := int64(0), int64(0)
+	for v := int32(0); v < g.NumNodes(); v++ {
+		switch p[v] {
+		case a:
+			wa += g.NW[v]
+		case b:
+			wb += g.NW[v]
+		}
+	}
+	// Corridor budget per side (KaFFPa's area rule): what the other side
+	// could still absorb under Lmax, scaled.
+	budgetA := int64(cfg.CorridorFactor * float64(cfg.Lmax-wb))
+	budgetB := int64(cfg.CorridorFactor * float64(cfg.Lmax-wa))
+	if budgetA <= 0 || budgetB <= 0 {
+		return 0
+	}
+	corridorA := growCorridor(g, p, a, b, budgetA)
+	corridorB := growCorridor(g, p, b, a, budgetB)
+	if len(corridorA) == 0 && len(corridorB) == 0 {
+		return 0
+	}
+	// Build the flow network: corridor nodes + super source (block-a core)
+	// + super sink (block-b core).
+	inCorridor := make(map[int32]int32) // node -> network id
+	id := int32(2)                      // 0 = source, 1 = sink
+	for _, v := range corridorA {
+		inCorridor[v] = id
+		id++
+	}
+	for _, v := range corridorB {
+		inCorridor[v] = id
+		id++
+	}
+	nw := NewNetwork(id)
+	corridorNodes := make([]int32, 0, len(inCorridor))
+	for v, nv := range inCorridor {
+		corridorNodes = append(corridorNodes, v)
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			if p[u] != a && p[u] != b {
+				continue // other blocks do not participate in the network
+			}
+			nu, inside := inCorridor[u]
+			if inside {
+				if u > v { // one arc pair per undirected edge
+					nw.AddArc(nv, nu, ws[i], ws[i])
+				}
+				continue
+			}
+			// Edge to a block core: connect to the super terminal.
+			if p[u] == a {
+				nw.AddArc(0, nv, ws[i], 0)
+			} else {
+				nw.AddArc(nv, 1, ws[i], 0)
+			}
+		}
+	}
+	before := localCut(g, p, corridorNodes, inCorridor)
+	nw.MaxFlow(0, 1)
+	reach := nw.MinCutFromSource(0)
+	// Candidate assignment: source side -> a, sink side -> b.
+	old := make(map[int32]int32, len(inCorridor))
+	for v, nv := range inCorridor {
+		old[v] = p[v]
+		if reach[nv] {
+			p[v] = a
+		} else {
+			p[v] = b
+		}
+	}
+	// Accept only if the cut improves and balance holds for both blocks.
+	after := localCut(g, p, corridorNodes, inCorridor)
+	nwa, nwb := int64(0), int64(0)
+	for v := int32(0); v < g.NumNodes(); v++ {
+		switch p[v] {
+		case a:
+			nwa += g.NW[v]
+		case b:
+			nwb += g.NW[v]
+		}
+	}
+	balancedBefore := wa <= cfg.Lmax && wb <= cfg.Lmax
+	balancedAfter := nwa <= cfg.Lmax && nwb <= cfg.Lmax
+	if after < before && (balancedAfter || !balancedBefore) {
+		return before - after
+	}
+	// Reject: roll back.
+	for v, bl := range old {
+		p[v] = bl
+	}
+	return 0
+}
+
+// growCorridor collects nodes of block `from` reachable by BFS from the
+// (from, to) boundary, stopping when the collected node weight exceeds
+// budget.
+func growCorridor(g *graph.Graph, p []int32, from, to int32, budget int64) []int32 {
+	var frontier []int32
+	inSet := make(map[int32]bool)
+	for v := int32(0); v < g.NumNodes(); v++ {
+		if p[v] != from {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if p[u] == to {
+				frontier = append(frontier, v)
+				inSet[v] = true
+				break
+			}
+		}
+	}
+	var out []int32
+	var weight int64
+	queue := frontier
+	for len(queue) > 0 && weight < budget {
+		v := queue[0]
+		queue = queue[1:]
+		out = append(out, v)
+		weight += g.NW[v]
+		for _, u := range g.Neighbors(v) {
+			if p[u] == from && !inSet[u] {
+				inSet[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return out
+}
+
+// localCut returns the cut weight of all edges incident to the corridor:
+// edges whose assignment the refinement can change. Edges between two
+// corridor nodes are counted once; edges leaving the corridor (to block
+// cores or to other blocks) once as well, so comparing before/after values
+// is an exact cut delta.
+func localCut(g *graph.Graph, p []int32, nodes []int32, inCorridor map[int32]int32) int64 {
+	var cut int64
+	for _, v := range nodes {
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			if _, inside := inCorridor[u]; inside && u < v {
+				continue // counted from the smaller endpoint
+			}
+			if p[u] != p[v] {
+				cut += ws[i]
+			}
+		}
+	}
+	return cut
+}
+
+// Evaluate is a convenience wrapper for tests: total cut of p.
+func Evaluate(g *graph.Graph, p []int32) int64 {
+	return partition.EdgeCut(g, p)
+}

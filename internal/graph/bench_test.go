@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func benchGraph(n int32, m int) *Graph {
+	r := rng.New(42)
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := r.Int31n(n), r.Int31n(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+func BenchmarkBuilderBuild(b *testing.B) {
+	r := rng.New(42)
+	const n = 20000
+	type edge struct{ u, v int32 }
+	edges := make([]edge, 100000)
+	for i := range edges {
+		edges[i] = edge{r.Int31n(n), r.Int31n(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu := NewBuilder(n)
+		for _, e := range edges {
+			if e.u != e.v {
+				bu.AddEdge(e.u, e.v)
+			}
+		}
+		bu.Build()
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(20000, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BFS(g, 0)
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := benchGraph(20000, 60000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConnectedComponents(g)
+	}
+}
+
+func BenchmarkDegreeOrder(b *testing.B) {
+	g := benchGraph(20000, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DegreeOrder(g)
+	}
+}

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary graph format: a fixed little-endian layout that loads an order of
+// magnitude faster than the METIS text format for large graphs (KaHIP ships
+// a comparable "parhip binary" format for the same reason).
+//
+// Layout (all little-endian):
+//
+//	magic   uint64  'PARHIPGB'
+//	version uint64  (1)
+//	n       uint64
+//	m2      uint64  (number of adjacency entries = 2m)
+//	xadj    n+1 × uint64
+//	adj     m2  × uint32
+//	adjw    m2  × int64
+//	nw      n   × int64
+const (
+	binaryMagic   = 0x5041524849504742 // "PARHIPGB"
+	binaryVersion = 1
+)
+
+// WriteBinary writes g in the binary graph format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	n := int(g.NumNodes())
+	header := []uint64{binaryMagic, binaryVersion, uint64(n), uint64(len(g.Adj))}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.XAdj); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Adj); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.AdjW); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.NW); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph in the binary graph format and validates its
+// structure.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var header [4]uint64
+	for i := range header {
+		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("graph: binary header: %w", err)
+		}
+	}
+	if header[0] != binaryMagic {
+		return nil, fmt.Errorf("graph: bad binary magic %#x", header[0])
+	}
+	if header[1] != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported binary version %d", header[1])
+	}
+	n := int64(header[2])
+	m2 := int64(header[3])
+	if n < 0 || n > 1<<31 || m2 < 0 || m2 > 1<<40 {
+		return nil, fmt.Errorf("graph: implausible binary sizes n=%d m2=%d", n, m2)
+	}
+	g := &Graph{
+		XAdj: make([]int64, n+1),
+		Adj:  make([]NodeID, m2),
+		AdjW: make([]int64, m2),
+		NW:   make([]int64, n),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.XAdj); err != nil {
+		return nil, fmt.Errorf("graph: binary xadj: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Adj); err != nil {
+		return nil, fmt.Errorf("graph: binary adj: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.AdjW); err != nil {
+		return nil, fmt.Errorf("graph: binary adjw: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.NW); err != nil {
+		return nil, fmt.Errorf("graph: binary nw: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: binary payload invalid: %w", err)
+	}
+	return g, nil
+}

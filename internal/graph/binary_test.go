@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(60, 240, seed)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i := range g.XAdj {
+			if g.XAdj[i] != g2.XAdj[i] {
+				return false
+			}
+		}
+		for i := range g.Adj {
+			if g.Adj[i] != g2.Adj[i] || g.AdjW[i] != g2.AdjW[i] {
+				return false
+			}
+		}
+		for i := range g.NW {
+			if g.NW[i] != g2.NW[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 0 {
+		t.Fatal("empty graph round trip failed")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{1, 2, 3},
+		bytes.Repeat([]byte{0xff}, 64),
+	}
+	for i, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestBinaryRejectsTruncated(t *testing.T) {
+	g := randomGraph(30, 90, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{8, 32, len(full) / 2, len(full) - 4} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruptedPayload(t *testing.T) {
+	g := Path(10)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt an adjacency entry beyond the node range; Validate catches it.
+	data[len(data)-8*int(g.NumNodes())-8*len(g.Adj)-4] = 0xff
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+}

@@ -1,0 +1,305 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	if g.NumNodes() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("got %v", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 2 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestBuilderMergesDuplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdgeW(0, 1, 2)
+	b.AddEdgeW(1, 0, 3) // reverse direction merges too
+	b.AddEdgeW(0, 1, 1)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.NumEdges())
+	}
+	if w, ok := g.HasEdge(0, 1); !ok || w != 6 {
+		t.Fatalf("edge weight = %d, want 6", w)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderDropsSelfLoops(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestBuilderNodeWeights(t *testing.T) {
+	b := NewBuilder(3)
+	b.SetNodeWeight(1, 42)
+	g := b.Build()
+	if g.NW[0] != 1 || g.NW[1] != 42 {
+		t.Fatalf("node weights: %v", g.NW)
+	}
+	if g.TotalNodeWeight() != 44 {
+		t.Fatalf("total node weight = %d", g.TotalNodeWeight())
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5)
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 4)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	nbrs := g.Neighbors(0)
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i-1] >= nbrs[i] {
+			t.Fatalf("adjacency not sorted: %v", nbrs)
+		}
+	}
+}
+
+func TestStandardGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		n    int32
+		m    int64
+	}{
+		{"path10", Path(10), 10, 9},
+		{"cycle10", Cycle(10), 10, 10},
+		{"complete6", Complete(6), 6, 15},
+		{"star7", Star(7), 7, 6},
+		{"grid4x5", Grid2D(4, 5), 20, 31},
+	}
+	for _, c := range cases {
+		if c.g.NumNodes() != c.n || c.g.NumEdges() != c.m {
+			t.Errorf("%s: n=%d m=%d, want n=%d m=%d",
+				c.name, c.g.NumNodes(), c.g.NumEdges(), c.n, c.m)
+		}
+		if err := c.g.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	g := &Graph{
+		XAdj: []int64{0, 1, 1},
+		Adj:  []NodeID{1},
+		AdjW: []int64{1},
+		NW:   []int64{1, 1},
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted asymmetric graph")
+	}
+}
+
+func TestValidateCatchesSelfLoop(t *testing.T) {
+	g := &Graph{
+		XAdj: []int64{0, 1},
+		Adj:  []NodeID{0},
+		AdjW: []int64{1},
+		NW:   []int64{1},
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted self-loop")
+	}
+}
+
+func TestValidateCatchesBadWeight(t *testing.T) {
+	g := Path(3)
+	g.NW[1] = 0
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted zero node weight")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := Cycle(5)
+	c := g.Clone()
+	c.NW[0] = 99
+	c.AdjW[0] = 99
+	if g.NW[0] == 99 || g.AdjW[0] == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestBFS(t *testing.T) {
+	g := Path(5)
+	order, dist := BFS(g, 0)
+	if len(order) != 5 {
+		t.Fatalf("order = %v", order)
+	}
+	for v := int32(0); v < 5; v++ {
+		if dist[v] != v {
+			t.Fatalf("dist[%d] = %d", v, dist[v])
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	order, dist := BFS(g, 0)
+	if len(order) != 2 {
+		t.Fatalf("reached %d nodes, want 2", len(order))
+	}
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatal("unreachable nodes should have dist -1")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	comp, cnt := ConnectedComponents(g)
+	if cnt != 3 {
+		t.Fatalf("components = %d, want 3", cnt)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("nodes 0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] || comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatal("component labels wrong")
+	}
+	if !IsConnected(Cycle(4)) || IsConnected(g) {
+		t.Fatal("IsConnected wrong")
+	}
+}
+
+func TestDegreeOrder(t *testing.T) {
+	g := Star(6) // centre has degree 5, leaves degree 1
+	order := DegreeOrder(g)
+	if order[len(order)-1] != 0 {
+		t.Fatalf("hub should come last in degree order: %v", order)
+	}
+	for i := 1; i < len(order); i++ {
+		if g.Degree(order[i-1]) > g.Degree(order[i]) {
+			t.Fatalf("order not ascending by degree: %v", order)
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Cycle(6)
+	sub, back := InducedSubgraph(g, []NodeID{0, 1, 2, 3})
+	if sub.NumNodes() != 4 || sub.NumEdges() != 3 {
+		t.Fatalf("subgraph %v", sub)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != 0 || back[3] != 3 {
+		t.Fatalf("back map wrong: %v", back)
+	}
+}
+
+func randomGraph(n int32, m int, seed uint64) *Graph {
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := r.Int31n(n)
+		v := r.Int31n(n)
+		if u != v {
+			b.AddEdgeW(u, v, r.Int64n(5)+1)
+		}
+	}
+	return b.Build()
+}
+
+func TestRandomGraphsValidate(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(50, 200, seed)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandshakeLemma(t *testing.T) {
+	// Sum of degrees equals twice the number of edges, for any built graph.
+	f := func(seed uint64) bool {
+		g := randomGraph(40, 150, seed)
+		var sum int64
+		for v := int32(0); v < g.NumNodes(); v++ {
+			sum += int64(g.Degree(v))
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalEdgeWeightMatchesHasEdge(t *testing.T) {
+	g := randomGraph(30, 100, 5)
+	var total int64
+	for u := int32(0); u < g.NumNodes(); u++ {
+		for v := u + 1; v < g.NumNodes(); v++ {
+			if w, ok := g.HasEdge(u, v); ok {
+				total += w
+			}
+		}
+	}
+	if total != g.TotalEdgeWeight() {
+		t.Fatalf("TotalEdgeWeight = %d, pairwise sum = %d", g.TotalEdgeWeight(), total)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() != 0 || g.MaxNodeWeight() != 0 {
+		t.Fatal("empty graph maxima wrong")
+	}
+}
+
+func TestWeightedDegree(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdgeW(0, 1, 4)
+	b.AddEdgeW(0, 2, 6)
+	g := b.Build()
+	if g.WeightedDegree(0) != 10 {
+		t.Fatalf("WeightedDegree = %d", g.WeightedDegree(0))
+	}
+}

@@ -1,0 +1,66 @@
+package hashtab
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The accumulate/scan/reset pattern of label propagation, comparing the
+// linear-probing table against the built-in map (the paper's STL-hash-map
+// observation, §IV-A).
+
+func BenchmarkAccumulatorLP(b *testing.B) {
+	r := rng.New(1)
+	keys := make([]int64, 64)
+	for i := range keys {
+		keys[i] = r.Int64n(1 << 30)
+	}
+	acc := NewAccumulatorI64(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Reset()
+		for _, k := range keys {
+			acc.Add(k, 1)
+		}
+		var sum int64
+		acc.ForEach(func(_, v int64) { sum += v })
+	}
+}
+
+func BenchmarkBuiltinMapLP(b *testing.B) {
+	r := rng.New(1)
+	keys := make([]int64, 64)
+	for i := range keys {
+		keys[i] = r.Int64n(1 << 30)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := make(map[int64]int64, 64)
+		for _, k := range keys {
+			m[k]++
+		}
+		var sum int64
+		for _, v := range m {
+			sum += v
+		}
+	}
+}
+
+func BenchmarkMapPutGet(b *testing.B) {
+	m := NewMapI64(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(i % 4096)
+		m.Put(k, int64(i))
+		m.Get(k)
+	}
+}
+
+func BenchmarkSetInsert(b *testing.B) {
+	s := NewSetI64(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(int64(i % 8192))
+	}
+}

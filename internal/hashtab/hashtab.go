@@ -1,0 +1,259 @@
+// Package hashtab implements open-addressing hash tables with linear
+// probing.
+//
+// The paper (§IV-A) observes that during label propagation "hashing with
+// linear probing is much faster than using the hash map of the STL" for
+// aggregating the edge weight towards each neighbouring cluster, because the
+// number of distinct keys is bounded by the node degree and the table is
+// reused across nodes. These tables fill the same role here: they are
+// allocation-free in steady state and support O(keys) reset via a key log.
+package hashtab
+
+// AccumulatorI64 maps int64 keys to accumulated int64 values. It is designed
+// for the aggregate-then-scan-then-reset pattern of label propagation: Add
+// accumulates into a slot, Keys exposes the occupied keys, and Reset clears
+// exactly the touched slots.
+type AccumulatorI64 struct {
+	keys    []int64
+	vals    []int64
+	used    []bool
+	touched []int
+	mask    uint64
+	size    int
+}
+
+// NewAccumulatorI64 returns a table with capacity for at least capacity keys
+// before growth. Capacity is rounded up to a power of two and doubled to
+// keep the load factor at most 1/2.
+func NewAccumulatorI64(capacity int) *AccumulatorI64 {
+	n := 16
+	for n < 2*capacity {
+		n *= 2
+	}
+	return &AccumulatorI64{
+		keys:    make([]int64, n),
+		vals:    make([]int64, n),
+		used:    make([]bool, n),
+		touched: make([]int, 0, capacity),
+		mask:    uint64(n - 1),
+	}
+}
+
+func hash64(x int64) uint64 {
+	z := uint64(x) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Add accumulates delta into the value for key, inserting the key with value
+// delta if absent.
+func (t *AccumulatorI64) Add(key, delta int64) {
+	if 2*(t.size+1) > len(t.keys) {
+		t.grow()
+	}
+	i := hash64(key) & t.mask
+	for {
+		if !t.used[i] {
+			t.used[i] = true
+			t.keys[i] = key
+			t.vals[i] = delta
+			t.touched = append(t.touched, int(i))
+			t.size++
+			return
+		}
+		if t.keys[i] == key {
+			t.vals[i] += delta
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Get returns the accumulated value for key and whether the key is present.
+func (t *AccumulatorI64) Get(key int64) (int64, bool) {
+	i := hash64(key) & t.mask
+	for t.used[i] {
+		if t.keys[i] == key {
+			return t.vals[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+	return 0, false
+}
+
+// Len returns the number of distinct keys in the table.
+func (t *AccumulatorI64) Len() int { return t.size }
+
+// ForEach calls fn for every (key, value) pair in insertion-touch order.
+func (t *AccumulatorI64) ForEach(fn func(key, val int64)) {
+	for _, i := range t.touched {
+		fn(t.keys[i], t.vals[i])
+	}
+}
+
+// Reset removes all keys. Only slots touched since the previous Reset are
+// cleared, so a Reset after aggregating deg(v) keys costs O(deg(v)).
+func (t *AccumulatorI64) Reset() {
+	for _, i := range t.touched {
+		t.used[i] = false
+	}
+	t.touched = t.touched[:0]
+	t.size = 0
+}
+
+func (t *AccumulatorI64) grow() {
+	oldKeys, oldVals, oldUsed := t.keys, t.vals, t.used
+	n := 2 * len(oldKeys)
+	t.keys = make([]int64, n)
+	t.vals = make([]int64, n)
+	t.used = make([]bool, n)
+	t.touched = t.touched[:0]
+	t.mask = uint64(n - 1)
+	t.size = 0
+	for i, u := range oldUsed {
+		if u {
+			t.Add(oldKeys[i], oldVals[i])
+		}
+	}
+}
+
+// MapI64 maps int64 keys to int64 values with last-write-wins semantics.
+// It is used for global-to-local ID translation of ghost nodes and for
+// cluster-ID deduplication during contraction.
+type MapI64 struct {
+	keys []int64
+	vals []int64
+	used []bool
+	mask uint64
+	size int
+}
+
+// NewMapI64 returns a map with capacity for at least capacity keys before
+// growth.
+func NewMapI64(capacity int) *MapI64 {
+	n := 16
+	for n < 2*capacity {
+		n *= 2
+	}
+	return &MapI64{
+		keys: make([]int64, n),
+		vals: make([]int64, n),
+		used: make([]bool, n),
+		mask: uint64(n - 1),
+	}
+}
+
+// Put sets the value for key, overwriting any previous value.
+func (m *MapI64) Put(key, val int64) {
+	if 2*(m.size+1) > len(m.keys) {
+		m.grow()
+	}
+	i := hash64(key) & m.mask
+	for {
+		if !m.used[i] {
+			m.used[i] = true
+			m.keys[i] = key
+			m.vals[i] = val
+			m.size++
+			return
+		}
+		if m.keys[i] == key {
+			m.vals[i] = val
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// PutIfAbsent inserts (key, val) if key is not present and returns the value
+// now stored for key together with whether an insert happened.
+func (m *MapI64) PutIfAbsent(key, val int64) (int64, bool) {
+	if 2*(m.size+1) > len(m.keys) {
+		m.grow()
+	}
+	i := hash64(key) & m.mask
+	for {
+		if !m.used[i] {
+			m.used[i] = true
+			m.keys[i] = key
+			m.vals[i] = val
+			m.size++
+			return val, true
+		}
+		if m.keys[i] == key {
+			return m.vals[i], false
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Get returns the value stored for key and whether the key is present.
+func (m *MapI64) Get(key int64) (int64, bool) {
+	i := hash64(key) & m.mask
+	for m.used[i] {
+		if m.keys[i] == key {
+			return m.vals[i], true
+		}
+		i = (i + 1) & m.mask
+	}
+	return 0, false
+}
+
+// Len returns the number of distinct keys.
+func (m *MapI64) Len() int { return m.size }
+
+// ForEach calls fn for every (key, value) pair in unspecified order.
+func (m *MapI64) ForEach(fn func(key, val int64)) {
+	for i, u := range m.used {
+		if u {
+			fn(m.keys[i], m.vals[i])
+		}
+	}
+}
+
+func (m *MapI64) grow() {
+	oldKeys, oldVals, oldUsed := m.keys, m.vals, m.used
+	n := 2 * len(oldKeys)
+	m.keys = make([]int64, n)
+	m.vals = make([]int64, n)
+	m.used = make([]bool, n)
+	m.mask = uint64(n - 1)
+	m.size = 0
+	for i, u := range oldUsed {
+		if u {
+			m.Put(oldKeys[i], oldVals[i])
+		}
+	}
+}
+
+// SetI64 is a set of int64 keys built on the same probing scheme.
+type SetI64 struct {
+	m MapI64
+}
+
+// NewSetI64 returns a set with capacity for at least capacity keys before
+// growth.
+func NewSetI64(capacity int) *SetI64 {
+	return &SetI64{m: *NewMapI64(capacity)}
+}
+
+// Insert adds key to the set and reports whether it was newly inserted.
+func (s *SetI64) Insert(key int64) bool {
+	_, inserted := s.m.PutIfAbsent(key, 0)
+	return inserted
+}
+
+// Contains reports whether key is in the set.
+func (s *SetI64) Contains(key int64) bool {
+	_, ok := s.m.Get(key)
+	return ok
+}
+
+// Len returns the number of keys in the set.
+func (s *SetI64) Len() int { return s.m.size }
+
+// ForEach calls fn for every key in unspecified order.
+func (s *SetI64) ForEach(fn func(key int64)) {
+	s.m.ForEach(func(k, _ int64) { fn(k) })
+}

@@ -1,0 +1,216 @@
+package hashtab
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestAccumulatorBasic(t *testing.T) {
+	a := NewAccumulatorI64(4)
+	a.Add(10, 5)
+	a.Add(20, 7)
+	a.Add(10, 3)
+	if v, ok := a.Get(10); !ok || v != 8 {
+		t.Fatalf("Get(10) = %d, %v; want 8, true", v, ok)
+	}
+	if v, ok := a.Get(20); !ok || v != 7 {
+		t.Fatalf("Get(20) = %d, %v; want 7, true", v, ok)
+	}
+	if _, ok := a.Get(30); ok {
+		t.Fatal("Get(30) found absent key")
+	}
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", a.Len())
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	a := NewAccumulatorI64(4)
+	for i := int64(0); i < 10; i++ {
+		a.Add(i, i)
+	}
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatalf("Len after reset = %d", a.Len())
+	}
+	for i := int64(0); i < 10; i++ {
+		if _, ok := a.Get(i); ok {
+			t.Fatalf("key %d survived reset", i)
+		}
+	}
+	// Table is reusable after reset.
+	a.Add(100, 1)
+	if v, _ := a.Get(100); v != 1 {
+		t.Fatal("reuse after reset failed")
+	}
+}
+
+func TestAccumulatorGrowth(t *testing.T) {
+	a := NewAccumulatorI64(2)
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		a.Add(i*7919, 2)
+	}
+	if a.Len() != n {
+		t.Fatalf("Len = %d, want %d", a.Len(), n)
+	}
+	for i := int64(0); i < n; i++ {
+		if v, ok := a.Get(i * 7919); !ok || v != 2 {
+			t.Fatalf("key %d lost after growth", i*7919)
+		}
+	}
+}
+
+func TestAccumulatorForEachSum(t *testing.T) {
+	a := NewAccumulatorI64(8)
+	r := rng.New(1)
+	want := int64(0)
+	for i := 0; i < 1000; i++ {
+		k := r.Int64n(100)
+		a.Add(k, 3)
+		want += 3
+	}
+	got := int64(0)
+	a.ForEach(func(_, v int64) { got += v })
+	if got != want {
+		t.Fatalf("ForEach sum = %d, want %d", got, want)
+	}
+}
+
+func TestAccumulatorAgainstMap(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := NewAccumulatorI64(4)
+		ref := make(map[int64]int64)
+		for i := 0; i < 500; i++ {
+			k := r.Int64n(64) - 32
+			d := r.Int64n(9) - 4
+			a.Add(k, d)
+			ref[k] += d
+		}
+		if a.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := a.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapBasic(t *testing.T) {
+	m := NewMapI64(4)
+	m.Put(1, 100)
+	m.Put(2, 200)
+	m.Put(1, 111)
+	if v, ok := m.Get(1); !ok || v != 111 {
+		t.Fatalf("Get(1) = %d, %v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMapPutIfAbsent(t *testing.T) {
+	m := NewMapI64(4)
+	v, ins := m.PutIfAbsent(5, 50)
+	if !ins || v != 50 {
+		t.Fatalf("first PutIfAbsent = %d, %v", v, ins)
+	}
+	v, ins = m.PutIfAbsent(5, 99)
+	if ins || v != 50 {
+		t.Fatalf("second PutIfAbsent = %d, %v; want 50, false", v, ins)
+	}
+}
+
+func TestMapGrowthAgainstMap(t *testing.T) {
+	m := NewMapI64(2)
+	ref := make(map[int64]int64)
+	r := rng.New(77)
+	for i := 0; i < 20000; i++ {
+		k := r.Int64n(5000)
+		v := r.Int64n(1 << 30)
+		m.Put(k, v)
+		ref[k] = v
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := m.Get(k); !ok || got != v {
+			t.Fatalf("mismatch at key %d", k)
+		}
+	}
+}
+
+func TestMapForEachCount(t *testing.T) {
+	m := NewMapI64(4)
+	for i := int64(0); i < 100; i++ {
+		m.Put(i, i*i)
+	}
+	count := 0
+	m.ForEach(func(k, v int64) {
+		if v != k*k {
+			t.Fatalf("ForEach wrong value for key %d", k)
+		}
+		count++
+	})
+	if count != 100 {
+		t.Fatalf("ForEach visited %d entries", count)
+	}
+}
+
+func TestMapNegativeKeys(t *testing.T) {
+	m := NewMapI64(4)
+	m.Put(-1, 10)
+	m.Put(-1<<62, 20)
+	if v, ok := m.Get(-1); !ok || v != 10 {
+		t.Fatal("negative key lookup failed")
+	}
+	if v, ok := m.Get(-1 << 62); !ok || v != 20 {
+		t.Fatal("large negative key lookup failed")
+	}
+}
+
+func TestSetBasic(t *testing.T) {
+	s := NewSetI64(4)
+	if !s.Insert(3) {
+		t.Fatal("first insert reported duplicate")
+	}
+	if s.Insert(3) {
+		t.Fatal("second insert reported new")
+	}
+	if !s.Contains(3) || s.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSetManyKeys(t *testing.T) {
+	s := NewSetI64(1)
+	for i := int64(0); i < 5000; i++ {
+		s.Insert(i * 31)
+	}
+	if s.Len() != 5000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	seen := 0
+	s.ForEach(func(k int64) {
+		if k%31 != 0 {
+			t.Fatalf("unexpected key %d", k)
+		}
+		seen++
+	})
+	if seen != 5000 {
+		t.Fatalf("ForEach visited %d", seen)
+	}
+}

@@ -1,0 +1,144 @@
+package kaffpa
+
+import (
+	"container/heap"
+
+	"repro/internal/graph"
+	"repro/internal/hashtab"
+	"repro/internal/rng"
+)
+
+// moveCand is a candidate move in the gain priority queue.
+type moveCand struct {
+	gain   int64
+	rand   uint32 // random tiebreak among equal gains
+	node   int32
+	target int32
+	stamp  uint32 // node stamp at push time; stale entries are skipped
+}
+
+type gainHeap []moveCand
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].rand > h[j].rand
+}
+func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)   { *h = append(*h, x.(moveCand)) }
+func (h *gainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// fmRefine performs rounds of greedy k-way boundary refinement in the
+// spirit of Fiduccia-Mattheyses: boundary nodes are kept in a max-gain
+// priority queue and moved while gain is non-negative and the balance bound
+// permits, each node at most once per round. It returns the number of moves
+// performed and never increases the edge cut.
+func fmRefine(g *graph.Graph, p []int32, k int32, lmax int64, maxRounds int, seed uint64) int {
+	n := g.NumNodes()
+	if n == 0 || k < 2 {
+		return 0
+	}
+	r := rng.New(seed)
+	weight := make([]int64, k)
+	for v := int32(0); v < n; v++ {
+		weight[p[v]] += g.NW[v]
+	}
+	conn := hashtab.NewAccumulatorI64(64)
+	stamp := make([]uint32, n)
+	movedRound := make([]uint32, n) // round number when last moved; 0 = never
+	totalMoves := 0
+
+	// bestMove computes the best foreign-target move of v under lmax.
+	bestMove := func(v int32) (int32, int64, bool) {
+		conn.Reset()
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			conn.Add(int64(p[u]), ws[i])
+		}
+		curConn, _ := conn.Get(int64(p[v]))
+		var bt int32 = -1
+		var bg int64
+		found := false
+		conn.ForEach(func(label, c int64) {
+			b := int32(label)
+			if b == p[v] || weight[b]+g.NW[v] > lmax {
+				return
+			}
+			gain := c - curConn
+			if !found || gain > bg || (gain == bg && weight[b] < weight[bt]) {
+				bt, bg, found = b, gain, true
+			}
+		})
+		return bt, bg, found
+	}
+
+	for round := uint32(1); round <= uint32(maxRounds); round++ {
+		h := gainHeap{}
+		for v := int32(0); v < n; v++ {
+			boundary := false
+			for _, u := range g.Neighbors(v) {
+				if p[u] != p[v] {
+					boundary = true
+					break
+				}
+			}
+			if !boundary {
+				continue
+			}
+			if t, gain, ok := bestMove(v); ok && gain >= 0 {
+				h = append(h, moveCand{gain: gain, rand: r.Uint32(), node: v, target: t, stamp: stamp[v]})
+			}
+		}
+		heap.Init(&h)
+		roundMoves := 0
+		for h.Len() > 0 {
+			c := heap.Pop(&h).(moveCand)
+			v := c.node
+			if stamp[v] != c.stamp || movedRound[v] == round {
+				continue // stale or already moved this round
+			}
+			t, gain, ok := bestMove(v)
+			if !ok || gain < 0 {
+				continue
+			}
+			if gain < c.gain {
+				// Gain decayed since push; requeue with the fresh value.
+				stamp[v]++
+				heap.Push(&h, moveCand{gain: gain, rand: r.Uint32(), node: v, target: t, stamp: stamp[v]})
+				continue
+			}
+			if gain == 0 && weight[t]+g.NW[v] >= weight[p[v]] {
+				continue // zero-gain moves only when they improve balance
+			}
+			weight[p[v]] -= g.NW[v]
+			weight[t] += g.NW[v]
+			p[v] = t
+			movedRound[v] = round
+			stamp[v]++
+			roundMoves++
+			// Neighbours' gains changed; requeue them.
+			for _, u := range g.Neighbors(v) {
+				if movedRound[u] == round {
+					continue
+				}
+				if ut, ugain, uok := bestMove(u); uok && ugain >= 0 {
+					stamp[u]++
+					heap.Push(&h, moveCand{gain: ugain, rand: r.Uint32(), node: u, target: ut, stamp: stamp[u]})
+				}
+			}
+		}
+		totalMoves += roundMoves
+		if roundMoves == 0 {
+			break
+		}
+	}
+	return totalMoves
+}

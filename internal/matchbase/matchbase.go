@@ -1,0 +1,376 @@
+// Package matchbase implements the comparison baseline of the paper's
+// evaluation: a ParMETIS-style parallel multilevel partitioner built on
+// heavy-edge matching.
+//
+// The coarsening phase computes a matching restricted to rank-local edges
+// (heavy-edge heuristic: every unmatched node matches its heaviest
+// unmatched local neighbour) and contracts matched pairs. A matching can at
+// best halve the graph, and on complex networks with star-like structures
+// it does far worse — the failure mode the paper identifies ("ParMetis
+// cannot coarsen the graphs effectively so that the coarsening phase is
+// stopped too early"). When coarsening stalls, the still-large coarsest
+// graph is replicated on every PE for initial partitioning; a configurable
+// per-PE memory budget models the paper's out-of-memory failures (reported
+// as "*" in Tables II/III).
+package matchbase
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/dgraph"
+	"repro/internal/graph"
+	"repro/internal/kaffpa"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/sclp"
+)
+
+// ErrMemoryBudget reports that replicating the coarsest graph would exceed
+// the configured per-PE memory budget — the analogue of ParMETIS running
+// out of memory on uk-2007/sk-2005/arabic in the paper.
+var ErrMemoryBudget = errors.New("matchbase: coarsest graph exceeds the per-PE memory budget")
+
+// Config parameterizes a baseline run.
+type Config struct {
+	K   int32
+	Eps float64
+
+	// MaxLevels bounds the coarsening depth.
+	MaxLevels int
+	// CoarsestPerBlock stops coarsening once GlobalN <= CoarsestPerBlock*K.
+	CoarsestPerBlock int64
+	MinCoarsest      int64
+	// StallFactor stops coarsening when one matching round shrinks the
+	// node count by less than this factor (ParMETIS stops "too early" on
+	// complex networks because matchings cannot shrink them).
+	StallFactor float64
+	// MemoryBudgetNodes is the largest coarsest graph (in nodes) a PE may
+	// replicate; 0 means unlimited. The run fails with ErrMemoryBudget
+	// beyond it.
+	MemoryBudgetNodes int64
+	// RefineIters bounds the boundary refinement rounds per level.
+	RefineIters int
+	// Seed drives randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the baseline defaults.
+func DefaultConfig(k int32) Config {
+	return Config{
+		K:                k,
+		Eps:              0.03,
+		MaxLevels:        40,
+		CoarsestPerBlock: 100,
+		MinCoarsest:      300,
+		StallFactor:      0.95,
+		RefineIters:      6,
+		Seed:             1,
+	}
+}
+
+func (c *Config) normalize() {
+	if c.Eps <= 0 {
+		c.Eps = 0.03
+	}
+	if c.MaxLevels <= 0 {
+		c.MaxLevels = 40
+	}
+	if c.CoarsestPerBlock <= 0 {
+		c.CoarsestPerBlock = 100
+	}
+	if c.MinCoarsest <= 0 {
+		c.MinCoarsest = 300
+	}
+	if c.StallFactor <= 0 {
+		c.StallFactor = 0.95
+	}
+	if c.RefineIters <= 0 {
+		c.RefineIters = 6
+	}
+}
+
+// Stats reports a baseline run.
+type Stats struct {
+	Levels    []int64 // global node count per level, fine to coarse
+	CoarsestN int64
+	CoarsestM int64
+	Stalled   bool // coarsening stopped by the stall detector
+	Cut       int64
+	Imbalance float64
+	Feasible  bool
+	TotalTime time.Duration
+}
+
+// parallelHeavyEdgeMatching computes a heavy-edge matching in two stages,
+// the scheme parallel matchers like ParMETIS's use. Stage one matches each
+// unmatched node to its heaviest unmatched *local* neighbour. Stage two
+// handles cross-rank edges with a propose/accept handshake: every remaining
+// unmatched node proposes to its heaviest unmatched ghost neighbour; owners
+// process incoming proposals in deterministic order and accept the first
+// for each still-unmatched target; acceptances are sent back (collective).
+// Even so, a matching can at best halve the graph, and star-like structures
+// leave most nodes unmatched — the coarsening failure the paper exploits.
+// The returned labels merge matched pairs (label = min global ID) and leave
+// unmatched nodes as singletons.
+func parallelHeavyEdgeMatching(d *dgraph.DGraph, maxWeight int64, r *rng.RNG) []int64 {
+	nl := d.NLocal()
+	c := d.Comm
+	labels := make([]int64, d.NTotal())
+	for v := int32(0); v < d.NTotal(); v++ {
+		labels[v] = d.ToGlobal(v)
+	}
+	matched := make([]bool, nl)
+	order := make([]int32, nl)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	r.Shuffle(int(nl), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	// Stage 1: local matching.
+	for _, v := range order {
+		if matched[v] {
+			continue
+		}
+		ws := d.EdgeWeights(v)
+		var best int32 = -1
+		var bestW int64 = -1
+		for i, u := range d.Neighbors(v) {
+			if u >= nl || matched[u] || u == v {
+				continue
+			}
+			if d.NW[v]+d.NW[u] > maxWeight {
+				continue
+			}
+			if ws[i] > bestW {
+				best, bestW = u, ws[i]
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		matched[v] = true
+		matched[best] = true
+		gv, gu := d.ToGlobal(v), d.ToGlobal(best)
+		if gu < gv {
+			gv = gu
+		}
+		labels[v] = gv
+		labels[best] = gv
+	}
+
+	// Stage 2: cross-rank handshake. Proposals carry (proposer, target,
+	// combined weight); owners accept greedily in (target, proposer) order
+	// for determinism across runs.
+	size := c.Size()
+	proposals := make([][]int64, size)
+	for _, v := range order {
+		if matched[v] {
+			continue
+		}
+		ws := d.EdgeWeights(v)
+		var best int32 = -1
+		var bestW int64 = -1
+		for i, u := range d.Neighbors(v) {
+			if u < nl || u == v {
+				continue // local neighbours were stage 1
+			}
+			if d.NW[v]+d.NW[u] > maxWeight {
+				continue
+			}
+			if ws[i] > bestW {
+				best, bestW = u, ws[i]
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		o := int(d.GhostOwner(best))
+		proposals[o] = append(proposals[o], d.ToGlobal(v), d.ToGlobal(best))
+	}
+	incoming := c.Alltoallv(proposals)
+	// Flatten and sort incoming proposals deterministically.
+	var all []proposal
+	for _, buf := range incoming {
+		for i := 0; i+1 < len(buf); i += 2 {
+			all = append(all, proposal{buf[i], buf[i+1]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].target != all[j].target {
+			return all[i].target < all[j].target
+		}
+		return all[i].proposer < all[j].proposer
+	})
+	accepts := make([][]int64, size)
+	for _, p := range all {
+		lu, ok := d.ToLocal(p.target)
+		if !ok || lu >= nl || matched[lu] {
+			continue
+		}
+		matched[lu] = true
+		label := p.proposer
+		if p.target < label {
+			label = p.target
+		}
+		labels[lu] = label
+		accepts[d.Owner(p.proposer)] = append(accepts[d.Owner(p.proposer)], p.proposer, label)
+	}
+	acked := c.Alltoallv(accepts)
+	for _, buf := range acked {
+		for i := 0; i+1 < len(buf); i += 2 {
+			lu, ok := d.ToLocal(buf[i])
+			if ok && lu < nl {
+				matched[lu] = true
+				labels[lu] = buf[i+1]
+			}
+		}
+	}
+	return labels
+}
+
+// proposal is one cross-rank matching request.
+type proposal struct{ proposer, target int64 }
+
+// PartitionDistributed runs the baseline on a distributed graph. Collective.
+func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) {
+	if cfg.K < 1 {
+		return nil, Stats{}, fmt.Errorf("matchbase: k = %d", cfg.K)
+	}
+	cfg.normalize()
+	c := d.Comm
+	start := time.Now()
+	var st Stats
+	shared := rng.New(cfg.Seed)
+	local := rng.New(cfg.Seed).Split(uint64(c.Rank() + 1))
+	totalWeight := d.GlobalNodeWeight()
+	lmax := partition.Lmax(totalWeight, cfg.K, cfg.Eps)
+	coarsestLimit := cfg.CoarsestPerBlock * int64(cfg.K)
+	if coarsestLimit < cfg.MinCoarsest {
+		coarsestLimit = cfg.MinCoarsest
+	}
+	// Matched pairs must stay contractible into a feasible partition.
+	maxPair := lmax / 2
+	if mw := d.MaxNodeWeightGlobal(); maxPair < mw {
+		maxPair = mw
+	}
+
+	type levelRec struct {
+		fine         *dgraph.DGraph
+		coarse       *dgraph.DGraph
+		fineToCoarse []int64
+	}
+	cur := d
+	var levels []levelRec
+	st.Levels = append(st.Levels, cur.GlobalN)
+	for lvl := 0; lvl < cfg.MaxLevels && cur.GlobalN > coarsestLimit; lvl++ {
+		labels := parallelHeavyEdgeMatching(cur, maxPair, local)
+		// Owners may have matched nodes other ranks hold as ghosts; bring
+		// the ghost labels in sync before contracting.
+		cur.SyncGhosts(labels)
+		res := contract.ParContract(cur, labels)
+		if float64(res.Coarse.GlobalN) >= cfg.StallFactor*float64(cur.GlobalN) {
+			st.Stalled = true
+			break
+		}
+		levels = append(levels, levelRec{fine: cur, coarse: res.Coarse, fineToCoarse: res.FineToCoarse})
+		cur = res.Coarse
+		st.Levels = append(st.Levels, cur.GlobalN)
+	}
+	st.CoarsestN = cur.GlobalN
+	st.CoarsestM = cur.GlobalM
+
+	// Replicating the coarsest graph is where memory blows up when
+	// coarsening stalled.
+	if cfg.MemoryBudgetNodes > 0 && cur.GlobalN > cfg.MemoryBudgetNodes {
+		st.TotalTime = time.Since(start)
+		return nil, st, fmt.Errorf("%w: %d nodes > budget %d",
+			ErrMemoryBudget, cur.GlobalN, cfg.MemoryBudgetNodes)
+	}
+
+	coarsest := cur.Gather()
+	// Initial partitioning: recursive bisection (PT-Scotch/ParMETIS style),
+	// identical on all ranks via the shared seed.
+	kc := kaffpa.DefaultConfig(cfg.K)
+	kc.Eps = cfg.Eps
+	kc.Seed = shared.Uint64()
+	kc.CoarsestSize = coarsest.NumNodes() + 1 // no further coarsening inside
+	best, err := kaffpa.Partition(coarsest, kc)
+	if err != nil {
+		return nil, st, err
+	}
+
+	curPart := make([]int64, cur.NTotal())
+	for v := int32(0); v < cur.NTotal(); v++ {
+		curPart[v] = int64(best[cur.ToGlobal(v)])
+	}
+	refine := func(dg *dgraph.DGraph, part []int64) {
+		sclp.ParRefine(dg, part, sclp.ParRefineConfig{
+			K: cfg.K, Lmax: lmax, Iterations: cfg.RefineIters, Seed: shared.Uint64(),
+		})
+	}
+	refine(cur, curPart)
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		curPart = contract.ParProject(lv.fine, lv.coarse, lv.fineToCoarse, curPart)
+		refine(lv.fine, curPart)
+	}
+
+	st.Cut = d.EdgeCut(curPart)
+	bw := d.BlockWeights(curPart, cfg.K)
+	var mx int64
+	st.Feasible = true
+	for _, w := range bw {
+		if w > mx {
+			mx = w
+		}
+		if w > lmax {
+			st.Feasible = false
+		}
+	}
+	st.Imbalance = float64(mx)/(float64(totalWeight)/float64(cfg.K)) - 1
+	st.TotalTime = time.Since(start)
+	return curPart, st, nil
+}
+
+// Result is the outcome of a replicated-input run.
+type Result struct {
+	Part  partition.Partition
+	Stats Stats
+}
+
+// Run partitions g with P simulated PEs using the baseline. It returns
+// ErrMemoryBudget (wrapped) when the memory model aborts the run.
+func Run(P int, g *graph.Graph, cfg Config) (Result, error) {
+	var res Result
+	var runErr error
+	world := mpi.NewWorld(P)
+	world.Run(func(c *mpi.Comm) {
+		d := dgraph.FromGraph(c, g)
+		part, st, err := PartitionDistributed(d, cfg)
+		if c.Rank() == 0 {
+			if err != nil {
+				runErr = err
+				res.Stats = st
+				return
+			}
+			full := make(partition.Partition, d.GlobalN)
+			parts := d.Comm.Allgatherv(part[:d.NLocal()])
+			var gv int64
+			for _, p := range parts {
+				for _, b := range p {
+					full[gv] = int32(b)
+					gv++
+				}
+			}
+			res = Result{Part: full, Stats: st}
+		} else if err == nil {
+			d.Comm.Allgatherv(part[:d.NLocal()])
+		}
+	})
+	return res, runErr
+}

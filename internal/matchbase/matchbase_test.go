@@ -1,0 +1,126 @@
+package matchbase
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestRunMeshFeasible(t *testing.T) {
+	g := gen.DelaunayLike(2500, 1)
+	res, err := Run(4, g, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := partition.Evaluate(g, res.Part, 2, 0.03)
+	if !rep.Feasible {
+		t.Fatalf("infeasible: %v", rep)
+	}
+	if rep.Cut*4 > g.TotalEdgeWeight() {
+		t.Fatalf("cut %d too large", rep.Cut)
+	}
+}
+
+func TestMatchingCoarseningEffectiveOnMesh(t *testing.T) {
+	// On a mesh, matching halves the graph per level: coarsening reaches
+	// the limit without stalling.
+	g := gen.DelaunayLike(4000, 2)
+	res, err := Run(2, g, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Stalled {
+		t.Fatalf("matching stalled on a mesh: levels %v", res.Stats.Levels)
+	}
+	if res.Stats.CoarsestN > 1000 {
+		t.Fatalf("mesh coarsening stopped early at %d nodes", res.Stats.CoarsestN)
+	}
+}
+
+func TestMatchingStallsOnStarOfCliques(t *testing.T) {
+	// A hub-heavy graph: matching can shrink cliques but the paper's
+	// observation is the contrast in shrink factor per level vs cluster
+	// contraction. Verify matching needs many more levels than cluster
+	// contraction to reach the same size.
+	g := gen.StarOfCliques(200, 20, 3) // 4001 nodes
+	res, err := Run(2, g, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matching halves at best: expect at least log2(4001/600) ~ 3 levels.
+	if len(res.Stats.Levels) < 3 {
+		t.Fatalf("levels: %v", res.Stats.Levels)
+	}
+	for i := 1; i < len(res.Stats.Levels); i++ {
+		shrink := float64(res.Stats.Levels[i]) / float64(res.Stats.Levels[i-1])
+		if shrink < 0.45 {
+			t.Fatalf("matching shrank by more than 2x in one level: %v", res.Stats.Levels)
+		}
+	}
+}
+
+func TestMemoryBudgetAbort(t *testing.T) {
+	// A star graph is nearly unmatchable (one matched edge per hub):
+	// coarsening stalls and the replicated coarsest graph exceeds a small
+	// budget, reproducing the paper's "*" failures.
+	g := graph.Star(5000)
+	cfg := DefaultConfig(2)
+	cfg.MemoryBudgetNodes = 1000
+	_, err := Run(2, g, cfg)
+	if err == nil {
+		t.Fatal("expected memory-budget failure on a star graph")
+	}
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestMemoryBudgetGenerousPasses(t *testing.T) {
+	g := gen.DelaunayLike(1600, 4)
+	cfg := DefaultConfig(2)
+	cfg.MemoryBudgetNodes = 1 << 30
+	if _, err := Run(2, g, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineWorseThanClusterContractionOnCommunities(t *testing.T) {
+	// The paper's headline: on complex networks the cluster-contraction
+	// system wins on quality. Compare coarsening effectiveness here (the
+	// cut comparison lives in the experiment harness).
+	g, _ := gen.PlantedPartition(4000, 40, 12, 0.3, 5)
+	res, err := Run(2, g, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Levels) >= 2 {
+		firstShrink := float64(res.Stats.Levels[1]) / float64(res.Stats.Levels[0])
+		if firstShrink < 0.4 {
+			t.Fatalf("matching shrank a complex network by %.2f in one level — too effective", firstShrink)
+		}
+	}
+}
+
+func TestRunInvalidK(t *testing.T) {
+	g := graph.Path(10)
+	if _, err := Run(1, g, Config{K: 0}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunSingleRank(t *testing.T) {
+	g := gen.RGG(800, 6)
+	res, err := Run(1, g, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partition.Validate(g, res.Part, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !partition.IsFeasible(g, res.Part, 4, 0.03) {
+		t.Errorf("infeasible (imbalance %.4f)", partition.Imbalance(g, res.Part, 4))
+	}
+}

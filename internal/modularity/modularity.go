@@ -1,0 +1,236 @@
+// Package modularity implements the graph-clustering generalization the
+// paper names as future work (§VI): "generalize our algorithm for graph
+// clustering w.r.t. modularity … to compute graph clusterings of huge
+// unstructured graphs in a short amount of time".
+//
+// The same machinery as partitioning is reused: label propagation drives
+// the clustering (here with modularity gain instead of cut gain and no
+// size constraint), cluster contraction builds the hierarchy, and a
+// refinement sweep on each level plays the role of the coarsest-level
+// algorithm. The result is a Louvain-style multilevel modularity
+// clusterer built from the partitioner's parts.
+package modularity
+
+import (
+	"repro/internal/contract"
+	"repro/internal/graph"
+	"repro/internal/hashtab"
+	"repro/internal/rng"
+)
+
+// Modularity returns Newman's modularity of the clustering:
+// Q = sum_c [ in_c/(2m) - (tot_c/(2m))^2 ], with in_c twice the weight of
+// intra-cluster edges and tot_c the total weighted degree of cluster c.
+// The empty graph has modularity 0.
+func Modularity(g *graph.Graph, clusters []int32) float64 {
+	n := g.NumNodes()
+	// Remap cluster IDs to dense indices in first-occurrence order so the
+	// floating-point accumulation order (and thus the result, bit for bit)
+	// is deterministic.
+	dense := make(map[int32]int32, 64)
+	idOf := func(c int32) int32 {
+		if d, ok := dense[c]; ok {
+			return d
+		}
+		d := int32(len(dense))
+		dense[c] = d
+		return d
+	}
+	in := make([]float64, 0, 64)
+	tot := make([]float64, 0, 64)
+	var m2 float64
+	for v := int32(0); v < n; v++ {
+		cv := idOf(clusters[v])
+		for int(cv) >= len(tot) {
+			in = append(in, 0)
+			tot = append(tot, 0)
+		}
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			w := float64(ws[i])
+			m2 += w
+			tot[cv] += w
+			if clusters[u] == clusters[v] {
+				in[cv] += w
+			}
+		}
+	}
+	if m2 == 0 {
+		return 0
+	}
+	var q float64
+	for c := range tot {
+		q += in[c]/m2 - (tot[c]/m2)*(tot[c]/m2)
+	}
+	return q
+}
+
+// Config controls the multilevel clustering.
+type Config struct {
+	// Levels bounds the contraction depth (0 = until no improvement).
+	Levels int
+	// Iterations is the label propagation sweep count per level.
+	Iterations int
+	// Seed drives traversal order and tie breaking.
+	Seed uint64
+}
+
+// DefaultConfig returns sensible defaults.
+func DefaultConfig() Config {
+	return Config{Levels: 10, Iterations: 8, Seed: 1}
+}
+
+// Cluster computes a modularity clustering of g. It returns the cluster
+// assignment and its modularity.
+func Cluster(g *graph.Graph, cfg Config) ([]int32, float64) {
+	if cfg.Levels <= 0 {
+		cfg.Levels = 10
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 8
+	}
+	r := rng.New(cfg.Seed)
+	n := g.NumNodes()
+	assign := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		assign[v] = v
+	}
+	if n == 0 {
+		return assign, 0
+	}
+	cur := g
+	// The Graph type has no self-loops, but Louvain on coarse levels needs
+	// the intra-cluster weight absorbed by each coarse node; track it in a
+	// parallel array.
+	self := make([]float64, n)
+	// maps[i] translates level-i node IDs to level-i+1 (coarser) IDs.
+	var maps [][]int32
+	for level := 0; level < cfg.Levels; level++ {
+		labels, moved := sweep(cur, self, cfg.Iterations, r)
+		if moved == 0 {
+			break
+		}
+		cg, f2c := contract.Contract(cur, labels)
+		if cg.NumNodes() >= cur.NumNodes() {
+			break
+		}
+		// New self weights: members' self weights plus intra-cluster edges.
+		newSelf := make([]float64, cg.NumNodes())
+		for v := int32(0); v < cur.NumNodes(); v++ {
+			newSelf[f2c[v]] += self[v]
+			ws := cur.EdgeWeights(v)
+			for i, u := range cur.Neighbors(v) {
+				if u > v && f2c[u] == f2c[v] {
+					newSelf[f2c[v]] += float64(ws[i])
+				}
+			}
+		}
+		self = newSelf
+		maps = append(maps, f2c)
+		cur = cg
+	}
+	// Compose the hierarchy down to the input level.
+	final := make([]int32, cur.NumNodes())
+	for i := range final {
+		final[i] = int32(i)
+	}
+	for i := len(maps) - 1; i >= 0; i-- {
+		final = contract.Project(final, maps[i])
+	}
+	return final, Modularity(g, final)
+}
+
+// sweep runs modularity-gain label propagation: node v moves to the
+// neighbouring cluster maximizing
+//
+//	deltaQ ∝ conn(v, c) - deg(v)*tot(c)/(2m)
+//
+// (the Louvain local move criterion). self[v] carries the intra-weight a
+// coarse node absorbed from its cluster (counted twice in its degree, the
+// usual self-loop convention). Returns labels and the move count.
+func sweep(g *graph.Graph, self []float64, iterations int, r *rng.RNG) ([]int32, int) {
+	n := g.NumNodes()
+	labels := make([]int32, n)
+	tot := make([]float64, n) // total weighted degree per cluster
+	deg := make([]float64, n)
+	var m2 float64
+	for v := int32(0); v < n; v++ {
+		labels[v] = v
+		deg[v] = float64(g.WeightedDegree(v)) + 2*self[v]
+		tot[v] = deg[v]
+		m2 += deg[v]
+	}
+	if m2 == 0 {
+		return labels, 0
+	}
+	conn := hashtab.NewAccumulatorI64(64)
+	order := r.Perm(int(n))
+	totalMoves := 0
+	for iter := 0; iter < iterations; iter++ {
+		if iter > 0 {
+			r.Shuffle(int(n), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		moves := 0
+		for _, v := range order {
+			if moveByModularity(g, v, labels, tot, deg, m2, conn, r) {
+				moves++
+			}
+		}
+		totalMoves += moves
+		if moves == 0 {
+			break
+		}
+	}
+	return labels, totalMoves
+}
+
+func moveByModularity(g *graph.Graph, v int32, labels []int32,
+	tot, deg []float64, m2 float64, conn *hashtab.AccumulatorI64, r *rng.RNG) bool {
+
+	nbrs := g.Neighbors(v)
+	if len(nbrs) == 0 {
+		return false
+	}
+	ws := g.EdgeWeights(v)
+	conn.Reset()
+	for i, u := range nbrs {
+		conn.Add(int64(labels[u]), ws[i])
+	}
+	cur := labels[v]
+	// Gain of staying: connection to own cluster minus expected, with own
+	// contribution removed from tot.
+	gain := func(c int32, connW float64) float64 {
+		t := tot[c]
+		if c == cur {
+			t -= deg[v]
+		}
+		return connW - deg[v]*t/m2
+	}
+	curConn, _ := conn.Get(int64(cur))
+	best := cur
+	bestGain := gain(cur, float64(curConn))
+	ties := 1
+	conn.ForEach(func(label, c int64) {
+		l := int32(label)
+		if l == cur {
+			return
+		}
+		gn := gain(l, float64(c))
+		switch {
+		case gn > bestGain:
+			best, bestGain, ties = l, gn, 1
+		case gn == bestGain && l != cur:
+			ties++
+			if r.Intn(ties) == 0 {
+				best = l
+			}
+		}
+	})
+	if best == cur {
+		return false
+	}
+	tot[cur] -= deg[v]
+	tot[best] += deg[v]
+	labels[v] = best
+	return true
+}

@@ -1,0 +1,171 @@
+package modularity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestModularityKnownValues(t *testing.T) {
+	// Two disjoint triangles joined by one edge, clustered as the two
+	// triangles: a classic textbook case with high modularity.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	clusters := []int32{0, 0, 0, 1, 1, 1}
+	q := Modularity(g, clusters)
+	// m = 7; in_0 = in_1 = 6 (twice 3 intra edges); tot_0 = tot_1 = 7.
+	want := 2 * (6.0/14.0 - (7.0/14.0)*(7.0/14.0))
+	if math.Abs(q-want) > 1e-12 {
+		t.Fatalf("Q = %v, want %v", q, want)
+	}
+}
+
+func TestModularitySingletonAndWhole(t *testing.T) {
+	g := gen.RGG(200, 1)
+	// All in one cluster: Q = 1 - 1 = 0 exactly when one cluster holds all
+	// degree: in = 2m, tot = 2m -> Q = 1 - 1 = 0.
+	one := make([]int32, 200)
+	if q := Modularity(g, one); math.Abs(q) > 1e-12 {
+		t.Fatalf("single-cluster Q = %v, want 0", q)
+	}
+	// Singletons: in_c = 0, so Q = -sum (deg_v/2m)^2 < 0.
+	single := make([]int32, 200)
+	for v := range single {
+		single[v] = int32(v)
+	}
+	if q := Modularity(g, single); q >= 0 {
+		t.Fatalf("singleton Q = %v, want negative", q)
+	}
+}
+
+func TestModularityEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(3).Build()
+	if q := Modularity(g, []int32{0, 1, 2}); q != 0 {
+		t.Fatalf("edgeless Q = %v", q)
+	}
+}
+
+func TestModularityBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.RGG(150, seed)
+		r := rng.New(seed)
+		c := make([]int32, 150)
+		for v := range c {
+			c[v] = r.Int31n(5)
+		}
+		q := Modularity(g, c)
+		return q >= -1 && q <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterRecoversPlantedCommunities(t *testing.T) {
+	g, truth := gen.PlantedPartition(3000, 12, 12, 0.5, 3)
+	clusters, q := Cluster(g, DefaultConfig())
+	if q < 0.4 {
+		t.Fatalf("modularity %v too low for a strongly planted graph", q)
+	}
+	// The clustering should align with the planted communities: measure
+	// pairwise agreement on a sample.
+	r := rng.New(7)
+	agree, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		u := r.Int31n(3000)
+		v := r.Int31n(3000)
+		if u == v {
+			continue
+		}
+		sameTruth := truth[u] == truth[v]
+		sameFound := clusters[u] == clusters[v]
+		if sameTruth == sameFound {
+			agree++
+		}
+		total++
+	}
+	if float64(agree)/float64(total) < 0.85 {
+		t.Fatalf("pair agreement %.2f with planted communities", float64(agree)/float64(total))
+	}
+}
+
+func TestClusterBeatsTrivialBaselines(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 4, 5)
+	clusters, q := Cluster(g, DefaultConfig())
+	if len(clusters) != 2000 {
+		t.Fatal("wrong assignment length")
+	}
+	one := make([]int32, 2000)
+	if q <= Modularity(g, one) {
+		t.Fatalf("Q=%v not better than the single-cluster baseline", q)
+	}
+	single := make([]int32, 2000)
+	for v := range single {
+		single[v] = int32(v)
+	}
+	if q <= Modularity(g, single) {
+		t.Fatalf("Q=%v not better than singletons", q)
+	}
+}
+
+func TestClusterTwoCliques(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for u := int32(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(u+5, v+5)
+		}
+	}
+	b.AddEdge(4, 5)
+	g := b.Build()
+	clusters, q := Cluster(g, DefaultConfig())
+	if clusters[0] != clusters[4] || clusters[5] != clusters[9] {
+		t.Fatalf("cliques split: %v", clusters)
+	}
+	if clusters[0] == clusters[5] {
+		t.Fatalf("cliques merged: %v", clusters)
+	}
+	if q < 0.3 {
+		t.Fatalf("Q = %v", q)
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	g := gen.RGG(500, 9)
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	a, qa := Cluster(g, cfg)
+	b2, qb := Cluster(g, cfg)
+	if qa != qb {
+		t.Fatalf("modularity differs: %v vs %v", qa, qb)
+	}
+	for v := range a {
+		if a[v] != b2[v] {
+			t.Fatal("assignments differ for the same seed")
+		}
+	}
+}
+
+func TestClusterEmptyAndTiny(t *testing.T) {
+	empty := graph.NewBuilder(0).Build()
+	c, q := Cluster(empty, DefaultConfig())
+	if len(c) != 0 || q != 0 {
+		t.Fatal("empty graph")
+	}
+	single := graph.NewBuilder(1).Build()
+	c, _ = Cluster(single, DefaultConfig())
+	if len(c) != 1 {
+		t.Fatal("one-node graph")
+	}
+}

@@ -1,0 +1,278 @@
+package modularity
+
+import (
+	"repro/internal/contract"
+	"repro/internal/dgraph"
+	"repro/internal/hashtab"
+	"repro/internal/rng"
+)
+
+// ParConfig controls the distributed multilevel modularity clustering.
+type ParConfig struct {
+	// Levels bounds the contraction depth.
+	Levels int
+	// Iterations is the local-move sweep count per level.
+	Iterations int
+	// PhasesPerRound is the halo-exchange granularity per sweep.
+	PhasesPerRound int
+	// Seed drives traversal order and tie breaking (identical on every
+	// rank; per-rank streams are derived).
+	Seed uint64
+}
+
+// DefaultParConfig returns sensible defaults.
+func DefaultParConfig() ParConfig {
+	return ParConfig{Levels: 10, Iterations: 8, PhasesPerRound: 8, Seed: 1}
+}
+
+// ParCluster computes a modularity clustering of the distributed graph: a
+// parallel Louvain built from the same pieces as the partitioner (label
+// propagation with modularity gain, parallel cluster contraction). It
+// returns one cluster ID per local node (cluster IDs are global and dense
+// in [0, #clusters)). Collective.
+func ParCluster(d *dgraph.DGraph, cfg ParConfig) []int64 {
+	if cfg.Levels <= 0 {
+		cfg.Levels = 10
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 8
+	}
+	if cfg.PhasesPerRound <= 0 {
+		cfg.PhasesPerRound = 8
+	}
+	shared := rng.New(cfg.Seed)
+
+	cur := d
+	self := make([]int64, cur.NTotal()) // intra-weight absorbed per node
+	type levelRec struct {
+		fine         *dgraph.DGraph
+		coarse       *dgraph.DGraph
+		fineToCoarse []int64
+	}
+	var levels []levelRec
+	for level := 0; level < cfg.Levels; level++ {
+		labels, moved := parSweep(cur, self, cfg, shared.Uint64())
+		if moved == 0 {
+			break
+		}
+		res := contract.ParContract(cur, labels)
+		if res.Coarse.GlobalN >= cur.GlobalN {
+			break
+		}
+		// New self weights: members' self plus intra-cluster edge weight,
+		// routed to the coarse owners.
+		coarseSelfLocal := liftSelfWeights(cur, res, labels, self)
+		levels = append(levels, levelRec{fine: cur, coarse: res.Coarse, fineToCoarse: res.FineToCoarse})
+		cur = res.Coarse
+		self = make([]int64, cur.NTotal())
+		copy(self, coarseSelfLocal)
+		cur.SyncGhosts(self)
+	}
+
+	// Final clusters: the coarsest nodes themselves; project down.
+	out := make([]int64, cur.NTotal())
+	for v := int32(0); v < cur.NTotal(); v++ {
+		out[v] = cur.ToGlobal(v)
+	}
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		out = contract.ParProject(lv.fine, lv.coarse, lv.fineToCoarse, out)
+	}
+	return out[:d.NLocal()]
+}
+
+// liftSelfWeights computes, for each coarse-local node, the total internal
+// weight of its cluster: member self weights plus intra-cluster fine edges.
+// Collective.
+func liftSelfWeights(fine *dgraph.DGraph, res *contract.ParResult, labels []int64, self []int64) []int64 {
+	c := fine.Comm
+	size := c.Size()
+	acc := hashtab.NewAccumulatorI64(int(fine.NLocal()) + 16)
+	// Coarse IDs for ghosts: derive from labels via the same mapping used
+	// for local nodes is not directly exposed; instead use global labels —
+	// two fine nodes share a coarse node iff they share a label, so the
+	// intra-edge test compares labels.
+	for v := int32(0); v < fine.NLocal(); v++ {
+		cu := res.FineToCoarse[v]
+		acc.Add(cu, self[v])
+		ws := fine.EdgeWeights(v)
+		for i, u := range fine.Neighbors(v) {
+			if labels[u] != labels[v] {
+				continue
+			}
+			// Count each intra edge once globally: from the endpoint with
+			// the smaller global ID.
+			if fine.ToGlobal(v) < fine.ToGlobal(u) {
+				acc.Add(cu, ws[i])
+			}
+		}
+	}
+	coarse := res.Coarse
+	out := make([][]int64, size)
+	acc.ForEach(func(cu, w int64) {
+		if w == 0 {
+			return
+		}
+		o := coarse.Owner(cu)
+		out[o] = append(out[o], cu, w)
+	})
+	in := c.Alltoallv(out)
+	coarseSelf := make([]int64, coarse.NLocal())
+	lo := coarse.FirstGlobal()
+	for _, buf := range in {
+		for i := 0; i+1 < len(buf); i += 2 {
+			coarseSelf[buf[i]-lo] += buf[i+1]
+		}
+	}
+	return coarseSelf
+}
+
+// parSweep runs modularity-gain label propagation on one level and returns
+// labels (NTotal, ghosts synced) and the global move count. Collective.
+func parSweep(d *dgraph.DGraph, self []int64, cfg ParConfig, seed uint64) ([]int64, int64) {
+	nt := d.NTotal()
+	labels := make([]int64, nt)
+	deg := make([]int64, nt)
+	var m2Local int64
+	for v := int32(0); v < nt; v++ {
+		labels[v] = d.ToGlobal(v)
+		var wd int64
+		if v < d.NLocal() {
+			for _, w := range d.EdgeWeights(v) {
+				wd += w
+			}
+			m2Local += wd + 2*self[v]
+		} else {
+			// Ghost degrees come from the owners below.
+			wd = 0
+		}
+		deg[v] = wd + 2*self[v]
+	}
+	d.SyncGhosts(deg)
+	m2 := float64(d.Comm.AllreduceSum1(m2Local))
+	if m2 == 0 {
+		return labels, 0
+	}
+	// Locally tracked cluster degree totals (approximate across ranks,
+	// exact for the clusters of local+ghost nodes — the same localized
+	// scheme as coarsening weights in §IV-B).
+	tot := hashtab.NewMapI64(int(nt) + 16)
+	for v := int32(0); v < nt; v++ {
+		old, _ := tot.Get(labels[v])
+		tot.Put(labels[v], old+deg[v])
+	}
+	r := rng.New(seed).Split(uint64(d.Comm.Rank()))
+	conn := hashtab.NewAccumulatorI64(64)
+	order := r.Perm(int(d.NLocal()))
+	changed := make(map[int32]bool)
+	var movedTotal int64
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		if iter > 0 {
+			r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		var movedLocal int64
+		for ph := 0; ph < cfg.PhasesPerRound; ph++ {
+			start := ph * len(order) / cfg.PhasesPerRound
+			end := (ph + 1) * len(order) / cfg.PhasesPerRound
+			for _, v := range order[start:end] {
+				if parModMove(d, v, labels, deg, tot, m2, conn, r) {
+					movedLocal++
+					if d.IsInterface(v) {
+						changed[v] = true
+					}
+				}
+			}
+			exchangeModLabels(d, labels, deg, tot, changed)
+		}
+		moved := d.Comm.AllreduceSum1(movedLocal)
+		movedTotal += moved
+		if moved == 0 {
+			break
+		}
+	}
+	return labels, movedTotal
+}
+
+func parModMove(d *dgraph.DGraph, v int32, labels, deg []int64,
+	tot *hashtab.MapI64, m2 float64, conn *hashtab.AccumulatorI64, r *rng.RNG) bool {
+
+	nbrs := d.Neighbors(v)
+	if len(nbrs) == 0 {
+		return false
+	}
+	ws := d.EdgeWeights(v)
+	conn.Reset()
+	for i, nb := range nbrs {
+		conn.Add(labels[nb], ws[i])
+	}
+	cur := labels[v]
+	dv := float64(deg[v])
+	gain := func(c int64, connW float64) float64 {
+		t, _ := tot.Get(c)
+		tf := float64(t)
+		if c == cur {
+			tf -= dv
+		}
+		return connW - dv*tf/m2
+	}
+	curConn, _ := conn.Get(cur)
+	best := cur
+	bestGain := gain(cur, float64(curConn))
+	ties := 1
+	conn.ForEach(func(label, c int64) {
+		if label == cur {
+			return
+		}
+		gn := gain(label, float64(c))
+		switch {
+		case gn > bestGain:
+			best, bestGain, ties = label, gn, 1
+		case gn == bestGain && label != cur:
+			ties++
+			if r.Intn(ties) == 0 {
+				best = label
+			}
+		}
+	})
+	if best == cur {
+		return false
+	}
+	tc, _ := tot.Get(cur)
+	tot.Put(cur, tc-deg[v])
+	tb, _ := tot.Get(best)
+	tot.Put(best, tb+deg[v])
+	labels[v] = best
+	return true
+}
+
+// exchangeModLabels propagates changed interface labels and keeps the local
+// cluster-degree totals consistent for ghost moves. Collective.
+func exchangeModLabels(d *dgraph.DGraph, labels, deg []int64, tot *hashtab.MapI64, changed map[int32]bool) {
+	size := d.Comm.Size()
+	out := make([][]int64, size)
+	for v := range changed {
+		for _, rk := range d.AdjacentRanks(v) {
+			out[rk] = append(out[rk], d.ToGlobal(v), labels[v])
+		}
+	}
+	clear(changed)
+	in := d.Comm.Alltoallv(out)
+	for _, buf := range in {
+		for i := 0; i+1 < len(buf); i += 2 {
+			lu, ok := d.ToLocal(buf[i])
+			if !ok || !d.IsGhost(lu) {
+				continue
+			}
+			old := labels[lu]
+			nl := buf[i+1]
+			if old == nl {
+				continue
+			}
+			to, _ := tot.Get(old)
+			tot.Put(old, to-deg[lu])
+			tn, _ := tot.Get(nl)
+			tot.Put(nl, tn+deg[lu])
+			labels[lu] = nl
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package modularity
+
+import (
+	"testing"
+
+	"repro/internal/dgraph"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+)
+
+// gatherClusters assembles the full clustering from per-rank local slices.
+func gatherClusters(d *dgraph.DGraph, local []int64) []int32 {
+	parts := d.Comm.Allgatherv(local)
+	out := make([]int32, d.GlobalN)
+	// Cluster IDs are global node IDs at the coarsest level; compress to
+	// small ints for Modularity().
+	dense := make(map[int64]int32)
+	var gv int64
+	for _, p := range parts {
+		for _, c := range p {
+			id, ok := dense[c]
+			if !ok {
+				id = int32(len(dense))
+				dense[c] = id
+			}
+			out[gv] = id
+			gv++
+		}
+	}
+	return out
+}
+
+func TestParClusterPlanted(t *testing.T) {
+	g, _ := gen.PlantedPartition(4000, 16, 12, 0.5, 3)
+	seqClusters, seqQ := Cluster(g, DefaultConfig())
+	_ = seqClusters
+	mpi.NewWorld(4).Run(func(c *mpi.Comm) {
+		d := dgraph.FromGraph(c, g)
+		local := ParCluster(d, DefaultParConfig())
+		if int32(len(local)) != d.NLocal() {
+			t.Errorf("rank %d: %d cluster entries for %d local nodes", c.Rank(), len(local), d.NLocal())
+			return
+		}
+		full := gatherClusters(d, local)
+		if c.Rank() != 0 {
+			return
+		}
+		q := Modularity(g, full)
+		if q < 0.4 {
+			t.Errorf("parallel modularity %v too low", q)
+		}
+		// Within striking distance of the sequential result.
+		if q < seqQ-0.15 {
+			t.Errorf("parallel Q=%v far below sequential Q=%v", q, seqQ)
+		}
+	})
+}
+
+func TestParClusterTwoCliquesAcrossRanks(t *testing.T) {
+	b := graph.NewBuilder(12)
+	for u := int32(0); u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(u+6, v+6)
+		}
+	}
+	b.AddEdge(5, 6)
+	g := b.Build()
+	mpi.NewWorld(3).Run(func(c *mpi.Comm) {
+		d := dgraph.FromGraph(c, g)
+		local := ParCluster(d, DefaultParConfig())
+		full := gatherClusters(d, local)
+		if c.Rank() != 0 {
+			return
+		}
+		if full[0] != full[5] || full[6] != full[11] {
+			t.Errorf("cliques split: %v", full)
+		}
+		if full[0] == full[6] {
+			t.Errorf("cliques merged: %v", full)
+		}
+	})
+}
+
+func TestParClusterSingleRankMatchesShape(t *testing.T) {
+	g := gen.BarabasiAlbert(1500, 4, 7)
+	mpi.NewWorld(1).Run(func(c *mpi.Comm) {
+		d := dgraph.FromGraph(c, g)
+		local := ParCluster(d, DefaultParConfig())
+		full := gatherClusters(d, local)
+		q := Modularity(g, full)
+		if q <= 0 {
+			t.Errorf("single-rank parallel Q = %v", q)
+		}
+	})
+}
+
+func TestParClusterEmptyRanks(t *testing.T) {
+	g := graph.Path(3)
+	mpi.NewWorld(5).Run(func(c *mpi.Comm) {
+		d := dgraph.FromGraph(c, g)
+		local := ParCluster(d, DefaultParConfig())
+		if int32(len(local)) != d.NLocal() {
+			t.Errorf("rank %d: wrong length", c.Rank())
+		}
+	})
+}

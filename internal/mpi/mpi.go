@@ -1,0 +1,466 @@
+// Package mpi is an in-process message-passing substrate that stands in for
+// MPI in this reproduction (the paper's implementation is C++/MPI on an
+// InfiniBand cluster; Go has no MPI ecosystem, so ranks run as goroutines).
+//
+// The model mirrors the subset of MPI the paper's algorithms use:
+//
+//   - SPMD execution: World.Run launches one goroutine per rank, all
+//     executing the same function.
+//   - Asynchronous point-to-point sends: Send never blocks (unbounded
+//     per-pair mailboxes, like buffered MPI_Isend), Recv blocks until a
+//     matching message arrives. Messages between a fixed (src, dst) pair
+//     are delivered in order.
+//   - Collectives: Barrier, Bcast, Gather, Allgatherv, Reduce variants,
+//     Allreduce variants, exclusive prefix sum (ExScan) and sparse
+//     Alltoallv, all built on point-to-point messages.
+//
+// Every payload is a []int64; senders' slices are copied, modelling
+// serialization. Per-rank counters record message and word volume so
+// experiments can report communication cost.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+type msgKind uint8
+
+const (
+	kindUser msgKind = iota
+	kindCollective
+	// kindPoison marks a fatal-error notification: a rank that detects an
+	// unrecoverable protocol violation poisons its peers before panicking,
+	// so blocked receivers fail fast instead of hanging the world.
+	kindPoison
+)
+
+type message struct {
+	kind msgKind
+	tag  int
+	data []int64
+}
+
+// mailbox is an unbounded FIFO queue for one (dst, src) pair.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) push(m message) {
+	mb.mu.Lock()
+	mb.q = append(mb.q, m)
+	mb.cond.Signal()
+	mb.mu.Unlock()
+}
+
+// pop removes and returns the first queued message with the given kind and
+// tag, blocking until one arrives. A queued poison message takes priority
+// and panics the receiver.
+func (mb *mailbox) pop(kind msgKind, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.q {
+			if m.kind == kindPoison {
+				// The deferred Unlock releases the mutex during panic.
+				panic("mpi: peer rank reported a fatal error (poisoned)")
+			}
+			if m.kind == kind && m.tag == tag {
+				mb.q = append(mb.q[:i], mb.q[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// tryPop removes and returns the first queued message with the given kind
+// and tag without blocking.
+func (mb *mailbox) tryPop(kind msgKind, tag int) (message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, m := range mb.q {
+		if m.kind == kind && m.tag == tag {
+			mb.q = append(mb.q[:i], mb.q[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// Stats counts traffic originating at one rank.
+type Stats struct {
+	MessagesSent int64
+	WordsSent    int64 // 8-byte words
+}
+
+// World owns the mailboxes and statistics for a set of ranks.
+type World struct {
+	size  int
+	boxes [][]*mailbox // boxes[dst][src]
+	msgs  []atomic.Int64
+	words []atomic.Int64
+}
+
+// NewWorld creates a world with the given number of ranks. It panics if
+// size < 1.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("mpi: world size %d < 1", size))
+	}
+	w := &World{
+		size:  size,
+		boxes: make([][]*mailbox, size),
+		msgs:  make([]atomic.Int64, size),
+		words: make([]atomic.Int64, size),
+	}
+	for d := range w.boxes {
+		w.boxes[d] = make([]*mailbox, size)
+		for s := range w.boxes[d] {
+			w.boxes[d][s] = newMailbox()
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn once per rank, each on its own goroutine, and returns
+// when all ranks have finished. A panic on any rank is re-raised on the
+// caller's goroutine after the others complete or block permanently; Run
+// must therefore only be used with SPMD functions that terminate.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			fn(&Comm{rank: rank, world: w})
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		}
+	}
+}
+
+// TotalStats sums the per-rank statistics.
+func (w *World) TotalStats() Stats {
+	var s Stats
+	for r := 0; r < w.size; r++ {
+		s.MessagesSent += w.msgs[r].Load()
+		s.WordsSent += w.words[r].Load()
+	}
+	return s
+}
+
+// Comm is one rank's endpoint. It is not safe for concurrent use by
+// multiple goroutines.
+type Comm struct {
+	rank  int
+	world *World
+	seq   int // collective sequence number; identical across ranks in SPMD code
+}
+
+// Rank returns this rank's ID in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// Stats returns the traffic counters for this rank.
+func (c *Comm) Stats() Stats {
+	return Stats{
+		MessagesSent: c.world.msgs[c.rank].Load(),
+		WordsSent:    c.world.words[c.rank].Load(),
+	}
+}
+
+func (c *Comm) send(dst int, kind msgKind, tag int, data []int64) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: send to rank %d outside world of size %d", dst, c.world.size))
+	}
+	cp := make([]int64, len(data))
+	copy(cp, data)
+	c.world.msgs[c.rank].Add(1)
+	c.world.words[c.rank].Add(int64(len(data)))
+	c.world.boxes[dst][c.rank].push(message{kind: kind, tag: tag, data: cp})
+}
+
+func (c *Comm) recv(src int, kind msgKind, tag int) []int64 {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: recv from rank %d outside world of size %d", src, c.world.size))
+	}
+	return c.world.boxes[c.rank][src].pop(kind, tag).data
+}
+
+// Send delivers data to dst with a user tag. It never blocks. The slice is
+// copied.
+func (c *Comm) Send(dst, tag int, data []int64) { c.send(dst, kindUser, tag, data) }
+
+// Recv blocks until a user message with the given tag arrives from src and
+// returns its payload.
+func (c *Comm) Recv(src, tag int) []int64 { return c.recv(src, kindUser, tag) }
+
+// TryRecv returns a queued user message with the given tag from src, or
+// ok=false without blocking. It models MPI_Iprobe + MPI_Recv, which the
+// evolutionary algorithm uses to pick up migrants opportunistically.
+func (c *Comm) TryRecv(src, tag int) ([]int64, bool) {
+	m, ok := c.world.boxes[c.rank][src].tryPop(kindUser, tag)
+	return m.data, ok
+}
+
+// TryRecvAny returns a queued user message with the given tag from any
+// rank, or ok=false without blocking.
+func (c *Comm) TryRecvAny(tag int) (src int, data []int64, ok bool) {
+	for s := 0; s < c.world.size; s++ {
+		if m, found := c.world.boxes[c.rank][s].tryPop(kindUser, tag); found {
+			return s, m.data, true
+		}
+	}
+	return -1, nil, false
+}
+
+func (c *Comm) nextSeq() int {
+	c.seq++
+	return c.seq
+}
+
+// Barrier blocks until every rank has entered the barrier.
+func (c *Comm) Barrier() {
+	tag := c.nextSeq()
+	if c.rank == 0 {
+		for r := 1; r < c.Size(); r++ {
+			c.recv(r, kindCollective, tag)
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.send(r, kindCollective, tag, nil)
+		}
+	} else {
+		c.send(0, kindCollective, tag, nil)
+		c.recv(0, kindCollective, tag)
+	}
+}
+
+// Bcast distributes root's data to all ranks; every rank returns a copy of
+// root's slice. Non-root callers may pass nil.
+func (c *Comm) Bcast(root int, data []int64) []int64 {
+	tag := c.nextSeq()
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.send(r, kindCollective, tag, data)
+			}
+		}
+		cp := make([]int64, len(data))
+		copy(cp, data)
+		return cp
+	}
+	return c.recv(root, kindCollective, tag)
+}
+
+// Gather collects each rank's data at root. At root the result has one
+// entry per rank, in rank order; elsewhere it is nil.
+func (c *Comm) Gather(root int, data []int64) [][]int64 {
+	tag := c.nextSeq()
+	if c.rank == root {
+		out := make([][]int64, c.Size())
+		cp := make([]int64, len(data))
+		copy(cp, data)
+		out[root] = cp
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				out[r] = c.recv(r, kindCollective, tag)
+			}
+		}
+		return out
+	}
+	c.send(root, kindCollective, tag, data)
+	return nil
+}
+
+// Allgatherv collects every rank's (variable-length) data on every rank,
+// returned in rank order.
+func (c *Comm) Allgatherv(data []int64) [][]int64 {
+	parts := c.Gather(0, data)
+	// Flatten with a length prefix so one Bcast suffices.
+	var flat []int64
+	if c.rank == 0 {
+		flat = append(flat, int64(len(parts)))
+		for _, p := range parts {
+			flat = append(flat, int64(len(p)))
+		}
+		for _, p := range parts {
+			flat = append(flat, p...)
+		}
+	}
+	flat = c.Bcast(0, flat)
+	cnt := int(flat[0])
+	out := make([][]int64, cnt)
+	off := 1 + cnt
+	for r := 0; r < cnt; r++ {
+		l := int(flat[1+r])
+		out[r] = flat[off : off+l : off+l]
+		off += l
+	}
+	return out
+}
+
+// reduceOp combines b into a element-wise; slices have equal length.
+type reduceOp func(a, b []int64)
+
+func opSum(a, b []int64) {
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+func opMax(a, b []int64) {
+	for i := range a {
+		if b[i] > a[i] {
+			a[i] = b[i]
+		}
+	}
+}
+
+func opMin(a, b []int64) {
+	for i := range a {
+		if b[i] < a[i] {
+			a[i] = b[i]
+		}
+	}
+}
+
+// PoisonPeers notifies every other rank of a fatal local error so that
+// ranks blocked in Recv or collectives panic instead of hanging. It is
+// called before panicking on protocol violations; tests injecting faults
+// can call it directly.
+func (c *Comm) PoisonPeers() {
+	for r := 0; r < c.world.size; r++ {
+		if r != c.rank {
+			c.world.boxes[r][c.rank].push(message{kind: kindPoison})
+		}
+	}
+}
+
+func (c *Comm) allreduce(vals []int64, op reduceOp) []int64 {
+	tag := c.nextSeq()
+	if c.rank == 0 {
+		acc := make([]int64, len(vals))
+		copy(acc, vals)
+		for r := 1; r < c.Size(); r++ {
+			part := c.recv(r, kindCollective, tag)
+			if len(part) != len(acc) {
+				c.PoisonPeers()
+				panic(fmt.Sprintf("mpi: allreduce length mismatch: rank 0 has %d, rank %d has %d",
+					len(acc), r, len(part)))
+			}
+			op(acc, part)
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.send(r, kindCollective, tag, acc)
+		}
+		return acc
+	}
+	c.send(0, kindCollective, tag, vals)
+	return c.recv(0, kindCollective, tag)
+}
+
+// AllreduceSum returns the element-wise sum of vals across all ranks.
+// All ranks must pass slices of equal length.
+func (c *Comm) AllreduceSum(vals []int64) []int64 { return c.allreduce(vals, opSum) }
+
+// AllreduceMax returns the element-wise maximum of vals across all ranks.
+func (c *Comm) AllreduceMax(vals []int64) []int64 { return c.allreduce(vals, opMax) }
+
+// AllreduceMin returns the element-wise minimum of vals across all ranks.
+func (c *Comm) AllreduceMin(vals []int64) []int64 { return c.allreduce(vals, opMin) }
+
+// AllreduceSum1 is AllreduceSum for a single value.
+func (c *Comm) AllreduceSum1(v int64) int64 { return c.AllreduceSum([]int64{v})[0] }
+
+// AllreduceMax1 is AllreduceMax for a single value.
+func (c *Comm) AllreduceMax1(v int64) int64 { return c.AllreduceMax([]int64{v})[0] }
+
+// AllreduceMin1 is AllreduceMin for a single value.
+func (c *Comm) AllreduceMin1(v int64) int64 { return c.AllreduceMin([]int64{v})[0] }
+
+// ExScanSum returns the exclusive prefix sum of v over ranks: rank r gets
+// sum of the values passed by ranks 0..r-1 (0 at rank 0). The paper uses
+// this to map distinct cluster IDs to a contiguous coarse ID space (§IV-C).
+func (c *Comm) ExScanSum(v int64) int64 {
+	tag := c.nextSeq()
+	if c.rank == 0 {
+		vals := make([]int64, c.Size())
+		vals[0] = v
+		for r := 1; r < c.Size(); r++ {
+			vals[r] = c.recv(r, kindCollective, tag)[0]
+		}
+		prefix := int64(0)
+		for r := 0; r < c.Size(); r++ {
+			cur := vals[r]
+			if r != 0 {
+				c.send(r, kindCollective, tag, []int64{prefix})
+			}
+			vals[r] = prefix
+			prefix += cur
+		}
+		return 0
+	}
+	c.send(0, kindCollective, tag, []int64{v})
+	return c.recv(0, kindCollective, tag)[0]
+}
+
+// Alltoallv performs a personalized all-to-all exchange: out[p] is sent to
+// rank p (nil and empty slices allowed; out must have Size() entries), and
+// the result's entry r holds the slice received from rank r. Alltoallv is a
+// synchronization point between all ranks.
+func (c *Comm) Alltoallv(out [][]int64) [][]int64 {
+	if len(out) != c.Size() {
+		panic(fmt.Sprintf("mpi: Alltoallv with %d buffers for %d ranks", len(out), c.Size()))
+	}
+	tag := c.nextSeq()
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		c.send(r, kindCollective, tag, out[r])
+	}
+	in := make([][]int64, c.Size())
+	cp := make([]int64, len(out[c.rank]))
+	copy(cp, out[c.rank])
+	in[c.rank] = cp
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		in[r] = c.recv(r, kindCollective, tag)
+	}
+	return in
+}
+
+// BcastI64 broadcasts a single value from root.
+func (c *Comm) BcastI64(root int, v int64) int64 {
+	if c.rank == root {
+		return c.Bcast(root, []int64{v})[0]
+	}
+	return c.Bcast(root, nil)[0]
+}

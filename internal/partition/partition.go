@@ -1,0 +1,256 @@
+// Package partition defines the partition representation and the quality
+// metrics used throughout the reproduction: edge cut, balance, boundary
+// size, communication volume and the quotient graph (paper §II-A).
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Partition assigns every node a block ID in [0, k). It is stored as a
+// plain slice indexed by node ID.
+type Partition []int32
+
+// New returns a partition of n nodes, all assigned to block 0.
+func New(n int32) Partition { return make(Partition, n) }
+
+// Clone returns a copy of p.
+func (p Partition) Clone() Partition {
+	c := make(Partition, len(p))
+	copy(c, p)
+	return c
+}
+
+// NumBlocks returns 1 + the largest block ID present (0 for an empty
+// partition).
+func (p Partition) NumBlocks() int32 {
+	var mx int32 = -1
+	for _, b := range p {
+		if b > mx {
+			mx = b
+		}
+	}
+	return mx + 1
+}
+
+// EdgeCut returns the total weight of edges whose endpoints lie in
+// different blocks.
+func EdgeCut(g *graph.Graph, p Partition) int64 {
+	var cut int64
+	n := g.NumNodes()
+	for v := int32(0); v < n; v++ {
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			if p[v] != p[u] {
+				cut += ws[i]
+			}
+		}
+	}
+	return cut / 2 // every cut edge counted from both endpoints
+}
+
+// BlockWeights returns the total node weight per block for a partition
+// into k blocks.
+func BlockWeights(g *graph.Graph, p Partition, k int32) []int64 {
+	w := make([]int64, k)
+	for v := int32(0); v < g.NumNodes(); v++ {
+		w[p[v]] += g.NW[v]
+	}
+	return w
+}
+
+// Lmax returns the balance bound (1+eps)*ceil(totalWeight/k) from §II-A.
+func Lmax(totalWeight int64, k int32, eps float64) int64 {
+	ceil := (totalWeight + int64(k) - 1) / int64(k)
+	return int64((1 + eps) * float64(ceil))
+}
+
+// Imbalance returns max_i c(V_i)/(c(V)/k) - 1, the conventional imbalance
+// measure. A perfectly balanced partition has imbalance 0.
+func Imbalance(g *graph.Graph, p Partition, k int32) float64 {
+	bw := BlockWeights(g, p, k)
+	total := g.TotalNodeWeight()
+	if total == 0 {
+		return 0
+	}
+	avg := float64(total) / float64(k)
+	var mx int64
+	for _, w := range bw {
+		if w > mx {
+			mx = w
+		}
+	}
+	return float64(mx)/avg - 1
+}
+
+// IsFeasible reports whether every block weight respects Lmax for the given
+// eps, and whether all block IDs are within [0, k).
+func IsFeasible(g *graph.Graph, p Partition, k int32, eps float64) bool {
+	for _, b := range p {
+		if b < 0 || b >= k {
+			return false
+		}
+	}
+	lmax := Lmax(g.TotalNodeWeight(), k, eps)
+	for _, w := range BlockWeights(g, p, k) {
+		if w > lmax {
+			return false
+		}
+	}
+	return true
+}
+
+// BoundaryNodes returns the nodes with at least one neighbour in a
+// different block (§II-A).
+func BoundaryNodes(g *graph.Graph, p Partition) []graph.NodeID {
+	var out []graph.NodeID
+	for v := int32(0); v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if p[v] != p[u] {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CommunicationVolume returns the total communication volume of the
+// partition: for every node, the number of distinct foreign blocks among
+// its neighbours, summed over all nodes. This is the "more realistic"
+// objective mentioned in §I and §VI.
+func CommunicationVolume(g *graph.Graph, p Partition, k int32) int64 {
+	seen := make([]int32, k)
+	for i := range seen {
+		seen[i] = -1
+	}
+	var vol int64
+	for v := int32(0); v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if p[u] != p[v] && seen[p[u]] != v {
+				seen[p[u]] = v
+				vol++
+			}
+		}
+	}
+	return vol
+}
+
+// MaxQuotientDegree returns the largest number of distinct neighbouring
+// blocks over all blocks — the "maximum quotient graph degree" objective
+// mentioned in §VI. For k PEs it bounds the number of communication
+// partners of the busiest PE.
+func MaxQuotientDegree(g *graph.Graph, p Partition, k int32) int32 {
+	adj := make(map[int64]bool)
+	for v := int32(0); v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if p[u] != p[v] {
+				adj[int64(p[v])*int64(k)+int64(p[u])] = true
+			}
+		}
+	}
+	deg := make([]int32, k)
+	for key := range adj {
+		deg[key/int64(k)]++
+	}
+	var mx int32
+	for _, d := range deg {
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// MaxCommVolume returns the communication volume of the busiest block: for
+// each block, the number of (node, foreign block) pairs its nodes must
+// send, maximized over blocks ("maximum communication volume", §VI).
+func MaxCommVolume(g *graph.Graph, p Partition, k int32) int64 {
+	seen := make([]int32, k)
+	for i := range seen {
+		seen[i] = -1
+	}
+	vol := make([]int64, k)
+	for v := int32(0); v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if p[u] != p[v] && seen[p[u]] != v {
+				seen[p[u]] = v
+				vol[p[v]]++
+			}
+		}
+	}
+	var mx int64
+	for _, x := range vol {
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}
+
+// QuotientGraph builds the weighted quotient graph of the partition
+// (§II-A): one node per block with weight equal to the block weight, and an
+// edge between two blocks with weight equal to the total weight of edges
+// running between them.
+func QuotientGraph(g *graph.Graph, p Partition, k int32) *graph.Graph {
+	b := graph.NewBuilder(k)
+	bw := BlockWeights(g, p, k)
+	for i := int32(0); i < k; i++ {
+		if bw[i] > 0 {
+			b.SetNodeWeight(i, bw[i])
+		}
+	}
+	for v := int32(0); v < g.NumNodes(); v++ {
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			if u > v && p[u] != p[v] {
+				b.AddEdgeW(p[v], p[u], ws[i])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Validate checks that p has one entry per node of g and block IDs in
+// [0, k).
+func Validate(g *graph.Graph, p Partition, k int32) error {
+	if int32(len(p)) != g.NumNodes() {
+		return fmt.Errorf("partition: %d entries for %d nodes", len(p), g.NumNodes())
+	}
+	for v, b := range p {
+		if b < 0 || b >= k {
+			return fmt.Errorf("partition: node %d has block %d outside [0,%d)", v, b, k)
+		}
+	}
+	return nil
+}
+
+// Report summarizes a partition's quality.
+type Report struct {
+	K         int32
+	Cut       int64
+	Imbalance float64
+	Boundary  int
+	CommVol   int64
+	Feasible  bool
+}
+
+// Evaluate computes a full quality report for p with imbalance bound eps.
+func Evaluate(g *graph.Graph, p Partition, k int32, eps float64) Report {
+	return Report{
+		K:         k,
+		Cut:       EdgeCut(g, p),
+		Imbalance: Imbalance(g, p, k),
+		Boundary:  len(BoundaryNodes(g, p)),
+		CommVol:   CommunicationVolume(g, p, k),
+		Feasible:  IsFeasible(g, p, k, eps),
+	}
+}
+
+// String renders the report on one line.
+func (r Report) String() string {
+	return fmt.Sprintf("k=%d cut=%d imbalance=%.4f boundary=%d commvol=%d feasible=%v",
+		r.K, r.Cut, r.Imbalance, r.Boundary, r.CommVol, r.Feasible)
+}

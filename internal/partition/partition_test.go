@@ -1,0 +1,226 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func twoBlocksOfPath(n int32) (*graph.Graph, Partition) {
+	g := graph.Path(n)
+	p := New(n)
+	for v := n / 2; v < n; v++ {
+		p[v] = 1
+	}
+	return g, p
+}
+
+func TestEdgeCutPath(t *testing.T) {
+	g, p := twoBlocksOfPath(10)
+	if cut := EdgeCut(g, p); cut != 1 {
+		t.Fatalf("cut = %d, want 1", cut)
+	}
+}
+
+func TestEdgeCutAllOneBlock(t *testing.T) {
+	g := graph.Complete(8)
+	p := New(8)
+	if cut := EdgeCut(g, p); cut != 0 {
+		t.Fatalf("cut = %d, want 0", cut)
+	}
+}
+
+func TestEdgeCutWeighted(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdgeW(0, 1, 7)
+	g := b.Build()
+	p := Partition{0, 1}
+	if cut := EdgeCut(g, p); cut != 7 {
+		t.Fatalf("cut = %d, want 7", cut)
+	}
+}
+
+func TestBlockWeights(t *testing.T) {
+	g, p := twoBlocksOfPath(10)
+	bw := BlockWeights(g, p, 2)
+	if bw[0] != 5 || bw[1] != 5 {
+		t.Fatalf("block weights = %v", bw)
+	}
+}
+
+func TestLmax(t *testing.T) {
+	// total 100, k=4, eps=0.03: ceil(100/4)=25, 25*1.03=25.75 -> 25
+	if l := Lmax(100, 4, 0.03); l != 25 {
+		t.Fatalf("Lmax = %d, want 25", l)
+	}
+	// total 10, k=3: ceil=4, 4*1.03=4.12 -> 4
+	if l := Lmax(10, 3, 0.03); l != 4 {
+		t.Fatalf("Lmax = %d, want 4", l)
+	}
+	if l := Lmax(100, 2, 0.5); l != 75 {
+		t.Fatalf("Lmax = %d, want 75", l)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	g, p := twoBlocksOfPath(10)
+	if im := Imbalance(g, p, 2); im != 0 {
+		t.Fatalf("imbalance = %v, want 0", im)
+	}
+	p2 := New(10) // everything in block 0, k=2
+	if im := Imbalance(g, p2, 2); im != 1 {
+		t.Fatalf("imbalance = %v, want 1", im)
+	}
+}
+
+func TestIsFeasible(t *testing.T) {
+	g, p := twoBlocksOfPath(10)
+	if !IsFeasible(g, p, 2, 0.03) {
+		t.Fatal("balanced bipartition should be feasible")
+	}
+	p2 := New(10)
+	if IsFeasible(g, p2, 2, 0.03) {
+		t.Fatal("everything-in-one-block should be infeasible")
+	}
+	p3 := p.Clone()
+	p3[0] = 5
+	if IsFeasible(g, p3, 2, 0.03) {
+		t.Fatal("out-of-range block should be infeasible")
+	}
+}
+
+func TestBoundaryNodes(t *testing.T) {
+	g, p := twoBlocksOfPath(10)
+	bn := BoundaryNodes(g, p)
+	if len(bn) != 2 || bn[0] != 4 || bn[1] != 5 {
+		t.Fatalf("boundary = %v, want [4 5]", bn)
+	}
+}
+
+func TestCommunicationVolume(t *testing.T) {
+	g, p := twoBlocksOfPath(10)
+	// Nodes 4 and 5 each see one foreign block.
+	if cv := CommunicationVolume(g, p, 2); cv != 2 {
+		t.Fatalf("comm vol = %d, want 2", cv)
+	}
+	// Star with leaves alternating blocks: hub sees 1 foreign block (hub in
+	// block 0, half the leaves in block 1), each block-1 leaf sees 1.
+	s := graph.Star(5)
+	sp := Partition{0, 1, 0, 1, 0}
+	if cv := CommunicationVolume(s, sp, 2); cv != 3 {
+		t.Fatalf("star comm vol = %d, want 3", cv)
+	}
+}
+
+func TestMaxQuotientDegree(t *testing.T) {
+	g, p := twoBlocksOfPath(10)
+	if d := MaxQuotientDegree(g, p, 2); d != 1 {
+		t.Fatalf("path bipartition max quotient degree = %d", d)
+	}
+	// Star with hub in block 0 and leaves in blocks 1..4: block 0 touches 4
+	// blocks.
+	s := graph.Star(5)
+	sp := Partition{0, 1, 2, 3, 0}
+	if d := MaxQuotientDegree(s, sp, 4); d != 3 {
+		t.Fatalf("star max quotient degree = %d, want 3", d)
+	}
+	// Single block: degree 0.
+	if d := MaxQuotientDegree(g, New(10), 2); d != 0 {
+		t.Fatalf("single-block quotient degree = %d", d)
+	}
+}
+
+func TestMaxCommVolume(t *testing.T) {
+	g, p := twoBlocksOfPath(10)
+	// Each block sends exactly one (node, block) pair.
+	if v := MaxCommVolume(g, p, 2); v != 1 {
+		t.Fatalf("path max comm volume = %d", v)
+	}
+	// The max is bounded by the total.
+	s := graph.Star(6)
+	sp := Partition{0, 1, 1, 0, 1, 0}
+	if mx, tot := MaxCommVolume(s, sp, 2), CommunicationVolume(s, sp, 2); mx > tot {
+		t.Fatalf("max %d exceeds total %d", mx, tot)
+	}
+}
+
+func TestQuotientGraph(t *testing.T) {
+	g, p := twoBlocksOfPath(10)
+	q := QuotientGraph(g, p, 2)
+	if q.NumNodes() != 2 || q.NumEdges() != 1 {
+		t.Fatalf("quotient %v", q)
+	}
+	if q.NW[0] != 5 || q.NW[1] != 5 {
+		t.Fatalf("quotient node weights %v", q.NW)
+	}
+	if w, ok := q.HasEdge(0, 1); !ok || w != 1 {
+		t.Fatalf("quotient edge weight %d", w)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property from the paper (§III): contracting a clustering preserves cut and
+// balance; the quotient graph's total edge weight equals the original cut.
+func TestQuotientPreservesCut(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		b := graph.NewBuilder(30)
+		for i := 0; i < 120; i++ {
+			u, v := r.Int31n(30), r.Int31n(30)
+			if u != v {
+				b.AddEdgeW(u, v, r.Int64n(4)+1)
+			}
+		}
+		g := b.Build()
+		k := int32(4)
+		p := New(30)
+		for v := range p {
+			p[v] = r.Int31n(k)
+		}
+		q := QuotientGraph(g, p, k)
+		return q.TotalEdgeWeight() == EdgeCut(g, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidatePartition(t *testing.T) {
+	g := graph.Path(5)
+	if err := Validate(g, New(5), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, New(4), 2); err == nil {
+		t.Fatal("expected error for wrong length")
+	}
+	bad := New(5)
+	bad[2] = 7
+	if err := Validate(g, bad, 2); err == nil {
+		t.Fatal("expected error for out-of-range block")
+	}
+}
+
+func TestEvaluateReport(t *testing.T) {
+	g, p := twoBlocksOfPath(10)
+	rep := Evaluate(g, p, 2, 0.03)
+	if rep.Cut != 1 || !rep.Feasible || rep.Boundary != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestNumBlocks(t *testing.T) {
+	p := Partition{0, 2, 1, 2}
+	if p.NumBlocks() != 3 {
+		t.Fatalf("NumBlocks = %d", p.NumBlocks())
+	}
+	if New(0).NumBlocks() != 0 {
+		t.Fatal("empty partition should have 0 blocks")
+	}
+}

@@ -1,0 +1,67 @@
+package sclp
+
+import (
+	"testing"
+
+	"repro/internal/dgraph"
+	"repro/internal/gen"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+)
+
+func BenchmarkClusterCommunity(b *testing.B) {
+	g, _ := gen.PlantedPartition(20000, 100, 10, 0.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cluster(g, ClusterConfig{U: 600, Iterations: 3, DegreeOrder: true, Seed: uint64(i + 1)})
+	}
+}
+
+func BenchmarkClusterMesh(b *testing.B) {
+	g := gen.DelaunayLike(20000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cluster(g, ClusterConfig{U: 600, Iterations: 3, DegreeOrder: true, Seed: uint64(i + 1)})
+	}
+}
+
+func BenchmarkRefineSeq(b *testing.B) {
+	g := gen.DelaunayLike(20000, 2)
+	lmax := partition.Lmax(g.TotalNodeWeight(), 4, 0.03)
+	base := make([]int32, g.NumNodes())
+	for v := int32(0); v < g.NumNodes(); v++ {
+		base[v] = v % 4
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := append([]int32(nil), base...)
+		Refine(g, p, RefineConfig{K: 4, Lmax: lmax, Iterations: 6, Seed: uint64(i + 1)})
+	}
+}
+
+func BenchmarkParClusterP4(b *testing.B) {
+	g, _ := gen.PlantedPartition(20000, 100, 10, 0.5, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mpi.NewWorld(4).Run(func(c *mpi.Comm) {
+			d := dgraph.FromGraph(c, g)
+			ParCluster(d, ParClusterConfig{U: 600, Iterations: 3, DegreeOrder: true, Seed: uint64(i + 1)})
+		})
+	}
+}
+
+func BenchmarkParRefineP4(b *testing.B) {
+	g := gen.DelaunayLike(20000, 4)
+	lmax := partition.Lmax(g.TotalNodeWeight(), 4, 0.03)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mpi.NewWorld(4).Run(func(c *mpi.Comm) {
+			d := dgraph.FromGraph(c, g)
+			part := make([]int64, d.NTotal())
+			for v := int32(0); v < d.NTotal(); v++ {
+				part[v] = d.ToGlobal(v) % 4
+			}
+			ParRefine(d, part, ParRefineConfig{K: 4, Lmax: lmax, Iterations: 6, Seed: uint64(i + 1)})
+		})
+	}
+}

@@ -1,0 +1,356 @@
+package sclp
+
+import (
+	"sort"
+
+	"repro/internal/dgraph"
+	"repro/internal/hashtab"
+	"repro/internal/rng"
+)
+
+// ParClusterConfig controls the parallel clustering run (§IV-A/B).
+type ParClusterConfig struct {
+	// U is the cluster weight bound; during coarsening the constraint is
+	// soft and enforced against locally maintained block weights only.
+	U int64
+	// Iterations is the number of label propagation rounds.
+	Iterations int
+	// DegreeOrder traverses local nodes by ascending local degree in the
+	// first round (the paper parallelizes the degree ordering "by
+	// considering only the local nodes").
+	DegreeOrder bool
+	// PhasesPerRound splits each round into communication phases: after
+	// each phase the labels of changed interface nodes are exchanged with
+	// adjacent PEs. This realizes the paper's overlapped phase scheme
+	// (updates from phase kappa arrive before phase kappa+1) in BSP form.
+	PhasesPerRound int
+	// Constraint, when non-nil, has NTotal entries (ghosts in sync) and
+	// restricts moves to clusters with the same constraint label (V-cycle
+	// rule, §IV-D).
+	Constraint []int64
+	// Seed drives traversal order and tie breaking; each rank derives its
+	// own stream.
+	Seed uint64
+}
+
+// ParCluster runs parallel size-constrained label propagation on the
+// distributed graph and returns a label per local+ghost node (ghost entries
+// synchronized). Labels are global node IDs of cluster representatives.
+// Collective.
+func ParCluster(d *dgraph.DGraph, cfg ParClusterConfig) []int64 {
+	if cfg.PhasesPerRound < 1 {
+		cfg.PhasesPerRound = 8
+	}
+	nt := d.NTotal()
+	labels := make([]int64, nt)
+	for v := int32(0); v < nt; v++ {
+		labels[v] = d.ToGlobal(v)
+	}
+	// Locally maintained cluster weights (paper §IV-B, coarsening): each PE
+	// tracks the weights of clusters containing its local and ghost nodes.
+	weight := hashtab.NewMapI64(int(nt) + 16)
+	for v := int32(0); v < nt; v++ {
+		weight.Put(labels[v], d.NW[v])
+	}
+	r := rng.New(cfg.Seed).Split(uint64(d.Comm.Rank()))
+	conn := hashtab.NewAccumulatorI64(64)
+
+	order := localOrder(d, cfg.DegreeOrder, r)
+	changedSet := make(map[int32]bool)
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		if iter > 0 {
+			r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		var movedLocal int64
+		// Every rank executes exactly PhasesPerRound phases regardless of
+		// its local node count (phases are collective synchronization
+		// points; ranks with few or no local nodes still participate).
+		for ph := 0; ph < cfg.PhasesPerRound; ph++ {
+			start := ph * len(order) / cfg.PhasesPerRound
+			end := (ph + 1) * len(order) / cfg.PhasesPerRound
+			for _, v := range order[start:end] {
+				if parMoveNode(d, v, labels, weight, cfg.Constraint, cfg.U, conn, r) {
+					movedLocal++
+					if d.IsInterface(v) {
+						changedSet[v] = true
+					}
+				}
+			}
+			exchangeLabels(d, labels, weight, changedSet)
+		}
+		if d.Comm.AllreduceSum1(movedLocal) == 0 {
+			break
+		}
+	}
+	return labels
+}
+
+// localOrder computes the traversal order of local nodes.
+func localOrder(d *dgraph.DGraph, degreeOrder bool, r *rng.RNG) []int32 {
+	nl := int(d.NLocal())
+	order := make([]int32, nl)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	if degreeOrder {
+		sort.Slice(order, func(i, j int) bool {
+			di, dj := d.Degree(order[i]), d.Degree(order[j])
+			if di != dj {
+				return di < dj
+			}
+			return order[i] < order[j]
+		})
+	} else {
+		r.Shuffle(nl, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	return order
+}
+
+// parMoveNode is the parallel counterpart of moveNode: cluster weights come
+// from the locally maintained map.
+func parMoveNode(d *dgraph.DGraph, v int32, labels []int64, weight *hashtab.MapI64,
+	constraint []int64, u int64, conn *hashtab.AccumulatorI64, r *rng.RNG) bool {
+
+	nbrs := d.Neighbors(v)
+	if len(nbrs) == 0 {
+		return false
+	}
+	ws := d.EdgeWeights(v)
+	conn.Reset()
+	for i, nb := range nbrs {
+		if constraint != nil && constraint[nb] != constraint[v] {
+			continue
+		}
+		conn.Add(labels[nb], ws[i])
+	}
+	cur := labels[v]
+	curConn, _ := conn.Get(cur)
+	best := cur
+	bestConn := curConn
+	ties := 1
+	nw := d.NW[v]
+	conn.ForEach(func(label, c int64) {
+		if label == cur {
+			return
+		}
+		lw, _ := weight.Get(label)
+		if lw+nw > u {
+			return
+		}
+		switch {
+		case c > bestConn:
+			best, bestConn, ties = label, c, 1
+		case c == bestConn && label != cur:
+			ties++
+			if r.Intn(ties) == 0 {
+				best = label
+			}
+		}
+	})
+	if best == cur {
+		return false
+	}
+	cw, _ := weight.Get(cur)
+	weight.Put(cur, cw-nw)
+	bw, _ := weight.Get(best)
+	weight.Put(best, bw+nw)
+	labels[v] = best
+	return true
+}
+
+// exchangeLabels sends (globalID, newLabel) for the changed interface nodes
+// to adjacent PEs and applies incoming updates, moving the ghost's weight
+// between the locally tracked clusters. Collective.
+func exchangeLabels(d *dgraph.DGraph, labels []int64, weight *hashtab.MapI64, changed map[int32]bool) {
+	size := d.Comm.Size()
+	out := make([][]int64, size)
+	for v := range changed {
+		for _, rk := range d.AdjacentRanks(v) {
+			out[rk] = append(out[rk], d.ToGlobal(v), labels[v])
+		}
+	}
+	clear(changed)
+	in := d.Comm.Alltoallv(out)
+	for _, buf := range in {
+		for i := 0; i+1 < len(buf); i += 2 {
+			lu, ok := d.ToLocal(buf[i])
+			if !ok || !d.IsGhost(lu) {
+				continue
+			}
+			old := labels[lu]
+			nl := buf[i+1]
+			if old == nl {
+				continue
+			}
+			if weight != nil {
+				gw := d.NW[lu]
+				ow, _ := weight.Get(old)
+				weight.Put(old, ow-gw)
+				nw, _ := weight.Get(nl)
+				weight.Put(nl, nw+gw)
+			}
+			labels[lu] = nl
+		}
+	}
+}
+
+// ParRefineConfig controls the parallel refinement run (§IV-B,
+// uncoarsening): the number of blocks is small, the constraint is tight,
+// and exact global block weights are restored by one allreduce at the end
+// of every computation phase.
+type ParRefineConfig struct {
+	K    int32
+	Lmax int64
+	// Iterations is the number of refinement rounds (paper: r = 6).
+	Iterations int
+	// PhasesPerRound splits rounds into phases; block weights are made
+	// exact after each phase.
+	PhasesPerRound int
+	// Seed drives traversal order and tie breaking per rank.
+	Seed uint64
+}
+
+// ParRefine improves the distributed partition part (NTotal entries, ghosts
+// synced; values in [0, K)) in place and returns the global number of moves.
+// To keep concurrent phases from overshooting Lmax, each rank limits the
+// weight it adds to any block during one phase to its share of the block's
+// remaining headroom; with exact weights at phase starts, blocks therefore
+// never exceed Lmax. Collective.
+func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
+	if cfg.PhasesPerRound < 1 {
+		cfg.PhasesPerRound = 8
+	}
+	if cfg.Iterations <= 0 {
+		return 0
+	}
+	k := cfg.K
+	nl := d.NLocal()
+	// localContrib[b] = node weight local nodes contribute to block b.
+	localContrib := make([]int64, k)
+	for v := int32(0); v < nl; v++ {
+		localContrib[part[v]] += d.NW[v]
+	}
+	blockWeight := d.Comm.AllreduceSum(localContrib)
+	// headroom[b]: weight this rank may still add to b this phase.
+	headroom := make([]int64, k)
+	P := int64(d.Comm.Size())
+	resetHeadroom := func() {
+		for b := int32(0); b < k; b++ {
+			h := cfg.Lmax - blockWeight[b]
+			if h < 0 {
+				h = 0
+			}
+			headroom[b] = h / P
+		}
+	}
+	r := rng.New(cfg.Seed).Split(uint64(d.Comm.Rank()))
+	conn := hashtab.NewAccumulatorI64(64)
+	order := localOrder(d, false, r)
+	changedSet := make(map[int32]bool)
+	var totalMoves int64
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		if iter > 0 {
+			r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		var movedLocal int64
+		// Fixed phase count on every rank (see ParCluster): phases are
+		// collective synchronization points.
+		for ph := 0; ph < cfg.PhasesPerRound; ph++ {
+			start := ph * len(order) / cfg.PhasesPerRound
+			end := (ph + 1) * len(order) / cfg.PhasesPerRound
+			resetHeadroom()
+			for _, v := range order[start:end] {
+				if parRefineNode(d, v, part, blockWeight, localContrib, headroom, cfg.Lmax, conn, r) {
+					movedLocal++
+					if d.IsInterface(v) {
+						changedSet[v] = true
+					}
+				}
+			}
+			exchangeLabels(d, part, nil, changedSet)
+			// Restore exact block weights (one allreduce per phase).
+			blockWeight = d.Comm.AllreduceSum(localContrib)
+		}
+		moved := d.Comm.AllreduceSum1(movedLocal)
+		totalMoves += moved
+		if moved == 0 {
+			break
+		}
+	}
+	return totalMoves
+}
+
+func parRefineNode(d *dgraph.DGraph, v int32, part []int64,
+	blockWeight, localContrib, headroom []int64, lmax int64,
+	conn *hashtab.AccumulatorI64, r *rng.RNG) bool {
+
+	nbrs := d.Neighbors(v)
+	if len(nbrs) == 0 {
+		return false
+	}
+	ws := d.EdgeWeights(v)
+	conn.Reset()
+	for i, nb := range nbrs {
+		conn.Add(part[nb], ws[i])
+	}
+	cur := part[v]
+	nw := d.NW[v]
+	overloaded := blockWeight[cur] > lmax
+	curConn, _ := conn.Get(cur)
+
+	eligible := func(b int64) bool {
+		return blockWeight[b]+nw <= lmax && headroom[b] >= nw
+	}
+	best := int64(-1)
+	var bestConn int64 = -1
+	ties := 0
+	conn.ForEach(func(label, c int64) {
+		if label == cur || !eligible(label) {
+			return
+		}
+		switch {
+		case c > bestConn:
+			best, bestConn, ties = label, c, 1
+		case c == bestConn:
+			ties++
+			if r.Intn(ties) == 0 {
+				best = label
+			}
+		}
+	})
+	if best < 0 {
+		if !overloaded {
+			return false
+		}
+		// Overloaded node with no eligible neighbouring block: lightest
+		// eligible block overall (see the sequential variant).
+		for b := int64(0); b < int64(len(blockWeight)); b++ {
+			if b == cur || !eligible(b) {
+				continue
+			}
+			if best < 0 || blockWeight[b] < blockWeight[best] {
+				best = b
+			}
+		}
+		if best < 0 {
+			return false
+		}
+	}
+	if !overloaded {
+		if bestConn < curConn {
+			return false
+		}
+		if bestConn == curConn && blockWeight[best]+nw >= blockWeight[cur] {
+			return false
+		}
+	}
+	blockWeight[cur] -= nw
+	blockWeight[best] += nw
+	localContrib[cur] -= nw
+	localContrib[best] += nw
+	headroom[best] -= nw
+	part[v] = best
+	return true
+}

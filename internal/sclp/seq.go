@@ -1,0 +1,251 @@
+// Package sclp implements size-constrained label propagation (§III-A of
+// the paper), sequentially and in parallel over a distributed graph.
+//
+// Label propagation starts with every node in its own cluster and
+// repeatedly moves each node to the eligible neighbouring cluster with the
+// strongest edge connection, breaking ties randomly. A cluster is eligible
+// when moving the node keeps its weight within the upper bound U. With
+// U = Lmax/f the algorithm computes the clusterings contracted during
+// coarsening; with U = Lmax it doubles as the local search used during
+// uncoarsening, where nodes of overloaded blocks are forced to move out.
+package sclp
+
+import (
+	"repro/internal/graph"
+	"repro/internal/hashtab"
+	"repro/internal/rng"
+)
+
+// ClusterConfig controls the sequential clustering run.
+type ClusterConfig struct {
+	// U is the upper bound on cluster weight (paper: max(max_v c(v), W)).
+	U int64
+	// Iterations is the number of label propagation rounds (paper: ell).
+	Iterations int
+	// DegreeOrder traverses nodes in ascending-degree order in the first
+	// round (paper §III-A); later rounds use random order.
+	DegreeOrder bool
+	// Constraint, when non-nil, restricts clusters to stay within one
+	// block of a reference partition: a node may only join clusters whose
+	// members share its constraint label. This realizes the V-cycle rule
+	// that "each cluster of the computed clustering is a subset of a block
+	// of the input partition" (§IV-D), which keeps cut edges uncontracted.
+	Constraint []int32
+	// Seed drives traversal order and tie breaking.
+	Seed uint64
+}
+
+// Cluster runs size-constrained label propagation and returns a cluster
+// label per node. Labels are drawn from the node ID space (a cluster's
+// label is the ID of one of its members); they are not contiguous.
+func Cluster(g *graph.Graph, cfg ClusterConfig) []int32 {
+	n := g.NumNodes()
+	labels := make([]int32, n)
+	weight := make([]int64, n) // weight[label] = cluster weight
+	for v := int32(0); v < n; v++ {
+		labels[v] = v
+		weight[v] = g.NW[v]
+	}
+	if n == 0 || cfg.Iterations <= 0 {
+		return labels
+	}
+	r := rng.New(cfg.Seed)
+	conn := hashtab.NewAccumulatorI64(64)
+	var order []int32
+	if cfg.DegreeOrder {
+		order = graph.DegreeOrder(g)
+	} else {
+		order = r.Perm(int(n))
+	}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		if iter > 0 {
+			r.Shuffle(int(n), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		moved := 0
+		for _, v := range order {
+			if moveNode(g, v, labels, weight, cfg.Constraint, cfg.U, conn, r) {
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	return labels
+}
+
+// moveNode evaluates node v and moves it to the strongest eligible cluster.
+// It reports whether the label changed.
+func moveNode(g *graph.Graph, v int32, labels []int32, weight []int64,
+	constraint []int32, u int64, conn *hashtab.AccumulatorI64, r *rng.RNG) bool {
+
+	nbrs := g.Neighbors(v)
+	if len(nbrs) == 0 {
+		return false
+	}
+	ws := g.EdgeWeights(v)
+	conn.Reset()
+	for i, nb := range nbrs {
+		if constraint != nil && constraint[nb] != constraint[v] {
+			continue
+		}
+		conn.Add(int64(labels[nb]), ws[i])
+	}
+	cur := labels[v]
+	curConn, _ := conn.Get(int64(cur))
+	best := cur
+	bestConn := curConn
+	ties := 1
+	conn.ForEach(func(label, c int64) {
+		l := int32(label)
+		if l == cur {
+			return
+		}
+		// Eligible when the target stays within the bound after the move.
+		if weight[l]+g.NW[v] > u {
+			return
+		}
+		switch {
+		case c > bestConn:
+			best, bestConn, ties = l, c, 1
+		case c == bestConn && l != cur:
+			// Reservoir sampling over tied candidates for random tie
+			// breaking (staying put participates as the incumbent).
+			ties++
+			if r.Intn(ties) == 0 {
+				best = l
+			}
+		}
+	})
+	if best == cur {
+		return false
+	}
+	weight[cur] -= g.NW[v]
+	weight[best] += g.NW[v]
+	labels[v] = best
+	return true
+}
+
+// RefineConfig controls the sequential refinement run.
+type RefineConfig struct {
+	// K is the number of blocks.
+	K int32
+	// Lmax is the tight balance bound (1+eps)*ceil(c(V)/k).
+	Lmax int64
+	// Iterations is the number of refinement rounds (paper: r, default 6).
+	Iterations int
+	// Seed drives traversal order and tie breaking.
+	Seed uint64
+}
+
+// Refine improves partition p in place using label propagation with the
+// balance constraint of the partitioning problem (§III-A, last paragraph):
+// a node of a non-overloaded block moves only to an eligible block with
+// connection at least as strong as its own block's (so the cut never
+// increases); a node of an overloaded block moves to its strongest eligible
+// other block regardless, trading cut for balance. Returns the number of
+// moves performed.
+func Refine(g *graph.Graph, p []int32, cfg RefineConfig) int {
+	n := g.NumNodes()
+	if n == 0 || cfg.Iterations <= 0 {
+		return 0
+	}
+	weight := make([]int64, cfg.K)
+	for v := int32(0); v < n; v++ {
+		weight[p[v]] += g.NW[v]
+	}
+	r := rng.New(cfg.Seed)
+	conn := hashtab.NewAccumulatorI64(64)
+	order := r.Perm(int(n))
+	totalMoves := 0
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		if iter > 0 {
+			r.Shuffle(int(n), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		moved := 0
+		for _, v := range order {
+			if refineNode(g, v, p, weight, cfg.Lmax, conn, r) {
+				moved++
+			}
+		}
+		totalMoves += moved
+		if moved == 0 {
+			break
+		}
+	}
+	return totalMoves
+}
+
+func refineNode(g *graph.Graph, v int32, p []int32, weight []int64,
+	lmax int64, conn *hashtab.AccumulatorI64, r *rng.RNG) bool {
+
+	nbrs := g.Neighbors(v)
+	if len(nbrs) == 0 {
+		return false
+	}
+	ws := g.EdgeWeights(v)
+	conn.Reset()
+	for i, nb := range nbrs {
+		conn.Add(int64(p[nb]), ws[i])
+	}
+	cur := p[v]
+	overloaded := weight[cur] > lmax
+	curConn, _ := conn.Get(int64(cur))
+
+	best := int32(-1)
+	var bestConn int64 = -1
+	ties := 0
+	conn.ForEach(func(label, c int64) {
+		b := int32(label)
+		if b == cur {
+			return
+		}
+		if weight[b]+g.NW[v] > lmax {
+			return
+		}
+		switch {
+		case c > bestConn:
+			best, bestConn, ties = b, c, 1
+		case c == bestConn:
+			ties++
+			if r.Intn(ties) == 0 {
+				best = b
+			}
+		}
+	})
+	if best < 0 {
+		if !overloaded {
+			return false
+		}
+		// Overloaded node with no eligible neighbouring block: fall back to
+		// the globally lightest block so feasibility can always be
+		// restored. (Extension beyond the paper's rule, which only
+		// considers neighbouring blocks; without it a block with no
+		// boundary to an underloaded block could stay overloaded forever.)
+		for b := int32(0); b < int32(len(weight)); b++ {
+			if b == cur {
+				continue
+			}
+			if best < 0 || weight[b] < weight[best] {
+				best = b
+			}
+		}
+		if best < 0 || weight[best]+g.NW[v] > lmax {
+			return false
+		}
+	}
+	if !overloaded {
+		// Never worsen the cut: require at least as strong a connection,
+		// and only take equal-connection moves when they help balance.
+		if bestConn < curConn {
+			return false
+		}
+		if bestConn == curConn && weight[best]+g.NW[v] >= weight[cur] {
+			return false
+		}
+	}
+	weight[cur] -= g.NW[v]
+	weight[best] += g.NW[v]
+	p[v] = best
+	return true
+}

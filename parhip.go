@@ -1,0 +1,264 @@
+// Package parhip is a Go reproduction of "Parallel Graph Partitioning for
+// Complex Networks" (Meyerhenke, Sanders, Schulz, IPDPS 2015) — the system
+// known as ParHIP.
+//
+// The package partitions an undirected graph into k blocks of nearly equal
+// weight while minimizing the number (weight) of cut edges. It targets
+// complex networks (social networks, web graphs) whose heavy-tailed degree
+// distributions defeat classical matching-based multilevel partitioners,
+// using parallel size-constrained label propagation for both coarsening and
+// refinement, and a distributed evolutionary algorithm on the coarsest
+// graph. Parallelism runs on simulated message-passing ranks (goroutines),
+// standing in for the paper's MPI processes.
+//
+// Quick start:
+//
+//	g := parhip.NewBuilder(4)
+//	g.AddEdge(0, 1)
+//	g.AddEdge(1, 2)
+//	g.AddEdge(2, 3)
+//	res, err := parhip.Partition(g.Build(), 2, parhip.Options{})
+//
+// See the examples directory for realistic scenarios.
+package parhip
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/evo"
+	"repro/internal/graph"
+	"repro/internal/matchbase"
+	"repro/internal/modularity"
+	"repro/internal/partition"
+)
+
+// Graph is the CSR graph type accepted by the partitioner. Construct
+// instances with NewBuilder or ReadMetis.
+type Graph = graph.Graph
+
+// Builder incrementally assembles a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a builder for a graph with n nodes (unit weights by
+// default).
+func NewBuilder(n int32) *Builder { return graph.NewBuilder(n) }
+
+// ReadMetis parses a graph in METIS format.
+func ReadMetis(r io.Reader) (*Graph, error) { return graph.ReadMetis(r) }
+
+// WriteMetis writes a graph in METIS format.
+func WriteMetis(w io.Writer, g *Graph) error { return graph.WriteMetis(w, g) }
+
+// ReadBinary parses a graph in the package's fast binary format.
+func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteBinary writes a graph in the package's fast binary format.
+func WriteBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// Mode selects the quality/time trade-off (§V-A of the paper).
+type Mode int
+
+// Modes. Fast performs two V-cycles with the evolutionary algorithm
+// computing only its initial population; Eco performs five V-cycles with an
+// actual evolutionary search; Minimal performs a single V-cycle.
+const (
+	Fast Mode = iota
+	Eco
+	Minimal
+)
+
+// GraphClass tells the coarsening which size-constraint factor to use.
+type GraphClass int
+
+// Graph classes: social/web graphs use f=14, mesh-like graphs f=20000
+// (§V-A).
+const (
+	Social GraphClass = iota
+	Mesh
+)
+
+// Options configures Partition. The zero value requests the Fast mode on a
+// social-type graph with 4 simulated PEs, 3% imbalance and seed 1.
+type Options struct {
+	// PEs is the number of simulated processing elements (default 4).
+	PEs int
+	// Mode is the quality/time setting (default Fast).
+	Mode Mode
+	// Class is the graph type (default Social).
+	Class GraphClass
+	// Eps is the allowed imbalance (default 0.03).
+	Eps float64
+	// Seed makes runs reproducible (default 1).
+	Seed uint64
+	// EvoTimeBudget optionally gives the evolutionary algorithm a
+	// wall-clock budget, divided by the number of PEs as in the paper's
+	// eco setting.
+	EvoTimeBudget time.Duration
+	// Objective selects the fitness minimized by the evolutionary search
+	// on the coarsest graph (default: edge cut).
+	Objective Objective
+	// Prepartition optionally supplies an existing k-way partition (e.g. a
+	// geographic or hash placement, §VI) that is fed into the first
+	// V-cycle and improved; the result is never worse than the input.
+	Prepartition []int32
+}
+
+// Objective selects the optimization target of the coarsest-level
+// evolutionary search (§VI extension).
+type Objective = evo.Objective
+
+// Objectives.
+const (
+	// MinimizeCut minimizes the total weight of cut edges (the paper's
+	// objective, default).
+	MinimizeCut = evo.ObjectiveCut
+	// MinimizeCommVolume minimizes the total communication volume.
+	MinimizeCommVolume = evo.ObjectiveCommVol
+	// MinimizeMaxCommVolume minimizes the busiest block's volume.
+	MinimizeMaxCommVolume = evo.ObjectiveMaxCommVol
+	// MinimizeMaxQuotientDegree minimizes the maximum number of
+	// neighbouring blocks.
+	MinimizeMaxQuotientDegree = evo.ObjectiveMaxQuotientDegree
+)
+
+// Result of a partitioning run.
+type Result struct {
+	// Part assigns every node a block in [0, k).
+	Part []int32
+	// Cut is the weight of edges between different blocks.
+	Cut int64
+	// Imbalance is max block weight / average block weight - 1.
+	Imbalance float64
+	// Feasible reports whether every block respects (1+eps)*ceil(W/k).
+	Feasible bool
+	// Stats carries detailed level/timing/communication data.
+	Stats core.Stats
+}
+
+func (o Options) coreConfig(k int32) core.Config {
+	class := core.ClassSocial
+	if o.Class == Mesh {
+		class = core.ClassMesh
+	}
+	var cfg core.Config
+	switch o.Mode {
+	case Eco:
+		cfg = core.EcoConfig(k, class)
+	case Minimal:
+		cfg = core.MinimalConfig(k, class)
+	default:
+		cfg = core.FastConfig(k, class)
+	}
+	if o.Eps > 0 {
+		cfg.Eps = o.Eps
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	cfg.EvoTimeBudget = o.EvoTimeBudget
+	cfg.Objective = o.Objective
+	cfg.Prepartition = o.Prepartition
+	return cfg
+}
+
+func (o Options) pes() int {
+	if o.PEs <= 0 {
+		return 4
+	}
+	return o.PEs
+}
+
+// Partition computes a k-way partition of g with the ParHIP algorithm.
+func Partition(g *Graph, k int32, opt Options) (Result, error) {
+	if g == nil {
+		return Result{}, fmt.Errorf("parhip: nil graph")
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("parhip: k = %d", k)
+	}
+	res, err := core.Run(opt.pes(), g, opt.coreConfig(k))
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Part:      res.Part,
+		Cut:       res.Stats.Cut,
+		Imbalance: res.Stats.Imbalance,
+		Feasible:  res.Stats.Feasible,
+		Stats:     res.Stats,
+	}, nil
+}
+
+// PartitionBaseline computes a k-way partition with the ParMETIS-style
+// matching-based baseline the paper compares against. memoryBudgetNodes
+// bounds the size of the coarsest graph a PE may replicate (0 = unlimited);
+// beyond it the run fails like ParMETIS running out of memory in the
+// paper's tables.
+func PartitionBaseline(g *Graph, k int32, opt Options, memoryBudgetNodes int64) (Result, error) {
+	if g == nil {
+		return Result{}, fmt.Errorf("parhip: nil graph")
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("parhip: k = %d", k)
+	}
+	cfg := matchbase.DefaultConfig(k)
+	if opt.Eps > 0 {
+		cfg.Eps = opt.Eps
+	}
+	if opt.Seed != 0 {
+		cfg.Seed = opt.Seed
+	}
+	cfg.MemoryBudgetNodes = memoryBudgetNodes
+	res, err := matchbase.Run(opt.pes(), g, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Part:      res.Part,
+		Cut:       res.Stats.Cut,
+		Imbalance: res.Stats.Imbalance,
+		Feasible:  res.Stats.Feasible,
+	}, nil
+}
+
+// EdgeCut returns the weight of edges crossing between blocks of p.
+func EdgeCut(g *Graph, p []int32) int64 {
+	return partition.EdgeCut(g, p)
+}
+
+// Imbalance returns max block weight over average block weight, minus 1.
+func Imbalance(g *Graph, p []int32, k int32) float64 {
+	return partition.Imbalance(g, p, k)
+}
+
+// CommunicationVolume returns the total communication volume of p — for
+// every node, the number of distinct foreign blocks among its neighbours.
+func CommunicationVolume(g *Graph, p []int32, k int32) int64 {
+	return partition.CommunicationVolume(g, p, k)
+}
+
+// IsFeasible reports whether p respects the balance bound
+// (1+eps)*ceil(W/k) for every block.
+func IsFeasible(g *Graph, p []int32, k int32, eps float64) bool {
+	return partition.IsFeasible(g, p, k, eps)
+}
+
+// ClusterModularity computes a multilevel modularity clustering of g (the
+// §VI graph-clustering extension): no block count and no balance bound,
+// maximizing Newman's modularity instead. It returns the cluster of each
+// node and the achieved modularity.
+func ClusterModularity(g *Graph, seed uint64) ([]int32, float64) {
+	cfg := modularity.DefaultConfig()
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	return modularity.Cluster(g, cfg)
+}
+
+// Modularity returns Newman's modularity of a clustering of g.
+func Modularity(g *Graph, clusters []int32) float64 {
+	return modularity.Modularity(g, clusters)
+}

@@ -1,0 +1,155 @@
+package parhip
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestPartitionPublicAPI(t *testing.T) {
+	g, _ := gen.PlantedPartition(3000, 20, 10, 0.5, 1)
+	res, err := Partition(g, 4, Options{PEs: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Part) != int(g.NumNodes()) {
+		t.Fatalf("partition length %d", len(res.Part))
+	}
+	if !res.Feasible {
+		t.Fatalf("infeasible: imbalance %.4f", res.Imbalance)
+	}
+	if res.Cut != EdgeCut(g, res.Part) {
+		t.Fatalf("reported cut %d != recomputed %d", res.Cut, EdgeCut(g, res.Part))
+	}
+	if !IsFeasible(g, res.Part, 4, 0.03) {
+		t.Fatal("IsFeasible disagrees with Feasible")
+	}
+}
+
+func TestPartitionModes(t *testing.T) {
+	g, _ := gen.PlantedPartition(1500, 12, 9, 0.5, 2)
+	for _, m := range []Mode{Fast, Eco, Minimal} {
+		res, err := Partition(g, 2, Options{PEs: 2, Mode: m, Seed: 1})
+		if err != nil {
+			t.Fatalf("mode %d: %v", m, err)
+		}
+		if !res.Feasible {
+			t.Errorf("mode %d infeasible", m)
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(nil, 2, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g := NewBuilder(4)
+	g.AddEdge(0, 1)
+	if _, err := Partition(g.Build(), 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := PartitionBaseline(nil, 2, Options{}, 0); err == nil {
+		t.Fatal("nil graph accepted by baseline")
+	}
+	if _, err := PartitionBaseline(Star(5), 0, Options{}, 0); err == nil {
+		t.Fatal("k=0 accepted by baseline")
+	}
+}
+
+// Star builds a small star graph for the error tests.
+func Star(n int32) *Graph {
+	b := NewBuilder(n)
+	for v := int32(1); v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+func TestBaselinePublicAPI(t *testing.T) {
+	g := gen.DelaunayLike(2000, 3)
+	res, err := PartitionBaseline(g, 2, Options{PEs: 2, Class: Mesh, Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("baseline infeasible: %.4f", res.Imbalance)
+	}
+}
+
+func TestMetisRoundTripPublic(t *testing.T) {
+	g := gen.RGG(300, 4)
+	var buf bytes.Buffer
+	if err := WriteMetis(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMetis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestMetricsExports(t *testing.T) {
+	g := NewBuilder(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	gg := g.Build()
+	p := []int32{0, 0, 1, 1}
+	if EdgeCut(gg, p) != 1 {
+		t.Fatal("EdgeCut wrong")
+	}
+	if CommunicationVolume(gg, p, 2) != 2 {
+		t.Fatal("CommunicationVolume wrong")
+	}
+	if Imbalance(gg, p, 2) != 0 {
+		t.Fatal("Imbalance wrong")
+	}
+}
+
+func TestPartitionWithObjective(t *testing.T) {
+	g, _ := gen.PlantedPartition(1200, 10, 9, 0.5, 7)
+	res, err := Partition(g, 4, Options{PEs: 2, Seed: 3, Objective: MinimizeCommVolume})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("infeasible under comm-volume objective")
+	}
+}
+
+func TestClusterModularityPublic(t *testing.T) {
+	g, _ := gen.PlantedPartition(2000, 10, 10, 0.5, 3)
+	clusters, q := ClusterModularity(g, 1)
+	if len(clusters) != int(g.NumNodes()) {
+		t.Fatal("wrong clustering length")
+	}
+	if q < 0.3 {
+		t.Fatalf("modularity %v too low", q)
+	}
+	if got := Modularity(g, clusters); got != q {
+		t.Fatalf("Modularity() = %v, Cluster reported %v", got, q)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.pes() != 4 {
+		t.Fatalf("default PEs %d", o.pes())
+	}
+	cfg := o.coreConfig(2)
+	if cfg.VCycles != 2 {
+		t.Fatalf("default mode should be Fast (2 V-cycles), got %d", cfg.VCycles)
+	}
+	o.Mode = Eco
+	if o.coreConfig(2).VCycles != 5 {
+		t.Fatal("Eco should map to 5 V-cycles")
+	}
+	o.Mode = Minimal
+	if o.coreConfig(2).VCycles != 1 {
+		t.Fatal("Minimal should map to 1 V-cycle")
+	}
+}
