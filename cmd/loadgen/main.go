@@ -1,0 +1,282 @@
+// Command loadgen hammers a running parhipd daemon with synthetic traffic
+// for scenario diversity: it generates graphs from several families
+// (internal/gen), uploads them in the binary format, then submits partition
+// jobs from a pool of concurrent clients, repeating a configurable fraction
+// of (graph, options) combinations so the fingerprint-keyed result cache
+// gets exercised alongside cold runs.
+//
+//	parhipd -addr :8090 &
+//	loadgen -addr http://localhost:8090 -jobs 64 -concurrency 8 -dup 0.4
+//
+// It reports client-side latency percentiles and the server's own /v1/stats.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+type jobSpec struct {
+	GraphID string
+	K       int32
+	Seed    uint64
+}
+
+type outcome struct {
+	spec    jobSpec
+	latency time.Duration
+	cached  bool
+	failed  bool
+	err     string
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8090", "parhipd base URL")
+		jobs        = flag.Int("jobs", 32, "total jobs to submit")
+		concurrency = flag.Int("concurrency", 8, "concurrent clients")
+		nNodes      = flag.Int("n", 2000, "approximate nodes per generated graph")
+		nGraphs     = flag.Int("graphs", 6, "distinct graphs to upload")
+		families    = flag.String("families", "ba,rmat,web,delaunay,rgg,grid", "comma-separated generator families")
+		kset        = flag.String("kset", "2,4,8", "comma-separated block counts to draw from")
+		mode        = flag.String("mode", "fast", "partitioning mode: fast, eco or minimal")
+		dup         = flag.Float64("dup", 0.3, "fraction of submissions repeating an earlier (graph, options) combo")
+		seed        = flag.Int64("seed", 1, "load generator seed")
+		timeout     = flag.Duration("timeout", 5*time.Minute, "per-job completion timeout")
+	)
+	flag.Parse()
+
+	fams := strings.Split(*families, ",")
+	var ks []int32
+	for _, s := range strings.Split(*kset, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || k < 1 {
+			log.Fatalf("loadgen: bad -kset entry %q", s)
+		}
+		ks = append(ks, int32(k))
+	}
+
+	// Generate and upload the graph pool.
+	rnd := rand.New(rand.NewSource(*seed))
+	var graphIDs []string
+	for i := 0; i < *nGraphs; i++ {
+		fam := gen.Family(strings.TrimSpace(fams[i%len(fams)]))
+		g, err := gen.ByFamily(fam, int32(*nNodes), uint64(*seed)+uint64(i))
+		if err != nil {
+			log.Fatalf("loadgen: generate %s: %v", fam, err)
+		}
+		id, err := upload(*addr, g)
+		if err != nil {
+			log.Fatalf("loadgen: upload %s graph: %v", fam, err)
+		}
+		fmt.Printf("uploaded %-8s n=%-7d m=%-8d -> %s\n", fam, g.NumNodes(), g.NumEdges(), id)
+		graphIDs = append(graphIDs, id)
+	}
+
+	// Pre-draw the job specs so the dup fraction is exact regardless of
+	// client interleaving.
+	var specs []jobSpec
+	for i := 0; i < *jobs; i++ {
+		if len(specs) > 0 && rnd.Float64() < *dup {
+			specs = append(specs, specs[rnd.Intn(len(specs))])
+			continue
+		}
+		specs = append(specs, jobSpec{
+			GraphID: graphIDs[rnd.Intn(len(graphIDs))],
+			K:       ks[rnd.Intn(len(ks))],
+			Seed:    uint64(rnd.Intn(4)) + 1,
+		})
+	}
+
+	work := make(chan jobSpec)
+	results := make(chan outcome, *jobs)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spec := range work {
+				results <- runJob(*addr, spec, *mode, *timeout)
+			}
+		}()
+	}
+	for _, spec := range specs {
+		work <- spec
+	}
+	close(work)
+	wg.Wait()
+	close(results)
+	elapsed := time.Since(start)
+
+	// Summarize.
+	var (
+		latencies []time.Duration
+		cached    int
+		failed    int
+	)
+	for o := range results {
+		if o.failed {
+			failed++
+			fmt.Fprintf(os.Stderr, "job %+v failed: %s\n", o.spec, o.err)
+			continue
+		}
+		latencies = append(latencies, o.latency)
+		if o.cached {
+			cached++
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Printf("\n%d jobs in %v (%.1f jobs/s), %d failed, %d served from cache\n",
+		*jobs, elapsed.Round(time.Millisecond),
+		float64(*jobs)/elapsed.Seconds(), failed, cached)
+	if len(latencies) > 0 {
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(latencies)-1))
+			return latencies[i]
+		}
+		fmt.Printf("latency min/avg/p50/p95/max = %v / %v / %v / %v / %v\n",
+			latencies[0].Round(time.Millisecond),
+			(sum / time.Duration(len(latencies))).Round(time.Millisecond),
+			pct(0.50).Round(time.Millisecond),
+			pct(0.95).Round(time.Millisecond),
+			latencies[len(latencies)-1].Round(time.Millisecond))
+	}
+	printServerStats(*addr)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func upload(addr string, g *graph.Graph) (string, error) {
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		return "", err
+	}
+	resp, err := http.Post(addr+"/v1/graphs", "application/octet-stream", &buf)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var meta struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		return "", err
+	}
+	return meta.ID, nil
+}
+
+func runJob(addr string, spec jobSpec, mode string, timeout time.Duration) outcome {
+	o := outcome{spec: spec}
+	start := time.Now()
+	body, _ := json.Marshal(map[string]any{
+		"graph_id": spec.GraphID,
+		"k":        spec.K,
+		"options":  map[string]any{"mode": mode, "seed": spec.Seed},
+	})
+	resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		o.failed, o.err = true, err.Error()
+		return o
+	}
+	var view struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Cached bool   `json:"cached"`
+		Error  string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil {
+		o.failed, o.err = true, err.Error()
+		return o
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		o.failed, o.err = true, fmt.Sprintf("submit status %d: %s", resp.StatusCode, view.Error)
+		return o
+	}
+	deadline := time.Now().Add(timeout)
+	for view.State != "done" && view.State != "failed" {
+		if time.Now().After(deadline) {
+			o.failed, o.err = true, "timeout"
+			return o
+		}
+		time.Sleep(20 * time.Millisecond)
+		r, err := http.Get(addr + "/v1/jobs/" + view.ID)
+		if err != nil {
+			o.failed, o.err = true, err.Error()
+			return o
+		}
+		err = json.NewDecoder(r.Body).Decode(&view)
+		r.Body.Close()
+		if err != nil {
+			o.failed, o.err = true, err.Error()
+			return o
+		}
+	}
+	if view.State == "failed" {
+		o.failed, o.err = true, view.Error
+		return o
+	}
+	o.latency = time.Since(start)
+	o.cached = view.Cached
+	return o
+}
+
+func printServerStats(addr string) {
+	resp, err := http.Get(addr + "/v1/stats")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: fetch /v1/stats: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		QueueDepth int `json:"queue_depth"`
+		Running    int `json:"running"`
+		Jobs       struct {
+			Submitted, Completed, Failed int64
+		} `json:"jobs"`
+		Cache struct {
+			Size    int     `json:"size"`
+			Hits    int64   `json:"hits"`
+			Misses  int64   `json:"misses"`
+			HitRate float64 `json:"hit_rate"`
+		} `json:"cache"`
+		Core struct {
+			Runs    int64   `json:"runs"`
+			TotalMS float64 `json:"total_ms"`
+		} `json:"core"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: decode /v1/stats: %v\n", err)
+		return
+	}
+	fmt.Printf("server: %d/%d/%d jobs submitted/completed/failed; cache %d entries, %d hits / %d misses (%.0f%% hit rate); %d core runs, %.0fms partitioner time\n",
+		stats.Jobs.Submitted, stats.Jobs.Completed, stats.Jobs.Failed,
+		stats.Cache.Size, stats.Cache.Hits, stats.Cache.Misses, 100*stats.Cache.HitRate,
+		stats.Core.Runs, stats.Core.TotalMS)
+}

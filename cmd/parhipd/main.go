@@ -1,0 +1,78 @@
+// Command parhipd runs the parhip partitioning service: an HTTP daemon
+// with an in-memory graph store, an asynchronous job queue served by a
+// bounded worker pool, and a fingerprint-keyed LRU result cache.
+//
+//	parhipd -addr :8090 -workers 8 -cache 256
+//
+// See internal/server for the API and README.md for a curl walkthrough;
+// cmd/loadgen drives a running daemon with synthetic traffic.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8090", "listen address")
+		workers   = flag.Int("workers", runtime.NumCPU(), "worker pool size")
+		queueSize = flag.Int("queue", 0, "job queue capacity (0 = 4*workers, min 16)")
+		cacheSize = flag.Int("cache", 128, "result cache capacity (entries)")
+		maxGraphs = flag.Int("max-graphs", 256, "graph store capacity")
+		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:   *workers,
+		QueueSize: *queueSize,
+		CacheSize: *cacheSize,
+		MaxGraphs: *maxGraphs,
+	})
+	defer srv.Close()
+
+	handler := srv.Handler()
+	if !*quiet {
+		handler = logRequests(handler)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("parhipd listening on %s (%d workers, cache %d, graph store %d)",
+		*addr, *workers, *cacheSize, *maxGraphs)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("parhipd: %v", err)
+	}
+	log.Printf("parhipd draining jobs and shutting down")
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -99,11 +99,12 @@ func addHubs(b *graph.Builder, n, hubCount, spokes int32, seed uint64) {
 
 // AlgoStats aggregates repeated runs of one algorithm on one instance.
 type AlgoStats struct {
-	AvgCut  float64
-	BestCut int64
-	AvgTime time.Duration
-	Failed  bool
-	Reason  string
+	AvgCut       float64
+	BestCut      int64
+	AvgImbalance float64
+	AvgTime      time.Duration
+	Failed       bool
+	Reason       string
 }
 
 func (a AlgoStats) cutString() string {
@@ -128,27 +129,29 @@ func (a AlgoStats) timeString() string {
 }
 
 // runner executes one partitioning attempt.
-type runner func(g *graph.Graph, seed uint64) (cut int64, elapsed time.Duration, err error)
+type runner func(g *graph.Graph, seed uint64) (cut int64, imbalance float64, elapsed time.Duration, err error)
 
 func repeat(g *graph.Graph, reps int, r runner) AlgoStats {
 	var st AlgoStats
-	var sumCut float64
+	var sumCut, sumImb float64
 	var sumTime time.Duration
 	st.BestCut = int64(1) << 62
 	for i := 0; i < reps; i++ {
-		cut, elapsed, err := r(g, uint64(i+1))
+		cut, imb, elapsed, err := r(g, uint64(i+1))
 		if err != nil {
 			st.Failed = true
 			st.Reason = err.Error()
 			return st
 		}
 		sumCut += float64(cut)
+		sumImb += imb
 		sumTime += elapsed
 		if cut < st.BestCut {
 			st.BestCut = cut
 		}
 	}
 	st.AvgCut = sumCut / float64(reps)
+	st.AvgImbalance = sumImb / float64(reps)
 	st.AvgTime = sumTime / time.Duration(reps)
 	return st
 }
@@ -197,33 +200,33 @@ func RunTable(opt TableOptions) []TableRow {
 				budget = floor
 			}
 		}
-		row.Baseline = repeat(g, opt.Reps, func(g *graph.Graph, seed uint64) (int64, time.Duration, error) {
+		row.Baseline = repeat(g, opt.Reps, func(g *graph.Graph, seed uint64) (int64, float64, time.Duration, error) {
 			cfg := matchbase.DefaultConfig(opt.K)
 			cfg.Seed = seed
 			cfg.MemoryBudgetNodes = budget
 			res, err := matchbase.Run(opt.PEs, g, cfg)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
-			return res.Stats.Cut, res.Stats.TotalTime, nil
+			return res.Stats.Cut, res.Stats.Imbalance, res.Stats.TotalTime, nil
 		})
-		row.Fast = repeat(g, opt.Reps, func(g *graph.Graph, seed uint64) (int64, time.Duration, error) {
+		row.Fast = repeat(g, opt.Reps, func(g *graph.Graph, seed uint64) (int64, float64, time.Duration, error) {
 			cfg := core.FastConfig(opt.K, inst.Class)
 			cfg.Seed = seed
 			res, err := core.Run(opt.PEs, g, cfg)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
-			return res.Stats.Cut, res.Stats.TotalTime, nil
+			return res.Stats.Cut, res.Stats.Imbalance, res.Stats.TotalTime, nil
 		})
-		row.Eco = repeat(g, opt.Reps, func(g *graph.Graph, seed uint64) (int64, time.Duration, error) {
+		row.Eco = repeat(g, opt.Reps, func(g *graph.Graph, seed uint64) (int64, float64, time.Duration, error) {
 			cfg := core.EcoConfig(opt.K, inst.Class)
 			cfg.Seed = seed
 			res, err := core.Run(opt.PEs, g, cfg)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
-			return res.Stats.Cut, res.Stats.TotalTime, nil
+			return res.Stats.Cut, res.Stats.Imbalance, res.Stats.TotalTime, nil
 		})
 		rows = append(rows, row)
 	}

@@ -48,9 +48,9 @@ func TestBenchmarkSetScale(t *testing.T) {
 
 func TestRepeatAggregates(t *testing.T) {
 	calls := 0
-	st := repeat(nil, 3, func(_ *graph.Graph, seed uint64) (int64, time.Duration, error) {
+	st := repeat(nil, 3, func(_ *graph.Graph, seed uint64) (int64, float64, time.Duration, error) {
 		calls++
-		return int64(seed * 10), 0, nil
+		return int64(seed * 10), 0.01, 0, nil
 	})
 	if calls != 3 {
 		t.Fatalf("runner called %d times", calls)

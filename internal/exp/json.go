@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Record is one machine-readable result row: a single algorithm on a single
+// instance, averaged over repetitions. cmd/bench -json emits these so the
+// perf trajectory can be recorded across PRs (BENCH_*.json).
+type Record struct {
+	Experiment string  `json:"experiment"` // e.g. "table2"
+	Graph      string  `json:"graph"`
+	Type       string  `json:"type"` // "S" social/web, "M" mesh
+	Algo       string  `json:"algo"` // baseline | fast | eco
+	N          int32   `json:"n"`
+	M          int64   `json:"m"`
+	K          int32   `json:"k"`
+	PEs        int     `json:"pes"`
+	Cut        float64 `json:"cut"`
+	BestCut    int64   `json:"best_cut"`
+	Imbalance  float64 `json:"imbalance"`
+	Seconds    float64 `json:"seconds"`
+	Failed     bool    `json:"failed,omitempty"`
+	Reason     string  `json:"reason,omitempty"`
+}
+
+// Records flattens table rows into one Record per (instance, algorithm).
+func Records(experiment string, k int32, pes int, rows []TableRow) []Record {
+	var out []Record
+	for _, r := range rows {
+		for _, a := range []struct {
+			name string
+			st   AlgoStats
+		}{
+			{"baseline", r.Baseline},
+			{"fast", r.Fast},
+			{"eco", r.Eco},
+		} {
+			rec := Record{
+				Experiment: experiment,
+				Graph:      r.Instance.Name,
+				Type:       r.Instance.Type,
+				Algo:       a.name,
+				N:          r.N,
+				M:          r.M,
+				K:          k,
+				PEs:        pes,
+				Failed:     a.st.Failed,
+				Reason:     a.st.Reason,
+			}
+			if !a.st.Failed {
+				rec.Cut = a.st.AvgCut
+				rec.BestCut = a.st.BestCut
+				rec.Imbalance = a.st.AvgImbalance
+				rec.Seconds = a.st.AvgTime.Seconds()
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// GraphProps is one Table I row in machine-readable form.
+type GraphProps struct {
+	Graph string `json:"graph"`
+	Type  string `json:"type"`
+	N     int32  `json:"n"`
+	M     int64  `json:"m"`
+}
+
+// WeakRecord is one Figure 5 weak-scaling point in machine-readable form
+// (snake_case keys, seconds-based units, matching Record's conventions).
+type WeakRecord struct {
+	Family         string  `json:"family"`
+	PEs            int     `json:"pes"`
+	N              int32   `json:"n"`
+	M              int64   `json:"m"`
+	FastSecPerEdge float64 `json:"fast_s_per_edge"`
+	BaseSecPerEdge float64 `json:"base_s_per_edge,omitempty"`
+	FastCut        int64   `json:"fast_cut"`
+	BaseCut        int64   `json:"base_cut,omitempty"`
+	BaseFailed     bool    `json:"base_failed,omitempty"`
+}
+
+// WeakRecords converts weak-scaling points to their wire form.
+func WeakRecords(pts []WeakPoint) []WeakRecord {
+	out := make([]WeakRecord, len(pts))
+	for i, p := range pts {
+		out[i] = WeakRecord{
+			Family:         p.Family,
+			PEs:            p.PEs,
+			N:              p.N,
+			M:              p.M,
+			FastSecPerEdge: p.FastPerEdge,
+			BaseSecPerEdge: p.BasePerEdge,
+			FastCut:        p.FastCut,
+			BaseCut:        p.BaseCut,
+			BaseFailed:     p.BaseFailed,
+		}
+	}
+	return out
+}
+
+// StrongRecord is one Figure 6 strong-scaling point in machine-readable
+// form.
+type StrongRecord struct {
+	Instance       string  `json:"instance"`
+	PEs            int     `json:"pes"`
+	FastSeconds    float64 `json:"fast_seconds"`
+	FastCut        int64   `json:"fast_cut"`
+	BaseSeconds    float64 `json:"base_seconds,omitempty"`
+	BaseCut        int64   `json:"base_cut,omitempty"`
+	BaseFailed     bool    `json:"base_failed,omitempty"`
+	MinimalSeconds float64 `json:"minimal_seconds,omitempty"`
+}
+
+// StrongRecords converts strong-scaling points to their wire form.
+func StrongRecords(pts []StrongPoint) []StrongRecord {
+	out := make([]StrongRecord, len(pts))
+	for i, p := range pts {
+		out[i] = StrongRecord{
+			Instance:    p.Instance,
+			PEs:         p.PEs,
+			FastSeconds: p.FastTime.Seconds(),
+			FastCut:     p.FastCut,
+			BaseSeconds: p.BaseTime.Seconds(),
+			BaseCut:     p.BaseCut,
+			BaseFailed:  p.BaseFailed,
+		}
+		if p.HasMinimal {
+			out[i].MinimalSeconds = p.MinimalTime.Seconds()
+		}
+	}
+	return out
+}
+
+// ShrinkRecord is one coarsening-effectiveness report in machine-readable
+// form.
+type ShrinkRecord struct {
+	Graph         string  `json:"graph"`
+	N             int64   `json:"n"`
+	ClusterLevels []int64 `json:"cluster_levels"`
+	MatchLevels   []int64 `json:"match_levels"`
+}
+
+// ShrinkRecords converts shrink reports to their wire form.
+func ShrinkRecords(reps []ShrinkReport) []ShrinkRecord {
+	out := make([]ShrinkRecord, len(reps))
+	for i, r := range reps {
+		out[i] = ShrinkRecord{
+			Graph:         r.Name,
+			N:             r.N,
+			ClusterLevels: r.ClusterLevels,
+			MatchLevels:   r.MatchLevels,
+		}
+	}
+	return out
+}
+
+// JSONReport is the complete cmd/bench -json document.
+type JSONReport struct {
+	Properties []GraphProps   `json:"properties,omitempty"`
+	Records    []Record       `json:"records,omitempty"`
+	Weak       []WeakRecord   `json:"weak_scaling,omitempty"`
+	Strong     []StrongRecord `json:"strong_scaling,omitempty"`
+	Shrink     []ShrinkRecord `json:"shrink,omitempty"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func WriteJSON(w io.Writer, rep JSONReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -26,6 +26,13 @@ const (
 	binaryVersion = 1
 )
 
+// IsBinaryPrefix reports whether prefix (at least 8 bytes of a stream)
+// starts with the binary graph format magic, letting callers sniff the
+// format before choosing ReadBinary or ReadMetis.
+func IsBinaryPrefix(prefix []byte) bool {
+	return len(prefix) >= 8 && binary.LittleEndian.Uint64(prefix) == binaryMagic
+}
+
 // WriteBinary writes g in the binary graph format.
 func WriteBinary(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriterSize(w, 1<<20)

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro"
+)
+
+// cacheEntry is one cached partitioning result. The Result is shared
+// read-only between the cache and every job served from it.
+type cacheEntry struct {
+	key string
+	res *parhip.Result
+}
+
+// resultCache is a fixed-capacity LRU map from cache key (graph fingerprint
+// + canonicalized options, see jobKey) to a completed partitioning result.
+// It is safe for concurrent use.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key and marks it most recently used.
+func (c *resultCache) get(key string) (*parhip.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts (or refreshes) key, evicting the least recently used entry
+// when over capacity.
+func (c *resultCache) put(key string, res *parhip.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *resultCache) capacity() int { return c.cap }

@@ -1,0 +1,317 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+// JobState is the lifecycle of a partitioning job.
+type JobState string
+
+// Job states. A cache hit at submission time jumps straight to done.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// PartitionFunc computes a partition; the production implementation is
+// parhip.Partition. Tests substitute a counting wrapper to prove the cache
+// short-circuits recomputation.
+type PartitionFunc func(g *graph.Graph, k int32, opt parhip.Options) (parhip.Result, error)
+
+// job is the manager-internal record. Every field is guarded by the
+// manager's mutex; workers take the mutex for state transitions and release
+// it around the actual partitioning call.
+type job struct {
+	id        string
+	graphID   string
+	g         *graph.Graph
+	k         int32
+	opts      parhip.Options
+	optsView  jobOptions
+	key       string
+	state     JobState
+	cached    bool
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *parhip.Result
+}
+
+// JobTiming is one completed job's timing record, exposed by /v1/stats.
+type JobTiming struct {
+	ID      string  `json:"id"`
+	GraphID string  `json:"graph_id"`
+	K       int32   `json:"k"`
+	Cached  bool    `json:"cached"`
+	Failed  bool    `json:"failed,omitempty"`
+	QueueMS float64 `json:"queue_ms"`
+	RunMS   float64 `json:"run_ms"`
+	Cut     int64   `json:"cut"`
+}
+
+// recentTimings bounds the per-job timing history kept for /v1/stats.
+const recentTimings = 64
+
+// maxRetainedJobs bounds the finished-job records kept for polling. Beyond
+// it the oldest finished jobs are evicted (later polls get 404), keeping a
+// long-running daemon's memory bounded; queued/running jobs are never
+// evicted.
+const maxRetainedJobs = 4096
+
+// jobManager owns the queue, the bounded worker pool and the result cache,
+// and aggregates the service counters reported by /v1/stats.
+type jobManager struct {
+	partition PartitionFunc
+	queue     chan *job
+	wg        sync.WaitGroup
+	cache     *resultCache
+
+	mu      sync.Mutex
+	closed  bool
+	nextID  int64
+	jobs    map[string]*job
+	order   []string // submission order, for listing
+	workers int
+	running int
+
+	submitted   int64
+	completed   int64
+	failed      int64
+	cacheHits   int64
+	cacheMisses int64
+
+	coreRuns    int64
+	coarsenTime time.Duration
+	initTime    time.Duration
+	refineTime  time.Duration
+	totalTime   time.Duration
+	msgsSent    int64
+	wordsSent   int64
+	cutSum      int64
+
+	recent []JobTiming // ring, newest last
+}
+
+func newJobManager(workers, queueSize, cacheSize int, fn PartitionFunc) *jobManager {
+	m := &jobManager{
+		partition: fn,
+		queue:     make(chan *job, queueSize),
+		cache:     newResultCache(cacheSize),
+		jobs:      make(map[string]*job),
+		workers:   workers,
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// close drains the queue (workers finish every accepted job) and waits for
+// the pool to exit. Submissions after close fail.
+func (m *jobManager) close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.queue)
+	m.wg.Wait()
+}
+
+var (
+	errQueueFull = fmt.Errorf("job queue full")
+	errClosed    = fmt.Errorf("server shutting down")
+)
+
+// jobKey canonicalizes the (graph, options) pair into the cache key. The
+// options half lists every field that influences the result, with defaults
+// already applied (canonOptions), so e.g. eps=0 and eps=0.03 share a key.
+func jobKey(fingerprint string, k int32, o parhip.Options) string {
+	var b strings.Builder
+	b.WriteString(fingerprint)
+	b.WriteString("|k=")
+	b.WriteString(strconv.FormatInt(int64(k), 10))
+	fmt.Fprintf(&b, "|mode=%d|class=%d|eps=%.17g|seed=%d|pes=%d|obj=%d|budget=%d",
+		o.Mode, o.Class, o.Eps, o.Seed, o.PEs, o.Objective, o.EvoTimeBudget)
+	return b.String()
+}
+
+// submit registers a job for sg. On a cache hit the job completes
+// immediately without entering the queue; otherwise it is enqueued for the
+// worker pool, or rejected with errQueueFull when the queue is at capacity.
+// The whole decision runs under the manager mutex: the enqueue is a
+// non-blocking select, and holding the mutex makes it atomic with the
+// closed check (no send on a closed queue) and with registration (no
+// partially registered jobs visible to concurrent submissions).
+func (m *jobManager) submit(sg *storedGraph, k int32, opts parhip.Options, view jobOptions) (*job, error) {
+	key := jobKey(sg.Fingerprint, k, opts)
+	now := time.Now()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errClosed
+	}
+	m.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j%d", m.nextID),
+		graphID:   sg.ID,
+		g:         sg.g,
+		k:         k,
+		opts:      opts,
+		optsView:  view,
+		key:       key,
+		state:     StateQueued,
+		submitted: now,
+	}
+
+	if res, ok := m.cache.get(key); ok {
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.submitted++
+		m.cacheHits++
+		m.finishLocked(j, res, true, now)
+		return j, nil
+	}
+
+	select {
+	case m.queue <- j:
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.submitted++
+		return j, nil
+	default:
+		m.nextID--
+		return nil, errQueueFull
+	}
+}
+
+func (m *jobManager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+func (m *jobManager) runJob(j *job) {
+	start := time.Now()
+	m.mu.Lock()
+	j.state = StateRunning
+	j.started = start
+	m.running++
+
+	// Re-check the cache: a twin job submitted while this one was queued
+	// may have populated it in the meantime.
+	if res, ok := m.cache.get(j.key); ok {
+		m.cacheHits++
+		m.running--
+		m.finishLocked(j, res, true, time.Now())
+		m.mu.Unlock()
+		return
+	}
+	m.cacheMisses++
+	g, k, opts := j.g, j.k, j.opts
+	m.mu.Unlock()
+
+	res, err := m.partition(g, k, opts)
+	end := time.Now()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		j.finished = end
+		j.g = nil
+		m.failed++
+		m.pushTimingLocked(j)
+		return
+	}
+	m.cache.put(j.key, &res)
+	m.coreRuns++
+	m.coarsenTime += res.Stats.CoarsenTime
+	m.initTime += res.Stats.InitTime
+	m.refineTime += res.Stats.RefineTime
+	m.totalTime += res.Stats.TotalTime
+	m.msgsSent += res.Stats.Comm.MessagesSent
+	m.wordsSent += res.Stats.Comm.WordsSent
+	m.cutSum += res.Cut
+	m.finishLocked(j, &res, false, end)
+}
+
+// finishLocked marks j done with res. The graph reference is dropped so a
+// finished job no longer pins its (possibly deleted) graph in memory.
+// Callers hold m.mu.
+func (m *jobManager) finishLocked(j *job, res *parhip.Result, cached bool, now time.Time) {
+	j.state = StateDone
+	j.cached = cached
+	j.result = res
+	j.g = nil
+	if j.started.IsZero() {
+		j.started = now
+	}
+	j.finished = now
+	m.completed++
+	m.pushTimingLocked(j)
+}
+
+func (m *jobManager) pushTimingLocked(j *job) {
+	t := JobTiming{
+		ID:      j.id,
+		GraphID: j.graphID,
+		K:       j.k,
+		Cached:  j.cached,
+		Failed:  j.state == StateFailed,
+		QueueMS: float64(j.started.Sub(j.submitted)) / float64(time.Millisecond),
+		RunMS:   float64(j.finished.Sub(j.started)) / float64(time.Millisecond),
+	}
+	if j.result != nil {
+		t.Cut = j.result.Cut
+	}
+	m.recent = append(m.recent, t)
+	if len(m.recent) > recentTimings {
+		m.recent = m.recent[len(m.recent)-recentTimings:]
+	}
+	m.evictFinishedLocked()
+}
+
+// evictFinishedLocked drops the oldest finished jobs once the retained set
+// exceeds maxRetainedJobs. Callers hold m.mu.
+func (m *jobManager) evictFinishedLocked() {
+	excess := len(m.jobs) - maxRetainedJobs
+	if excess <= 0 {
+		return
+	}
+	keep := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if excess > 0 && (j.state == StateDone || j.state == StateFailed) {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	m.order = keep
+}
+
+func (m *jobManager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}

@@ -1,0 +1,510 @@
+// Package server implements parhipd, a single-node graph-partitioning
+// service wrapped around the parhip library: an HTTP API over an in-memory
+// graph store, an asynchronous job manager with a bounded worker pool
+// (default runtime.NumCPU workers), and an LRU result cache keyed by graph
+// content fingerprint plus canonicalized options, so repeated requests for
+// the same (graph, k, options) are answered without recomputation.
+//
+// API (all request/response bodies JSON unless noted):
+//
+//	POST   /v1/graphs            upload a graph (METIS text or binary format,
+//	                             sniffed by magic; raw body) -> metadata
+//	GET    /v1/graphs            list uploaded graphs
+//	GET    /v1/graphs/{id}       one graph's metadata
+//	DELETE /v1/graphs/{id}       drop a graph (running jobs are unaffected)
+//	POST   /v1/jobs              submit a partition job -> job view (202;
+//	                             200 when served from cache)
+//	GET    /v1/jobs              list jobs in submission order
+//	GET    /v1/jobs/{id}         poll one job's state and timings
+//	GET    /v1/jobs/{id}/result  fetch the partition vector and metrics
+//	GET    /v1/stats             queue depth, cache hit rate, per-job
+//	                             timings, cumulative core statistics
+//	GET    /healthz              liveness probe
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+// maxUploadBytes bounds an uploaded graph body (64 MiB covers every graph
+// this environment can partition in reasonable time).
+const maxUploadBytes = 64 << 20
+
+// Config parameterizes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// Workers is the worker pool size (default runtime.NumCPU()).
+	Workers int
+	// QueueSize bounds the number of queued-but-not-running jobs; further
+	// submissions are rejected with 429 (default 4*Workers, min 16).
+	QueueSize int
+	// CacheSize is the LRU result cache capacity in entries (default 128).
+	CacheSize int
+	// MaxGraphs bounds the in-memory graph store (default 256).
+	MaxGraphs int
+	// PartitionFn overrides the partitioning implementation (tests); the
+	// default wraps parhip.Partition.
+	PartitionFn PartitionFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4 * c.Workers
+		if c.QueueSize < 16 {
+			c.QueueSize = 16
+		}
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 256
+	}
+	if c.PartitionFn == nil {
+		c.PartitionFn = func(g *graph.Graph, k int32, opt parhip.Options) (parhip.Result, error) {
+			return parhip.Partition(g, k, opt)
+		}
+	}
+	return c
+}
+
+// Server is the parhipd HTTP service. Create with New, mount Handler, and
+// Close on shutdown (drains accepted jobs).
+type Server struct {
+	cfg   Config
+	store *graphStore
+	jobs  *jobManager
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		store: newGraphStore(cfg.MaxGraphs),
+		jobs:  newJobManager(cfg.Workers, cfg.QueueSize, cfg.CacheSize, cfg.PartitionFn),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/graphs", s.handleUpload)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
+	s.mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the job queue and stops the worker pool.
+func (s *Server) Close() { s.jobs.close() }
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// --- graphs -----------------------------------------------------------
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, maxUploadBytes), 1<<16)
+	prefix, _ := body.Peek(8)
+	var (
+		g   *graph.Graph
+		err error
+	)
+	if graph.IsBinaryPrefix(prefix) {
+		g, err = graph.ReadBinary(body)
+	} else {
+		g, err = graph.ReadMetis(body)
+	}
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "graph exceeds %d bytes", maxUploadBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "parse graph: %v", err)
+		return
+	}
+	sg, err := s.store.add(g, time.Now())
+	if err != nil {
+		writeError(w, http.StatusInsufficientStorage,
+			"graph store full (%d graphs); DELETE /v1/graphs/{id} to free space", s.store.capacity())
+		return
+	}
+	writeJSON(w, http.StatusCreated, sg)
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.list())
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	sg, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sg)
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	if !s.store.delete(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "no graph %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- jobs -------------------------------------------------------------
+
+// jobOptions is the wire form of parhip.Options. Zero values select the
+// library defaults; the canonical (default-applied) values are echoed back
+// in job views.
+type jobOptions struct {
+	Mode        string  `json:"mode,omitempty"`      // fast | eco | minimal
+	Class       string  `json:"class,omitempty"`     // social | mesh
+	Eps         float64 `json:"eps,omitempty"`       // imbalance, default 0.03
+	Seed        uint64  `json:"seed,omitempty"`      // default 1
+	PEs         int     `json:"pes,omitempty"`       // simulated ranks, default 4
+	Objective   string  `json:"objective,omitempty"` // cut | commvol | maxcommvol | maxquotdeg
+	EvoBudgetMS int64   `json:"evo_budget_ms,omitempty"`
+}
+
+type jobRequest struct {
+	GraphID string     `json:"graph_id"`
+	K       int32      `json:"k"`
+	Options jobOptions `json:"options"`
+}
+
+// canonOptions maps the wire options onto parhip.Options with every default
+// applied eagerly, so the cache key built from the result is canonical.
+func canonOptions(o jobOptions) (parhip.Options, jobOptions, error) {
+	var opt parhip.Options
+	switch o.Mode {
+	case "", "fast":
+		opt.Mode = parhip.Fast
+		o.Mode = "fast"
+	case "eco":
+		opt.Mode = parhip.Eco
+	case "minimal":
+		opt.Mode = parhip.Minimal
+	default:
+		return opt, o, fmt.Errorf("unknown mode %q (want fast, eco or minimal)", o.Mode)
+	}
+	switch o.Class {
+	case "", "social":
+		opt.Class = parhip.Social
+		o.Class = "social"
+	case "mesh":
+		opt.Class = parhip.Mesh
+	default:
+		return opt, o, fmt.Errorf("unknown class %q (want social or mesh)", o.Class)
+	}
+	switch o.Objective {
+	case "", "cut":
+		opt.Objective = parhip.MinimizeCut
+		o.Objective = "cut"
+	case "commvol":
+		opt.Objective = parhip.MinimizeCommVolume
+	case "maxcommvol":
+		opt.Objective = parhip.MinimizeMaxCommVolume
+	case "maxquotdeg":
+		opt.Objective = parhip.MinimizeMaxQuotientDegree
+	default:
+		return opt, o, fmt.Errorf("unknown objective %q", o.Objective)
+	}
+	if o.Eps < 0 {
+		return opt, o, fmt.Errorf("eps must be >= 0, got %g", o.Eps)
+	}
+	if o.Eps == 0 {
+		o.Eps = 0.03
+	}
+	opt.Eps = o.Eps
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	opt.Seed = o.Seed
+	if o.PEs < 0 {
+		return opt, o, fmt.Errorf("pes must be >= 0, got %d", o.PEs)
+	}
+	if o.PEs == 0 {
+		o.PEs = 4
+	}
+	opt.PEs = o.PEs
+	if o.EvoBudgetMS < 0 {
+		return opt, o, fmt.Errorf("evo_budget_ms must be >= 0, got %d", o.EvoBudgetMS)
+	}
+	opt.EvoTimeBudget = time.Duration(o.EvoBudgetMS) * time.Millisecond
+	return opt, o, nil
+}
+
+// jobView is the wire form of a job's state.
+type jobView struct {
+	ID          string     `json:"id"`
+	GraphID     string     `json:"graph_id"`
+	K           int32      `json:"k"`
+	Options     jobOptions `json:"options"`
+	State       JobState   `json:"state"`
+	Cached      bool       `json:"cached"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	QueueMS     float64    `json:"queue_ms,omitempty"`
+	RunMS       float64    `json:"run_ms,omitempty"`
+	Cut         *int64     `json:"cut,omitempty"`
+	Imbalance   *float64   `json:"imbalance,omitempty"`
+	Feasible    *bool      `json:"feasible,omitempty"`
+}
+
+// viewLocked snapshots j; callers hold the manager mutex.
+func viewLocked(j *job) jobView {
+	v := jobView{
+		ID:          j.id,
+		GraphID:     j.graphID,
+		K:           j.k,
+		Options:     j.optsView,
+		State:       j.state,
+		Cached:      j.cached,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		v.QueueMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+	}
+	if !j.finished.IsZero() {
+		v.RunMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	}
+	if j.state == StateDone && j.result != nil {
+		cut, imb, feas := j.result.Cut, j.result.Imbalance, j.result.Feasible
+		v.Cut, v.Imbalance, v.Feasible = &cut, &imb, &feas
+	}
+	return v
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode job request: %v", err)
+		return
+	}
+	if req.K < 1 {
+		writeError(w, http.StatusBadRequest, "k must be >= 1, got %d", req.K)
+		return
+	}
+	sg, ok := s.store.get(req.GraphID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph %q", req.GraphID)
+		return
+	}
+	opts, view, err := canonOptions(req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
+		return
+	}
+	j, err := s.jobs.submit(sg, req.K, opts, view)
+	switch {
+	case errors.Is(err, errQueueFull):
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueSize)
+		return
+	case errors.Is(err, errClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "submit: %v", err)
+		return
+	}
+	s.jobs.mu.Lock()
+	v := viewLocked(j)
+	s.jobs.mu.Unlock()
+	code := http.StatusAccepted
+	if v.State == StateDone {
+		code = http.StatusOK // answered from cache without queueing
+	}
+	writeJSON(w, code, v)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.jobs.mu.Lock()
+	out := make([]jobView, 0, len(s.jobs.order))
+	for _, id := range s.jobs.order {
+		if j, ok := s.jobs.jobs[id]; ok {
+			out = append(out, viewLocked(j))
+		}
+	}
+	s.jobs.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	s.jobs.mu.Lock()
+	v := viewLocked(j)
+	s.jobs.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+// resultView is the wire form of a finished job's partition.
+type resultView struct {
+	JobID     string  `json:"job_id"`
+	GraphID   string  `json:"graph_id"`
+	K         int32   `json:"k"`
+	Cached    bool    `json:"cached"`
+	Cut       int64   `json:"cut"`
+	Imbalance float64 `json:"imbalance"`
+	Feasible  bool    `json:"feasible"`
+	Part      []int32 `json:"part"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	s.jobs.mu.Lock()
+	state, errMsg, cached, res := j.state, j.errMsg, j.cached, j.result
+	s.jobs.mu.Unlock()
+	switch state {
+	case StateFailed:
+		writeError(w, http.StatusUnprocessableEntity, "job failed: %s", errMsg)
+	case StateDone:
+		writeJSON(w, http.StatusOK, resultView{
+			JobID:     j.id,
+			GraphID:   j.graphID,
+			K:         j.k,
+			Cached:    cached,
+			Cut:       res.Cut,
+			Imbalance: res.Imbalance,
+			Feasible:  res.Feasible,
+			Part:      res.Part,
+		})
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s; poll GET /v1/jobs/%s", j.id, state, j.id)
+	}
+}
+
+// --- stats ------------------------------------------------------------
+
+// StatsView is the /v1/stats payload.
+type StatsView struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	Running       int     `json:"running"`
+
+	Jobs struct {
+		Submitted int64 `json:"submitted"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+	} `json:"jobs"`
+
+	Cache struct {
+		Size     int     `json:"size"`
+		Capacity int     `json:"capacity"`
+		Hits     int64   `json:"hits"`
+		Misses   int64   `json:"misses"`
+		HitRate  float64 `json:"hit_rate"`
+	} `json:"cache"`
+
+	Graphs struct {
+		Count    int `json:"count"`
+		Capacity int `json:"capacity"`
+	} `json:"graphs"`
+
+	// Core aggregates parhip/core statistics over every job that actually
+	// ran the partitioner (cache hits excluded).
+	Core struct {
+		Runs          int64   `json:"runs"`
+		CoarsenMS     float64 `json:"coarsen_ms"`
+		InitMS        float64 `json:"init_ms"`
+		RefineMS      float64 `json:"refine_ms"`
+		TotalMS       float64 `json:"total_ms"`
+		MessagesSent  int64   `json:"messages_sent"`
+		WordsSent     int64   `json:"words_sent"`
+		CumulativeCut int64   `json:"cumulative_cut"`
+	} `json:"core"`
+
+	// RecentJobs holds per-job timings for the last completed jobs,
+	// newest last.
+	RecentJobs []JobTiming `json:"recent_jobs"`
+}
+
+// Stats snapshots the service counters (also served at /v1/stats).
+func (s *Server) Stats() StatsView {
+	m := s.jobs
+	var v StatsView
+	v.UptimeSeconds = time.Since(s.start).Seconds()
+	v.QueueDepth = len(m.queue)
+	v.QueueCapacity = cap(m.queue)
+
+	m.mu.Lock()
+	v.Workers = m.workers
+	v.Running = m.running
+	v.Jobs.Submitted = m.submitted
+	v.Jobs.Completed = m.completed
+	v.Jobs.Failed = m.failed
+	v.Cache.Hits = m.cacheHits
+	v.Cache.Misses = m.cacheMisses
+	v.Core.Runs = m.coreRuns
+	v.Core.CoarsenMS = float64(m.coarsenTime) / float64(time.Millisecond)
+	v.Core.InitMS = float64(m.initTime) / float64(time.Millisecond)
+	v.Core.RefineMS = float64(m.refineTime) / float64(time.Millisecond)
+	v.Core.TotalMS = float64(m.totalTime) / float64(time.Millisecond)
+	v.Core.MessagesSent = m.msgsSent
+	v.Core.WordsSent = m.wordsSent
+	v.Core.CumulativeCut = m.cutSum
+	v.RecentJobs = append([]JobTiming(nil), m.recent...)
+	m.mu.Unlock()
+
+	if total := v.Cache.Hits + v.Cache.Misses; total > 0 {
+		v.Cache.HitRate = float64(v.Cache.Hits) / float64(total)
+	}
+	v.Cache.Size = m.cache.len()
+	v.Cache.Capacity = m.cache.capacity()
+	v.Graphs.Count = s.store.len()
+	v.Graphs.Capacity = s.store.capacity()
+	return v
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -224,6 +224,13 @@ func PartitionBaseline(g *Graph, k int32, opt Options, memoryBudgetNodes int64) 
 	}, nil
 }
 
+// Fingerprint returns a stable content hash of g: a SHA-256 (hex-encoded)
+// over the CSR arrays and node/edge weights. Equal fingerprints mean
+// byte-identical graph representations, which makes the fingerprint a safe
+// cache key for partitioning results; the parhipd service keys its result
+// cache on Fingerprint(g) plus the canonicalized Options.
+func Fingerprint(g *Graph) string { return g.Fingerprint() }
+
 // EdgeCut returns the weight of edges crossing between blocks of p.
 func EdgeCut(g *Graph, p []int32) int64 {
 	return partition.EdgeCut(g, p)

@@ -153,3 +153,22 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Fatal("Minimal should map to 1 V-cycle")
 	}
 }
+
+func TestFingerprintReexport(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	fp := Fingerprint(g)
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint %q not 64 hex chars", fp)
+	}
+	if fp != Fingerprint(g.Clone()) {
+		t.Fatal("clone fingerprint differs")
+	}
+	b2 := NewBuilder(3)
+	b2.AddEdge(0, 1)
+	if Fingerprint(b2.Build()) == fp {
+		t.Fatal("different graphs share a fingerprint")
+	}
+}
