@@ -130,8 +130,10 @@ func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
 		}
 		return lo
 	}
-	// Accumulate local quotient edges: key = cu*coarseN + cv.
-	edgeAcc := hashtab.NewAccumulatorI64(1024)
+	// Accumulate local quotient edges keyed by the (cu, cv) pair. A
+	// composite cu*coarseN+cv key would overflow int64 once coarseN exceeds
+	// ~3·10^9, silently merging unrelated coarse edges.
+	edgeAcc := hashtab.NewAccumulatorPairI64(1024)
 	nodeAcc := hashtab.NewAccumulatorI64(int(nl) + 16)
 	for v := int32(0); v < nl; v++ {
 		cu := fineToCoarse[v]
@@ -140,14 +142,12 @@ func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
 		for i, u := range fine.Neighbors(v) {
 			cv := cOf(u)
 			if cv != cu {
-				edgeAcc.Add(cu*coarseN+cv, ws[i])
+				edgeAcc.Add(cu, cv, ws[i])
 			}
 		}
 	}
 	edgeOut := make([][]int64, size)
-	edgeAcc.ForEach(func(key, w int64) {
-		cu := key / coarseN
-		cv := key % coarseN
+	edgeAcc.ForEach(func(cu, cv, w int64) {
 		o := ownerOfCoarse(cu)
 		edgeOut[o] = append(edgeOut[o], cu, cv, w)
 	})

@@ -144,11 +144,30 @@ type Stats struct {
 	CoarsenTime time.Duration
 	InitTime    time.Duration
 	RefineTime  time.Duration
-	TotalTime   time.Duration
-	Cut         int64
-	Imbalance   float64
-	Feasible    bool
-	Comm        mpi.Stats // whole-world traffic (filled by Run)
+	// RebalanceTime is the time spent in the explicit post-V-cycle
+	// rebalancing stage (zero when the partition came out feasible).
+	RebalanceTime time.Duration
+	TotalTime     time.Duration
+	Cut           int64
+	Imbalance     float64
+	// Lmax is the hard balance bound (1+eps)*ceil(c(V)/k) the run enforced;
+	// MaxBlockWeight is the heaviest block of the result. Their difference
+	// is the worst overload (<= 0 iff Feasible).
+	Lmax           int64
+	MaxBlockWeight int64
+	// RebalanceMoves counts nodes moved by the explicit rebalance stage.
+	RebalanceMoves int64
+	Feasible       bool
+	Comm           mpi.Stats // whole-world traffic (filled by Run)
+}
+
+// WorstOverload returns by how much the heaviest block exceeds Lmax
+// (0 for feasible results).
+func (s Stats) WorstOverload() int64 {
+	if over := s.MaxBlockWeight - s.Lmax; over > 0 {
+		return over
+	}
+	return 0
 }
 
 // levelRec keeps the objects needed to walk back up the hierarchy.
@@ -173,6 +192,8 @@ func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) 
 	if cfg.K == 1 {
 		part := make([]int64, d.NTotal())
 		st.Feasible = true
+		st.MaxBlockWeight = d.GlobalNodeWeight()
+		st.Lmax = partition.Lmax(st.MaxBlockWeight, 1, cfg.Eps)
 		st.TotalTime = time.Since(startAll)
 		return part, st, nil
 	}
@@ -291,20 +312,34 @@ func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) 
 		part = curPart
 	}
 
-	st.Cut = d.EdgeCut(part)
-	bw := d.BlockWeights(part, cfg.K)
-	var mx int64
-	feasible := true
-	for _, w := range bw {
-		if w > mx {
-			mx = w
+	maxBlock := func(bw []int64) int64 {
+		var mx int64
+		for _, w := range bw {
+			if w > mx {
+				mx = w
+			}
 		}
-		if w > lmax {
-			feasible = false
-		}
+		return mx
 	}
+	mx := maxBlock(d.BlockWeights(part, cfg.K))
+
+	// Feasibility is a postcondition, not a report: when refinement left a
+	// block over Lmax, run the dedicated distributed rebalancing stage.
+	// (The check is rank-consistent: BlockWeights is an allreduce.)
+	if mx > lmax {
+		tReb := time.Now()
+		st.RebalanceMoves, _ = sclp.ParRebalance(d, part, sclp.ParRebalanceConfig{
+			K: cfg.K, Lmax: lmax,
+		})
+		st.RebalanceTime = time.Since(tReb)
+		mx = maxBlock(d.BlockWeights(part, cfg.K))
+	}
+
+	st.Cut = d.EdgeCut(part)
+	st.Lmax = lmax
+	st.MaxBlockWeight = mx
 	st.Imbalance = float64(mx)/(float64(totalWeight)/float64(cfg.K)) - 1
-	st.Feasible = feasible
+	st.Feasible = mx <= lmax
 	st.TotalTime = time.Since(startAll)
 	return part, st, nil
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/matchbase"
+	"repro/internal/partition"
 )
 
 // Instance is one benchmark graph (a Table I row).
@@ -98,13 +99,21 @@ func addHubs(b *graph.Builder, n, hubCount, spokes int32, seed uint64) {
 }
 
 // AlgoStats aggregates repeated runs of one algorithm on one instance.
+// Quality metrics are recomputed from the returned partition vectors, not
+// trusted from the algorithms' own reports.
 type AlgoStats struct {
 	AvgCut       float64
 	BestCut      int64
 	AvgImbalance float64
 	AvgTime      time.Duration
-	Failed       bool
-	Reason       string
+	// Feasible reports whether every repetition respected the hard balance
+	// bound Lmax; WorstOverload is the largest observed excess over Lmax
+	// (0 when Feasible). Recording both lets BENCH_*.json trajectories
+	// catch balance regressions, not just cut/imbalance drift.
+	Feasible      bool
+	WorstOverload int64
+	Failed        bool
+	Reason        string
 }
 
 func (a AlgoStats) cutString() string {
@@ -128,26 +137,46 @@ func (a AlgoStats) timeString() string {
 	return fmt.Sprintf("%.2f", a.AvgTime.Seconds())
 }
 
-// runner executes one partitioning attempt.
-type runner func(g *graph.Graph, seed uint64) (cut int64, imbalance float64, elapsed time.Duration, err error)
+// runner executes one partitioning attempt and returns the partition it
+// produced; the harness evaluates quality itself.
+type runner func(g *graph.Graph, seed uint64) (part []int32, elapsed time.Duration, err error)
 
-func repeat(g *graph.Graph, reps int, r runner) AlgoStats {
+func repeat(g *graph.Graph, k int32, eps float64, reps int, r runner) AlgoStats {
 	var st AlgoStats
 	var sumCut, sumImb float64
 	var sumTime time.Duration
 	st.BestCut = int64(1) << 62
+	st.Feasible = true
 	for i := 0; i < reps; i++ {
-		cut, imb, elapsed, err := r(g, uint64(i+1))
+		part, elapsed, err := r(g, uint64(i+1))
 		if err != nil {
 			st.Failed = true
 			st.Reason = err.Error()
+			st.Feasible = false
 			return st
 		}
+		cut := partition.EdgeCut(g, part)
 		sumCut += float64(cut)
-		sumImb += imb
 		sumTime += elapsed
 		if cut < st.BestCut {
 			st.BestCut = cut
+		}
+		// One block-weight pass serves imbalance and overload both.
+		var mx int64
+		for _, w := range partition.BlockWeights(g, part, k) {
+			if w > mx {
+				mx = w
+			}
+		}
+		total := g.TotalNodeWeight()
+		if total > 0 {
+			sumImb += float64(mx)/(float64(total)/float64(k)) - 1
+		}
+		if over := mx - partition.Lmax(total, k, eps); over > 0 {
+			st.Feasible = false
+			if over > st.WorstOverload {
+				st.WorstOverload = over
+			}
 		}
 	}
 	st.AvgCut = sumCut / float64(reps)
@@ -162,6 +191,9 @@ type TableOptions struct {
 	PEs   int
 	Reps  int
 	Scale int32
+	// Eps is the imbalance bound used both by the algorithms and by the
+	// harness's feasibility evaluation (default 0.03, the paper's setting).
+	Eps float64
 	// BudgetDivisor sets the baseline's per-PE memory budget to
 	// n/BudgetDivisor nodes (floored at twice the coarsest limit),
 	// modelling the paper's fixed 512 GB against growing graphs. 0
@@ -188,6 +220,9 @@ func RunTable(opt TableOptions) []TableRow {
 	if opt.Reps <= 0 {
 		opt.Reps = 3
 	}
+	if opt.Eps <= 0 {
+		opt.Eps = 0.03
+	}
 	var rows []TableRow
 	for _, inst := range BenchmarkSet(opt.Scale) {
 		g := inst.Gen(42)
@@ -200,33 +235,36 @@ func RunTable(opt TableOptions) []TableRow {
 				budget = floor
 			}
 		}
-		row.Baseline = repeat(g, opt.Reps, func(g *graph.Graph, seed uint64) (int64, float64, time.Duration, error) {
+		row.Baseline = repeat(g, opt.K, opt.Eps, opt.Reps, func(g *graph.Graph, seed uint64) ([]int32, time.Duration, error) {
 			cfg := matchbase.DefaultConfig(opt.K)
+			cfg.Eps = opt.Eps
 			cfg.Seed = seed
 			cfg.MemoryBudgetNodes = budget
 			res, err := matchbase.Run(opt.PEs, g, cfg)
 			if err != nil {
-				return 0, 0, 0, err
+				return nil, 0, err
 			}
-			return res.Stats.Cut, res.Stats.Imbalance, res.Stats.TotalTime, nil
+			return res.Part, res.Stats.TotalTime, nil
 		})
-		row.Fast = repeat(g, opt.Reps, func(g *graph.Graph, seed uint64) (int64, float64, time.Duration, error) {
+		row.Fast = repeat(g, opt.K, opt.Eps, opt.Reps, func(g *graph.Graph, seed uint64) ([]int32, time.Duration, error) {
 			cfg := core.FastConfig(opt.K, inst.Class)
+			cfg.Eps = opt.Eps
 			cfg.Seed = seed
 			res, err := core.Run(opt.PEs, g, cfg)
 			if err != nil {
-				return 0, 0, 0, err
+				return nil, 0, err
 			}
-			return res.Stats.Cut, res.Stats.Imbalance, res.Stats.TotalTime, nil
+			return res.Part, res.Stats.TotalTime, nil
 		})
-		row.Eco = repeat(g, opt.Reps, func(g *graph.Graph, seed uint64) (int64, float64, time.Duration, error) {
+		row.Eco = repeat(g, opt.K, opt.Eps, opt.Reps, func(g *graph.Graph, seed uint64) ([]int32, time.Duration, error) {
 			cfg := core.EcoConfig(opt.K, inst.Class)
+			cfg.Eps = opt.Eps
 			cfg.Seed = seed
 			res, err := core.Run(opt.PEs, g, cfg)
 			if err != nil {
-				return 0, 0, 0, err
+				return nil, 0, err
 			}
-			return res.Stats.Cut, res.Stats.Imbalance, res.Stats.TotalTime, nil
+			return res.Part, res.Stats.TotalTime, nil
 		})
 		rows = append(rows, row)
 	}

@@ -47,19 +47,69 @@ func TestBenchmarkSetScale(t *testing.T) {
 }
 
 func TestRepeatAggregates(t *testing.T) {
+	// Path of 12 nodes, k=2: a balanced half/half split cuts 1 edge; the
+	// skewed 9/3 split cuts 1 edge but overloads block 0 (Lmax(12,2,0.03)=6).
+	g := graph.Path(12)
+	balanced := make([]int32, 12)
+	skewed := make([]int32, 12)
+	for v := 0; v < 12; v++ {
+		if v >= 6 {
+			balanced[v] = 1
+		}
+		if v >= 9 {
+			skewed[v] = 1
+		}
+	}
 	calls := 0
-	st := repeat(nil, 3, func(_ *graph.Graph, seed uint64) (int64, float64, time.Duration, error) {
+	st := repeat(g, 2, 0.03, 3, func(_ *graph.Graph, seed uint64) ([]int32, time.Duration, error) {
 		calls++
-		return int64(seed * 10), 0.01, 0, nil
+		return balanced, 0, nil
 	})
 	if calls != 3 {
 		t.Fatalf("runner called %d times", calls)
 	}
-	if st.BestCut != 10 || st.AvgCut != 20 {
+	if st.BestCut != 1 || st.AvgCut != 1 {
 		t.Fatalf("stats %+v", st)
 	}
-	if st.Failed {
-		t.Fatal("unexpected failure")
+	if st.Failed || !st.Feasible || st.WorstOverload != 0 {
+		t.Fatalf("balanced run misreported: %+v", st)
+	}
+
+	st = repeat(g, 2, 0.03, 2, func(_ *graph.Graph, seed uint64) ([]int32, time.Duration, error) {
+		return skewed, 0, nil
+	})
+	if st.Feasible || st.WorstOverload != 3 {
+		t.Fatalf("skewed run: feasible=%v overload=%d, want false,3", st.Feasible, st.WorstOverload)
+	}
+}
+
+func TestRecordsCarryBalanceFields(t *testing.T) {
+	rows := []TableRow{{
+		Instance: Instance{Name: "x", Type: "S"},
+		N:        100, M: 200,
+		Baseline: AlgoStats{Failed: true, Reason: "memory"},
+		Fast:     AlgoStats{AvgCut: 10, BestCut: 8, Feasible: true},
+		Eco:      AlgoStats{AvgCut: 9, BestCut: 7, WorstOverload: 4},
+	}}
+	recs := Records("t", 2, 4, rows)
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	for _, r := range recs {
+		switch r.Algo {
+		case "baseline":
+			if r.Feasible || !r.Failed {
+				t.Fatalf("failed baseline record: %+v", r)
+			}
+		case "fast":
+			if !r.Feasible || r.WorstOverload != 0 {
+				t.Fatalf("fast record: %+v", r)
+			}
+		case "eco":
+			if r.Feasible || r.WorstOverload != 4 {
+				t.Fatalf("eco record: %+v", r)
+			}
+		}
 	}
 }
 

@@ -20,9 +20,15 @@ type Record struct {
 	Cut        float64 `json:"cut"`
 	BestCut    int64   `json:"best_cut"`
 	Imbalance  float64 `json:"imbalance"`
-	Seconds    float64 `json:"seconds"`
-	Failed     bool    `json:"failed,omitempty"`
-	Reason     string  `json:"reason,omitempty"`
+	// Feasible/WorstOverload record the hard balance constraint: whether
+	// every repetition respected Lmax and, if not, by how much the worst
+	// block exceeded it. Always emitted (no omitempty) so trajectory diffs
+	// catch a flip to infeasible.
+	Feasible      bool    `json:"feasible"`
+	WorstOverload int64   `json:"worst_overload"`
+	Seconds       float64 `json:"seconds"`
+	Failed        bool    `json:"failed,omitempty"`
+	Reason        string  `json:"reason,omitempty"`
 }
 
 // Records flattens table rows into one Record per (instance, algorithm).
@@ -53,6 +59,8 @@ func Records(experiment string, k int32, pes int, rows []TableRow) []Record {
 				rec.Cut = a.st.AvgCut
 				rec.BestCut = a.st.BestCut
 				rec.Imbalance = a.st.AvgImbalance
+				rec.Feasible = a.st.Feasible
+				rec.WorstOverload = a.st.WorstOverload
 				rec.Seconds = a.st.AvgTime.Seconds()
 			}
 			out = append(out, rec)

@@ -257,3 +257,116 @@ func (s *SetI64) Len() int { return s.m.size }
 func (s *SetI64) ForEach(fn func(key int64)) {
 	s.m.ForEach(func(k, _ int64) { fn(k) })
 }
+
+// AccumulatorPairI64 maps (int64, int64) key pairs to accumulated int64
+// values with the same open-addressing scheme as AccumulatorI64. The
+// contraction step keys quotient edges by their (source, destination)
+// coarse IDs; composing the pair into one int64 as src*coarseN+dst
+// overflows once coarseN exceeds ~3·10^9, silently merging unrelated
+// edges, so the pair is stored as-is.
+type AccumulatorPairI64 struct {
+	keysA   []int64
+	keysB   []int64
+	vals    []int64
+	used    []bool
+	touched []int
+	mask    uint64
+	size    int
+}
+
+// NewAccumulatorPairI64 returns a table with capacity for at least capacity
+// pairs before growth.
+func NewAccumulatorPairI64(capacity int) *AccumulatorPairI64 {
+	n := 16
+	for n < 2*capacity {
+		n *= 2
+	}
+	return &AccumulatorPairI64{
+		keysA:   make([]int64, n),
+		keysB:   make([]int64, n),
+		vals:    make([]int64, n),
+		used:    make([]bool, n),
+		touched: make([]int, 0, capacity),
+		mask:    uint64(n - 1),
+	}
+}
+
+// hashPair64 mixes both halves of the key through two rounds of hash64 so
+// pairs like (a, b) and (b, a) land in unrelated slots.
+func hashPair64(a, b int64) uint64 {
+	return hash64(int64(hash64(a)) ^ b)
+}
+
+// Add accumulates delta into the value for (a, b), inserting the pair with
+// value delta if absent.
+func (t *AccumulatorPairI64) Add(a, b, delta int64) {
+	if 2*(t.size+1) > len(t.keysA) {
+		t.grow()
+	}
+	i := hashPair64(a, b) & t.mask
+	for {
+		if !t.used[i] {
+			t.used[i] = true
+			t.keysA[i] = a
+			t.keysB[i] = b
+			t.vals[i] = delta
+			t.touched = append(t.touched, int(i))
+			t.size++
+			return
+		}
+		if t.keysA[i] == a && t.keysB[i] == b {
+			t.vals[i] += delta
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Get returns the accumulated value for (a, b) and whether the pair is
+// present.
+func (t *AccumulatorPairI64) Get(a, b int64) (int64, bool) {
+	i := hashPair64(a, b) & t.mask
+	for t.used[i] {
+		if t.keysA[i] == a && t.keysB[i] == b {
+			return t.vals[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+	return 0, false
+}
+
+// Len returns the number of distinct pairs in the table.
+func (t *AccumulatorPairI64) Len() int { return t.size }
+
+// ForEach calls fn for every (a, b, value) triple in insertion-touch order.
+func (t *AccumulatorPairI64) ForEach(fn func(a, b, val int64)) {
+	for _, i := range t.touched {
+		fn(t.keysA[i], t.keysB[i], t.vals[i])
+	}
+}
+
+// Reset removes all pairs, clearing only the touched slots.
+func (t *AccumulatorPairI64) Reset() {
+	for _, i := range t.touched {
+		t.used[i] = false
+	}
+	t.touched = t.touched[:0]
+	t.size = 0
+}
+
+func (t *AccumulatorPairI64) grow() {
+	oldA, oldB, oldVals, oldUsed := t.keysA, t.keysB, t.vals, t.used
+	n := 2 * len(oldA)
+	t.keysA = make([]int64, n)
+	t.keysB = make([]int64, n)
+	t.vals = make([]int64, n)
+	t.used = make([]bool, n)
+	t.touched = t.touched[:0]
+	t.mask = uint64(n - 1)
+	t.size = 0
+	for i, u := range oldUsed {
+		if u {
+			t.Add(oldA[i], oldB[i], oldVals[i])
+		}
+	}
+}

@@ -214,3 +214,88 @@ func TestSetManyKeys(t *testing.T) {
 		t.Fatalf("ForEach visited %d", seen)
 	}
 }
+
+func TestAccumulatorPairI64Basic(t *testing.T) {
+	acc := NewAccumulatorPairI64(4)
+	acc.Add(1, 2, 10)
+	acc.Add(1, 2, 5)
+	acc.Add(2, 1, 7) // reversed pair is a distinct key
+	if v, ok := acc.Get(1, 2); !ok || v != 15 {
+		t.Fatalf("Get(1,2) = %d,%v, want 15,true", v, ok)
+	}
+	if v, ok := acc.Get(2, 1); !ok || v != 7 {
+		t.Fatalf("Get(2,1) = %d,%v, want 7,true", v, ok)
+	}
+	if _, ok := acc.Get(3, 3); ok {
+		t.Fatal("Get(3,3) found a missing pair")
+	}
+	if acc.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", acc.Len())
+	}
+	acc.Reset()
+	if acc.Len() != 0 {
+		t.Fatalf("Len after reset = %d", acc.Len())
+	}
+	if _, ok := acc.Get(1, 2); ok {
+		t.Fatal("pair survived reset")
+	}
+}
+
+// TestAccumulatorPairI64BoundaryKeys exercises the pair keying exactly
+// where the old composite cu*coarseN+cv key broke: coarse ID spaces beyond
+// ~3·10^9 where the product overflows int64. Each collision pair below
+// composes to the identical (wrapped) int64 under the old scheme but must
+// stay distinct as a pair.
+func TestAccumulatorPairI64BoundaryKeys(t *testing.T) {
+	const coarseN = int64(4_000_000_000) // cu*coarseN overflows for cu >= ~2.3e9
+	collisions := [][2][2]int64{
+		// (a1,b1) and (a2,b2) with a1*coarseN+b1 == a2*coarseN+b2 mod 2^64.
+		{{1 << 62, 5}, {0, 5}},                           // (1<<62)*coarseN wraps to 0
+		{{coarseN - 1, 7}, {coarseN - 1 - (1 << 62), 7}}, // same wrap further up
+		{{3_000_000_001, 0}, {3_000_000_001, 0}},         // identity sanity pair
+	}
+	for _, c := range collisions {
+		acc := NewAccumulatorPairI64(8)
+		acc.Add(c[0][0], c[0][1], 3)
+		acc.Add(c[1][0], c[1][1], 4)
+		same := c[0] == c[1]
+		if same {
+			if v, _ := acc.Get(c[0][0], c[0][1]); v != 7 || acc.Len() != 1 {
+				t.Errorf("identical pair %v: val=%d len=%d, want 7,1", c[0], v, acc.Len())
+			}
+			continue
+		}
+		if acc.Len() != 2 {
+			t.Errorf("pairs %v and %v merged (len=%d)", c[0], c[1], acc.Len())
+		}
+		if v, _ := acc.Get(c[0][0], c[0][1]); v != 3 {
+			t.Errorf("pair %v accumulated %d, want 3", c[0], v)
+		}
+		if v, _ := acc.Get(c[1][0], c[1][1]); v != 4 {
+			t.Errorf("pair %v accumulated %d, want 4", c[1], v)
+		}
+	}
+}
+
+func TestAccumulatorPairI64GrowKeepsPairs(t *testing.T) {
+	acc := NewAccumulatorPairI64(2)
+	const n = 500
+	base := int64(3_000_000_000)
+	for i := int64(0); i < n; i++ {
+		acc.Add(base+i, base+2*i, i)
+	}
+	if acc.Len() != n {
+		t.Fatalf("Len = %d, want %d", acc.Len(), n)
+	}
+	var count int
+	acc.ForEach(func(a, b, v int64) {
+		i := a - base
+		if b != base+2*i || v != i {
+			t.Errorf("pair (%d,%d)=%d corrupted across growth", a, b, v)
+		}
+		count++
+	})
+	if count != n {
+		t.Fatalf("ForEach visited %d pairs, want %d", count, n)
+	}
+}

@@ -1,0 +1,51 @@
+// Package intmath provides exact integer arithmetic helpers for the
+// balance computations: 128-bit multiply/divide with floor semantics and
+// saturating addition. The balance bound Lmax and the per-rank headroom
+// claims must never lose precision to float64 rounding (block weights can
+// exceed 2^53), so every product is carried out in 128 bits.
+package intmath
+
+import (
+	"math"
+	"math/bits"
+)
+
+// MulDivFloor returns floor(a*num/den) for a, num >= 0 and den > 0. The
+// product is computed in 128 bits so no intermediate overflow occurs;
+// quotients beyond MaxInt64 saturate to MaxInt64.
+func MulDivFloor(a, num, den int64) int64 {
+	if a < 0 || num < 0 || den <= 0 {
+		panic("intmath: MulDivFloor requires a >= 0, num >= 0, den > 0")
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(num))
+	if hi >= uint64(den) {
+		return math.MaxInt64 // quotient needs more than 64 bits
+	}
+	q, _ := bits.Div64(hi, lo, uint64(den))
+	if q > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(q)
+}
+
+// SatAdd returns a+b for non-negative a and b, saturating at MaxInt64.
+func SatAdd(a, b int64) int64 {
+	if a < 0 || b < 0 {
+		panic("intmath: SatAdd requires non-negative operands")
+	}
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// CeilDiv returns ceil(a/b) for a >= 0 and b > 0.
+func CeilDiv(a, b int64) int64 {
+	if a < 0 || b <= 0 {
+		panic("intmath: CeilDiv requires a >= 0, b > 0")
+	}
+	if a == 0 {
+		return 0
+	}
+	return (a-1)/b + 1 // overflow-safe form of (a+b-1)/b
+}

@@ -1,0 +1,76 @@
+package intmath
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func refMulDivFloor(a, num, den int64) int64 {
+	x := new(big.Int).Mul(big.NewInt(a), big.NewInt(num))
+	x.Quo(x, big.NewInt(den))
+	if !x.IsInt64() || x.Int64() > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return x.Int64()
+}
+
+func TestMulDivFloorBoundaries(t *testing.T) {
+	cases := []struct{ a, num, den int64 }{
+		{0, 0, 1},
+		{1, 1, 1},
+		{math.MaxInt64, 1, 1},
+		{math.MaxInt64, math.MaxInt64, math.MaxInt64},
+		{math.MaxInt64, 3, 100},
+		{1 << 62, 29, 100},
+		{100, 29, 100},
+		{1<<53 + 1, 7, 100}, // above float64's exact-integer range
+		{3_000_000_000, 3_000_000_001, 1},
+		{math.MaxInt64, 2, 1}, // saturates
+	}
+	for _, c := range cases {
+		got := MulDivFloor(c.a, c.num, c.den)
+		want := refMulDivFloor(c.a, c.num, c.den)
+		if got != want {
+			t.Errorf("MulDivFloor(%d,%d,%d) = %d, want %d", c.a, c.num, c.den, got, want)
+		}
+	}
+}
+
+func TestMulDivFloorRandomAgainstBigInt(t *testing.T) {
+	r := rng.New(7)
+	for i := 0; i < 2000; i++ {
+		a := int64(r.Uint64() >> (1 + r.Intn(40)))
+		num := int64(r.Uint64() >> (1 + r.Intn(40)))
+		den := int64(r.Uint64()>>(1+r.Intn(40))) + 1
+		got := MulDivFloor(a, num, den)
+		want := refMulDivFloor(a, num, den)
+		if got != want {
+			t.Fatalf("MulDivFloor(%d,%d,%d) = %d, want %d", a, num, den, got, want)
+		}
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	if got := SatAdd(1, 2); got != 3 {
+		t.Fatalf("SatAdd(1,2) = %d", got)
+	}
+	if got := SatAdd(math.MaxInt64, 1); got != math.MaxInt64 {
+		t.Fatalf("SatAdd overflow = %d, want MaxInt64", got)
+	}
+	if got := SatAdd(math.MaxInt64-5, 5); got != math.MaxInt64 {
+		t.Fatalf("SatAdd exact = %d, want MaxInt64", got)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	for _, c := range []struct{ a, b, want int64 }{
+		{0, 3, 0}, {1, 3, 1}, {3, 3, 1}, {4, 3, 2}, {math.MaxInt64 - 2, math.MaxInt64, 1},
+	} {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package kaffpa
 
 import (
 	"repro/internal/graph"
+	"repro/internal/intmath"
 	"repro/internal/partition"
 	"repro/internal/rng"
 )
@@ -81,11 +82,11 @@ func bisectInto(g *graph.Graph, k int32, eps float64, r *rng.RNG, out []int32, f
 	total := g.TotalNodeWeight()
 	k0 := k / 2
 	k1 := k - k0
-	target0 := total * int64(k0) / int64(k)
+	target0 := intmath.MulDivFloor(total, int64(k0), int64(k))
 	// The side bound must leave room for the recursion: side i may weigh at
 	// most k_i * Lmax(total, k, eps), but we also keep it near the
 	// proportional target to help the deeper splits.
-	lmaxSide := int64(float64(total) * float64(k0) / float64(k) * (1 + eps))
+	lmaxSide := partition.ScaledBound(target0, eps)
 	if lmaxSide < target0 {
 		lmaxSide = target0
 	}

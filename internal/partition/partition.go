@@ -5,8 +5,13 @@ package partition
 
 import (
 	"fmt"
+	"math"
+	"math/big"
+	"strconv"
+	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/intmath"
 )
 
 // Partition assigns every node a block ID in [0, k). It is stored as a
@@ -61,10 +66,106 @@ func BlockWeights(g *graph.Graph, p Partition, k int32) []int64 {
 	return w
 }
 
-// Lmax returns the balance bound (1+eps)*ceil(totalWeight/k) from §II-A.
+// Lmax returns the balance bound (1+eps)*ceil(totalWeight/k) from §II-A,
+// rounded down to an integer: block weights are integral, so
+// c(V_i) <= (1+eps)*ceil is equivalent to c(V_i) <= floor((1+eps)*ceil).
+//
+// The product is evaluated exactly. Every layer (core, matchbase, kaffpa,
+// sclp tests, the server via core.Stats) must obtain the bound from this
+// one function so the constraint is identical across coarsening,
+// refinement, rebalancing and the final feasibility check.
 func Lmax(totalWeight int64, k int32, eps float64) int64 {
-	ceil := (totalWeight + int64(k) - 1) / int64(k)
-	return int64((1 + eps) * float64(ceil))
+	if totalWeight < 0 || k < 1 {
+		return 0
+	}
+	return ScaledBound(intmath.CeilDiv(totalWeight, int64(k)), eps)
+}
+
+// ScaledBound returns floor((1+eps)*w) for w >= 0, computed exactly: eps is
+// interpreted as the decimal number the caller wrote (its shortest
+// round-trip representation, so eps=0.29 means exactly 29/100), and the
+// scaling runs in 128-bit integer arithmetic. The previous float64 formula
+// truncated (eps=0.29 with w=100 gave 128 instead of 129) and lost
+// precision entirely for weights above 2^53.
+func ScaledBound(w int64, eps float64) int64 {
+	if w <= 0 || eps <= 0 || math.IsNaN(eps) {
+		return w
+	}
+	if math.IsInf(eps, 1) {
+		return math.MaxInt64
+	}
+	if num, den, ok := decimalParts(eps); ok {
+		return intmath.SatAdd(w, intmath.MulDivFloor(w, num, den))
+	}
+	return scaledBoundBig(w, eps)
+}
+
+// decimalParts decomposes a positive finite eps into num/den == the value
+// of eps's shortest round-trip decimal representation. ok is false when the
+// decimal exponent is too extreme for 64-bit integers (the caller falls
+// back to big.Rat).
+func decimalParts(eps float64) (num, den int64, ok bool) {
+	s := strconv.FormatFloat(eps, 'g', -1, 64)
+	mant, exp10 := s, 0
+	if i := strings.IndexAny(s, "eE"); i >= 0 {
+		e, err := strconv.Atoi(s[i+1:])
+		if err != nil {
+			return 0, 0, false
+		}
+		mant, exp10 = s[:i], e
+	}
+	if i := strings.IndexByte(mant, '.'); i >= 0 {
+		exp10 -= len(mant) - i - 1
+		mant = mant[:i] + mant[i+1:]
+	}
+	n, err := strconv.ParseInt(mant, 10, 64)
+	if err != nil || n < 0 {
+		return 0, 0, false
+	}
+	num, den = n, 1
+	for ; exp10 > 0; exp10-- {
+		if num > math.MaxInt64/10 {
+			return 0, 0, false
+		}
+		num *= 10
+	}
+	for ; exp10 < 0; exp10++ {
+		if den > math.MaxInt64/10 {
+			return 0, 0, false
+		}
+		den *= 10
+	}
+	return num, den, true
+}
+
+// scaledBoundBig is the arbitrary-precision fallback for eps values whose
+// decimal form does not fit 64-bit integers.
+func scaledBoundBig(w int64, eps float64) int64 {
+	r := new(big.Rat)
+	if _, ok := r.SetString(strconv.FormatFloat(eps, 'g', -1, 64)); !ok {
+		r.SetFloat64(eps)
+	}
+	r.Add(r, big.NewRat(1, 1))
+	r.Mul(r, new(big.Rat).SetInt64(w))
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	if !q.IsInt64() {
+		return math.MaxInt64
+	}
+	return q.Int64()
+}
+
+// WorstOverload returns by how much the heaviest block exceeds the balance
+// bound Lmax (0 for feasible partitions). Benchmarks record it alongside
+// the cut so balance regressions are visible in BENCH_*.json trajectories.
+func WorstOverload(g *graph.Graph, p Partition, k int32, eps float64) int64 {
+	lmax := Lmax(g.TotalNodeWeight(), k, eps)
+	var worst int64
+	for _, w := range BlockWeights(g, p, k) {
+		if over := w - lmax; over > worst {
+			worst = over
+		}
+	}
+	return worst
 }
 
 // Imbalance returns max_i c(V_i)/(c(V)/k) - 1, the conventional imbalance

@@ -1,6 +1,9 @@
 package partition
 
 import (
+	"math"
+	"math/big"
+	"strconv"
 	"testing"
 	"testing/quick"
 
@@ -222,5 +225,106 @@ func TestNumBlocks(t *testing.T) {
 	}
 	if New(0).NumBlocks() != 0 {
 		t.Fatal("empty partition should have 0 blocks")
+	}
+}
+
+// refLmax computes floor((1+eps)*ceil(total/k)) with exact rational
+// arithmetic, interpreting eps as its shortest round-trip decimal — the
+// reference the production Lmax must match.
+func refLmax(total int64, k int32, eps float64) int64 {
+	ceil := (total + int64(k) - 1) / int64(k)
+	r := new(big.Rat)
+	if _, ok := r.SetString(strconv.FormatFloat(eps, 'g', -1, 64)); !ok {
+		r.SetFloat64(eps)
+	}
+	r.Add(r, big.NewRat(1, 1))
+	r.Mul(r, new(big.Rat).SetInt64(ceil))
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	if !q.IsInt64() {
+		return math.MaxInt64
+	}
+	return q.Int64()
+}
+
+// TestLmaxExactRegression covers the float64 truncation bug: the old
+// int64((1+eps)*float64(ceil)) formula lost a unit whenever the binary
+// rounding of 1+eps fell just below the decimal product (eps=0.29,
+// ceil=100 gave 128 instead of 129) and was wrong wholesale above 2^53.
+func TestLmaxExactRegression(t *testing.T) {
+	epsTable := []float64{0.03, 0.07, 0.29, 0.5}
+	totals := []int64{10, 100, 400, 999, 12345, 1_000_000,
+		1 << 40, 1<<53 + 1, 1 << 60, math.MaxInt64 / 2}
+	ks := []int32{1, 2, 3, 4, 7, 32, 127}
+	for _, eps := range epsTable {
+		for _, total := range totals {
+			for _, k := range ks {
+				got := Lmax(total, k, eps)
+				want := refLmax(total, k, eps)
+				if got != want {
+					t.Errorf("Lmax(%d, %d, %g) = %d, want %d", total, k, eps, got, want)
+				}
+			}
+		}
+	}
+	// The motivating case from the issue: eps=0.29, ceil=100.
+	if got := Lmax(400, 4, 0.29); got != 129 {
+		t.Errorf("Lmax(400, 4, 0.29) = %d, want 129 (old float path gave 128)", got)
+	}
+	// Beyond 2^53 the float path could not even represent the ceil exactly.
+	if got, want := Lmax(1<<60, 1, 0.5), int64(1<<60+1<<59); got != want {
+		t.Errorf("Lmax(2^60, 1, 0.5) = %d, want %d", got, want)
+	}
+}
+
+func TestLmaxRandomAgainstBigRat(t *testing.T) {
+	r := rng.New(11)
+	for i := 0; i < 3000; i++ {
+		total := int64(r.Uint64() >> (1 + r.Intn(50)))
+		k := int32(1 + r.Intn(512))
+		// Decimal-ish eps values of varying precision, plus raw floats.
+		var eps float64
+		switch r.Intn(3) {
+		case 0:
+			eps = float64(r.Intn(1000)) / 1000
+		case 1:
+			eps = float64(r.Intn(100)) / 100
+		default:
+			eps = float64(r.Uint64()%(1<<30)) / float64(1<<31)
+		}
+		got := Lmax(total, k, eps)
+		want := refLmax(total, k, eps)
+		if got != want {
+			t.Fatalf("Lmax(%d, %d, %v) = %d, want %d", total, k, eps, got, want)
+		}
+	}
+}
+
+func TestLmaxDegenerateEps(t *testing.T) {
+	if got := Lmax(100, 4, 0); got != 25 {
+		t.Errorf("eps=0: got %d, want 25", got)
+	}
+	if got := Lmax(100, 4, -1); got != 25 {
+		t.Errorf("eps<0: got %d, want 25", got)
+	}
+	if got := Lmax(100, 4, math.NaN()); got != 25 {
+		t.Errorf("eps=NaN: got %d, want 25", got)
+	}
+	if got := Lmax(100, 4, math.Inf(1)); got != math.MaxInt64 {
+		t.Errorf("eps=+Inf: got %d, want MaxInt64", got)
+	}
+	// Tiny eps beyond the int64 decimal range takes the big.Rat fallback.
+	if got, want := Lmax(1<<60, 1, 1e-300), int64(1<<60); got != want {
+		t.Errorf("eps=1e-300: got %d, want %d", got, want)
+	}
+}
+
+func TestWorstOverload(t *testing.T) {
+	g, p := twoBlocksOfPath(10)
+	if o := WorstOverload(g, p, 2, 0.03); o != 0 {
+		t.Fatalf("balanced overload = %d, want 0", o)
+	}
+	q := New(10) // everything in block 0 of 2: weight 10 vs Lmax(10,2,0.03)=5
+	if o := WorstOverload(g, q, 2, 0.03); o != 5 {
+		t.Fatalf("overload = %d, want 5", o)
 	}
 }

@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/dgraph"
 	"repro/internal/hashtab"
+	"repro/internal/intmath"
+	"repro/internal/mpi"
 	"repro/internal/rng"
 )
 
@@ -214,9 +216,10 @@ type ParRefineConfig struct {
 // ParRefine improves the distributed partition part (NTotal entries, ghosts
 // synced; values in [0, K)) in place and returns the global number of moves.
 // To keep concurrent phases from overshooting Lmax, each rank limits the
-// weight it adds to any block during one phase to its share of the block's
-// remaining headroom; with exact weights at phase starts, blocks therefore
-// never exceed Lmax. Collective.
+// weight it adds to any block during one phase to a claimed share of the
+// block's remaining headroom; shares are demand-proportional (see
+// claimHeadroom), so with exact weights at phase starts blocks never exceed
+// Lmax and positive headroom is always usable by some rank. Collective.
 func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 	if cfg.PhasesPerRound < 1 {
 		cfg.PhasesPerRound = 8
@@ -232,18 +235,11 @@ func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 		localContrib[part[v]] += d.NW[v]
 	}
 	blockWeight := d.Comm.AllreduceSum(localContrib)
-	// headroom[b]: weight this rank may still add to b this phase.
-	headroom := make([]int64, k)
+	headroom := make([]int64, k) // weight this rank may still add per block
+	demand := make([]int64, k)
+	// Global max node weight, for the fast headroom path below.
+	maxNW := d.MaxNodeWeightGlobal()
 	P := int64(d.Comm.Size())
-	resetHeadroom := func() {
-		for b := int32(0); b < k; b++ {
-			h := cfg.Lmax - blockWeight[b]
-			if h < 0 {
-				h = 0
-			}
-			headroom[b] = h / P
-		}
-	}
 	r := rng.New(cfg.Seed).Split(uint64(d.Comm.Rank()))
 	conn := hashtab.NewAccumulatorI64(64)
 	order := localOrder(d, false, r)
@@ -260,8 +256,35 @@ func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 		for ph := 0; ph < cfg.PhasesPerRound; ph++ {
 			start := ph * len(order) / cfg.PhasesPerRound
 			end := (ph + 1) * len(order) / cfg.PhasesPerRound
-			resetHeadroom()
-			for _, v := range order[start:end] {
+			phase := order[start:end]
+			// Fast path: when every block with headroom can take a uniform
+			// h/P share that still fits the heaviest node, the old local
+			// split is exact and costs no communication. Only tight blocks
+			// (0 < h, h/P < maxNW — the starvation regime) need the
+			// demand-proportional claim. The choice is made from
+			// rank-consistent data, so all ranks agree on whether the
+			// claimHeadroom collective runs.
+			tight := false
+			for b := int32(0); b < k; b++ {
+				if h := cfg.Lmax - blockWeight[b]; h > 0 && h/P < maxNW {
+					tight = true
+					break
+				}
+			}
+			if tight {
+				refineDemand(d, phase, part, blockWeight, cfg.Lmax, conn, demand)
+				claimHeadroom(d.Comm, blockWeight, demand, cfg.Lmax,
+					iter*cfg.PhasesPerRound+ph, false, headroom)
+			} else {
+				for b := int32(0); b < k; b++ {
+					h := cfg.Lmax - blockWeight[b]
+					if h < 0 {
+						h = 0
+					}
+					headroom[b] = h / P
+				}
+			}
+			for _, v := range phase {
 				if parRefineNode(d, v, part, blockWeight, localContrib, headroom, cfg.Lmax, conn, r) {
 					movedLocal++
 					if d.IsInterface(v) {
@@ -280,6 +303,118 @@ func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 		}
 	}
 	return totalMoves
+}
+
+// refineDemand fills demand[b] with the weight of this phase's nodes that
+// could plausibly move into block b: boundary weight adjacent to b, plus —
+// for nodes of overloaded blocks, whose fallback may target any block —
+// their weight credited to the globally lightest block. blockWeight is the
+// phase-start global vector (identical on every rank), so the lightest
+// block is chosen consistently.
+func refineDemand(d *dgraph.DGraph, phase []int32, part []int64,
+	blockWeight []int64, lmax int64, conn *hashtab.AccumulatorI64, demand []int64) {
+
+	for b := range demand {
+		demand[b] = 0
+	}
+	lightest := int64(0)
+	for b := 1; b < len(blockWeight); b++ {
+		if blockWeight[b] < blockWeight[lightest] {
+			lightest = int64(b)
+		}
+	}
+	for _, v := range phase {
+		cur := part[v]
+		nw := d.NW[v]
+		conn.Reset()
+		for _, nb := range d.Neighbors(v) {
+			if part[nb] != cur {
+				conn.Add(part[nb], 1)
+			}
+		}
+		conn.ForEach(func(b, _ int64) { demand[b] += nw })
+		if blockWeight[cur] > lmax && lightest != cur {
+			if _, adjacent := conn.Get(lightest); !adjacent {
+				demand[lightest] += nw
+			}
+		}
+	}
+}
+
+// claimHeadroom splits every block's remaining headroom h = Lmax -
+// blockWeight[b] across the ranks and writes this rank's share into out.
+// Shares are proportional to the ranks' demands (largest-remainder style:
+// integer floors first, then the residual is handed out unit-wise across
+// the demanding ranks starting at a rotating offset), so h > 0 with any
+// demand is always usable by someone — unlike the old uniform h/P split,
+// which floored to zero for every rank whenever h < P and let nearly-full
+// blocks starve. When no rank demands a block, its whole headroom rotates
+// to one rank per phase so fallback moves remain possible. With
+// concentrate set, proportional splitting is skipped and each block's
+// whole headroom goes to one demanding rank (rotating per round) — the
+// rebalancer's escape hatch when proportional shares all land below a
+// heavy node's weight. All inputs are rank-consistent, so every rank
+// computes the identical allocation. Collective.
+func claimHeadroom(c *mpi.Comm, blockWeight, demand []int64, lmax int64, round int,
+	concentrate bool, out []int64) {
+
+	all := c.Allgatherv(demand)
+	P := c.Size()
+	rank := c.Rank()
+	var dem []int
+	for b := range blockWeight {
+		out[b] = 0
+		h := lmax - blockWeight[b]
+		if h <= 0 {
+			continue
+		}
+		var total int64
+		dem = dem[:0]
+		for r := 0; r < P; r++ {
+			if all[r][b] > 0 {
+				total += all[r][b]
+				dem = append(dem, r)
+			}
+		}
+		if total == 0 {
+			// No demand recorded: rotate the whole headroom to one rank so
+			// positive headroom can still absorb fallback moves.
+			if (round+b)%P == rank {
+				out[b] = h
+			}
+			continue
+		}
+		if concentrate {
+			if dem[(round+b)%len(dem)] == rank {
+				out[b] = h
+			}
+			continue
+		}
+		var assigned int64
+		for _, r := range dem {
+			s := intmath.MulDivFloor(h, all[r][b], total)
+			assigned += s
+			if r == rank {
+				out[b] = s
+			}
+		}
+		// Residual round: the few units lost to flooring go to the
+		// demanding ranks, one slot rotating per phase.
+		residual := h - assigned
+		if residual > 0 {
+			q := residual / int64(len(dem))
+			rem := residual % int64(len(dem))
+			for j, r := range dem {
+				extra := q
+				if int64((j+round)%len(dem)) < rem {
+					extra++
+				}
+				if r == rank {
+					out[b] += extra
+				}
+			}
+		}
+	}
 }
 
 func parRefineNode(d *dgraph.DGraph, v int32, part []int64,

@@ -1,0 +1,248 @@
+package sclp
+
+import (
+	"testing"
+
+	"repro/internal/dgraph"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+)
+
+// TestParRefineNeverOvershootsProperty: over random graphs, skewed starts
+// and rank counts, ParRefine must never push a block past Lmax that was not
+// already past it, and must never worsen an existing overload.
+func TestParRefineNeverOvershootsProperty(t *testing.T) {
+	type gcase struct {
+		name string
+		g    *graph.Graph
+	}
+	cases := []gcase{
+		{"rgg", gen.RGG(500, 21)},
+		{"ba", gen.BarabasiAlbert(400, 4, 22)},
+		{"del", gen.DelaunayLike(450, 23)},
+	}
+	for _, gc := range cases {
+		for _, P := range []int{1, 2, 4} {
+			for _, k := range []int32{2, 3, 5} {
+				lmax := partition.Lmax(gc.g.TotalNodeWeight(), k, 0.03)
+				mpi.NewWorld(P).Run(func(c *mpi.Comm) {
+					d := dgraph.FromGraph(c, gc.g)
+					part := make([]int64, d.NTotal())
+					for v := int32(0); v < d.NTotal(); v++ {
+						gv := d.ToGlobal(v)
+						if gv < int64(gc.g.NumNodes())/3 {
+							part[v] = 0 // skew: the first third piles onto block 0
+						} else {
+							part[v] = gv % int64(k)
+						}
+					}
+					before := d.BlockWeights(part, k)
+					ParRefine(d, part, ParRefineConfig{K: k, Lmax: lmax, Iterations: 4, Seed: 5})
+					after := d.BlockWeights(part, k)
+					if c.Rank() != 0 {
+						return
+					}
+					for b := int32(0); b < k; b++ {
+						limit := lmax
+						if before[b] > limit {
+							limit = before[b]
+						}
+						if after[b] > limit {
+							t.Errorf("%s P=%d k=%d: block %d grew to %d (start %d, lmax %d)",
+								gc.name, P, k, b, after[b], before[b], lmax)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParRefineDrainsStarvedHeadroom reproduces the h/P starvation case:
+// every underloaded block's headroom is below the rank count, so the old
+// uniform split floored every rank's share to zero and the overloaded
+// block could never drain. The demand-proportional claim must still move
+// the excess out.
+func TestParRefineDrainsStarvedHeadroom(t *testing.T) {
+	const (
+		n = 160
+		k = 8
+		P = 4
+	)
+	g := graph.Path(n)
+	lmax := partition.Lmax(g.TotalNodeWeight(), k, 0.05) // ceil=20 -> 21
+	if lmax != 21 {
+		t.Fatalf("test setup: lmax = %d, want 21", lmax)
+	}
+	// Block sizes 24,20,20,20,19,19,19,19: block 0 is 3 over Lmax and every
+	// target's headroom (1 or 2) is below P=4.
+	sizes := []int64{24, 20, 20, 20, 19, 19, 19, 19}
+	blockOf := make([]int64, n)
+	v := 0
+	for b, s := range sizes {
+		for i := int64(0); i < s; i++ {
+			blockOf[v] = int64(b)
+			v++
+		}
+	}
+	mpi.NewWorld(P).Run(func(c *mpi.Comm) {
+		d := dgraph.FromGraph(c, g)
+		part := make([]int64, d.NTotal())
+		for v := int32(0); v < d.NTotal(); v++ {
+			part[v] = blockOf[d.ToGlobal(v)]
+		}
+		ParRefine(d, part, ParRefineConfig{K: k, Lmax: lmax, Iterations: 6, Seed: 9})
+		bw := d.BlockWeights(part, k)
+		if c.Rank() != 0 {
+			return
+		}
+		for b, w := range bw {
+			if w > lmax {
+				t.Errorf("block %d still at %d > lmax %d after refine (starved headroom)",
+					b, w, lmax)
+			}
+		}
+	})
+}
+
+// TestParRebalanceRestoresFeasibility: heavily skewed partitions across
+// several graph families and rank counts must come out feasible, with
+// ghosts in sync and the partition still valid.
+func TestParRebalanceRestoresFeasibility(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.RGG(600, 31),
+		gen.BarabasiAlbert(500, 4, 32),
+		graph.Path(257),
+	}
+	for _, g := range graphs {
+		for _, P := range []int{1, 3, 4} {
+			for _, k := range []int32{2, 4, 8} {
+				lmax := partition.Lmax(g.TotalNodeWeight(), k, 0.03)
+				mpi.NewWorld(P).Run(func(c *mpi.Comm) {
+					d := dgraph.FromGraph(c, g)
+					part := make([]int64, d.NTotal()) // everything in block 0
+					moves, feasible := ParRebalance(d, part, ParRebalanceConfig{K: k, Lmax: lmax})
+					bw := d.BlockWeights(part, k)
+					check := append([]int64(nil), part...)
+					d.SyncGhosts(check)
+					for v := d.NLocal(); v < d.NTotal(); v++ {
+						if check[v] != part[v] {
+							t.Errorf("P=%d k=%d rank %d: ghost %d stale after rebalance", P, k, c.Rank(), v)
+							return
+						}
+					}
+					for v := int32(0); v < d.NLocal(); v++ {
+						if part[v] < 0 || part[v] >= int64(k) {
+							t.Errorf("P=%d k=%d: node %d has block %d", P, k, v, part[v])
+							return
+						}
+					}
+					if c.Rank() != 0 {
+						return
+					}
+					if !feasible {
+						t.Errorf("P=%d k=%d: rebalance reported infeasible (moves=%d, bw=%v, lmax=%d)",
+							P, k, moves, bw, lmax)
+					}
+					for b, w := range bw {
+						if w > lmax {
+							t.Errorf("P=%d k=%d: block %d weight %d > lmax %d", P, k, b, w, lmax)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParRebalanceNoOpWhenFeasible: a feasible partition is left untouched.
+func TestParRebalanceNoOpWhenFeasible(t *testing.T) {
+	g := gen.DelaunayLike(300, 41)
+	const k = 3
+	lmax := partition.Lmax(g.TotalNodeWeight(), k, 0.1)
+	mpi.NewWorld(2).Run(func(c *mpi.Comm) {
+		d := dgraph.FromGraph(c, g)
+		part := make([]int64, d.NTotal())
+		for v := int32(0); v < d.NTotal(); v++ {
+			part[v] = d.ToGlobal(v) % k
+		}
+		before := append([]int64(nil), part...)
+		moves, feasible := ParRebalance(d, part, ParRebalanceConfig{K: k, Lmax: lmax})
+		if moves != 0 || !feasible {
+			t.Errorf("rank %d: moves=%d feasible=%v on a feasible input", c.Rank(), moves, feasible)
+		}
+		for v := range part {
+			if part[v] != before[v] {
+				t.Errorf("rank %d: node %d moved on a feasible input", c.Rank(), v)
+				return
+			}
+		}
+	})
+}
+
+// TestParRebalanceHeavyNodesAcrossRanks: when every rank's proportional
+// headroom share lands below the weight of the nodes that must move, the
+// proportional round stalls; the concentrated retry (whole headroom to one
+// demanding rank) must still restore feasibility. Construction: block 0
+// holds four weight-6 nodes (24 > Lmax 20), two per rank; block 1 holds
+// weight 10, so each rank's proportional share of the headroom (10/2 = 5)
+// is below the node weight 6, but the full headroom fits one node.
+func TestParRebalanceHeavyNodesAcrossRanks(t *testing.T) {
+	b := graph.NewBuilder(8)
+	weights := []int64{6, 6, 3, 3, 6, 6, 2, 2}
+	blocks := []int64{0, 0, 1, 1, 0, 0, 1, 1}
+	for v, w := range weights {
+		b.SetNodeWeight(int32(v), w)
+	}
+	for v := int32(0); v < 7; v++ {
+		b.AddEdge(v, v+1)
+	}
+	g := b.Build()
+	const lmax = 20
+	mpi.NewWorld(2).Run(func(c *mpi.Comm) {
+		d := dgraph.FromGraph(c, g) // rank 0 owns nodes 0-3, rank 1 owns 4-7
+		part := make([]int64, d.NTotal())
+		for v := int32(0); v < d.NTotal(); v++ {
+			part[v] = blocks[d.ToGlobal(v)]
+		}
+		moves, feasible := ParRebalance(d, part, ParRebalanceConfig{K: 2, Lmax: lmax})
+		bw := d.BlockWeights(part, 2)
+		if c.Rank() != 0 {
+			return
+		}
+		if !feasible {
+			t.Fatalf("stalled on heavy nodes: moves=%d bw=%v lmax=%d", moves, bw, lmax)
+		}
+		for b, w := range bw {
+			if w > lmax {
+				t.Errorf("block %d weight %d > lmax %d", b, w, lmax)
+			}
+		}
+		if moves == 0 {
+			t.Error("feasible without moves on an infeasible input")
+		}
+	})
+}
+
+// TestParRebalanceImpossible: a node heavier than Lmax cannot be placed;
+// the pass must terminate and report infeasible rather than loop.
+func TestParRebalanceImpossible(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.SetNodeWeight(0, 100)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	const k = 2
+	lmax := partition.Lmax(g.TotalNodeWeight(), k, 0.03) // ceil(103/2)=52 -> 53
+	mpi.NewWorld(2).Run(func(c *mpi.Comm) {
+		d := dgraph.FromGraph(c, g)
+		part := make([]int64, d.NTotal()) // all in block 0: weight 103 > 53
+		_, feasible := ParRebalance(d, part, ParRebalanceConfig{K: k, Lmax: lmax})
+		if feasible {
+			t.Errorf("rank %d: reported feasible with an unplaceable node", c.Rank())
+		}
+	})
+}

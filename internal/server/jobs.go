@@ -87,6 +87,7 @@ type jobManager struct {
 	submitted   int64
 	completed   int64
 	failed      int64
+	infeasible  int64
 	cacheHits   int64
 	cacheMisses int64
 
@@ -238,6 +239,22 @@ func (m *jobManager) runJob(j *job) {
 		j.finished = end
 		j.g = nil
 		m.failed++
+		m.pushTimingLocked(j)
+		return
+	}
+	// Feasibility gate: the balance constraint is hard (§II-A), so a result
+	// that is still infeasible after the core's rebalance stage is a failed
+	// job, not a silently degraded done one. It is also never cached — a
+	// later identical submission must not be served the bad partition.
+	if !res.Feasible {
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf(
+			"result infeasible: heaviest block %d exceeds Lmax %d by %d (imbalance %.4f)",
+			res.Stats.MaxBlockWeight, res.Stats.Lmax, res.Stats.WorstOverload(), res.Imbalance)
+		j.finished = end
+		j.g = nil
+		m.failed++
+		m.infeasible++
 		m.pushTimingLocked(j)
 		return
 	}

@@ -435,6 +435,10 @@ type StatsView struct {
 		Submitted int64 `json:"submitted"`
 		Completed int64 `json:"completed"`
 		Failed    int64 `json:"failed"`
+		// InfeasibleResults counts jobs failed by the feasibility gate:
+		// the partitioner returned a result violating the hard balance
+		// bound even after rebalancing. Always <= Failed.
+		InfeasibleResults int64 `json:"infeasible_results"`
 	} `json:"jobs"`
 
 	Cache struct {
@@ -482,6 +486,7 @@ func (s *Server) Stats() StatsView {
 	v.Jobs.Submitted = m.submitted
 	v.Jobs.Completed = m.completed
 	v.Jobs.Failed = m.failed
+	v.Jobs.InfeasibleResults = m.infeasible
 	v.Cache.Hits = m.cacheHits
 	v.Cache.Misses = m.cacheMisses
 	v.Core.Runs = m.coreRuns

@@ -446,3 +446,72 @@ func TestServerCloseDrainsQueue(t *testing.T) {
 		t.Fatalf("submit after Close: %d, want 503", code)
 	}
 }
+
+// TestInfeasibleResultFailsJob: the feasibility gate turns an infeasible
+// partitioner result into a failed job, counts it in infeasible_results,
+// and never caches it (a resubmission must recompute).
+func TestInfeasibleResultFailsJob(t *testing.T) {
+	var calls atomic.Int64
+	cfg := Config{Workers: 1}
+	cfg.PartitionFn = func(g *graph.Graph, k int32, opt parhip.Options) (parhip.Result, error) {
+		calls.Add(1)
+		res := parhip.Result{
+			Part:      make([]int32, g.NumNodes()), // everything in block 0
+			Imbalance: float64(k) - 1,
+			Feasible:  false,
+		}
+		res.Stats.Lmax = 10
+		res.Stats.MaxBlockWeight = int64(g.NumNodes())
+		return res, nil
+	}
+	e := newEnv(t, cfg)
+	id := e.uploadMetis(testGraph(9))
+
+	v, _ := e.submit(fmt.Sprintf(`{"graph_id":%q,"k":4,"options":{"pes":2}}`, id))
+	v = e.await(v.ID)
+	if v.State != StateFailed {
+		t.Fatalf("infeasible job ended %s, want failed", v.State)
+	}
+	if !strings.Contains(v.Error, "infeasible") {
+		t.Fatalf("error %q does not mention infeasibility", v.Error)
+	}
+
+	// The result endpoint must refuse, not serve the bad partition.
+	code, raw := e.do("GET", "/v1/jobs/"+v.ID+"/result", nil, nil)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("result of infeasible job: status %d (%s), want 422", code, raw)
+	}
+
+	// Resubmitting the identical job must recompute: the bad result was
+	// not cached.
+	v2, _ := e.submit(fmt.Sprintf(`{"graph_id":%q,"k":4,"options":{"pes":2}}`, id))
+	v2 = e.await(v2.ID)
+	if v2.State != StateFailed || v2.Cached {
+		t.Fatalf("resubmission: state=%s cached=%v", v2.State, v2.Cached)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("partition fn called %d times, want 2 (no caching of infeasible results)", got)
+	}
+
+	st := e.srv.Stats()
+	if st.Jobs.InfeasibleResults != 2 {
+		t.Fatalf("infeasible_results = %d, want 2", st.Jobs.InfeasibleResults)
+	}
+	if st.Jobs.Failed != 2 {
+		t.Fatalf("failed = %d, want 2", st.Jobs.Failed)
+	}
+}
+
+// TestStatsInfeasibleCounterZeroOnHealthyRuns: real runs never trip the
+// gate now that feasibility is a core postcondition.
+func TestStatsInfeasibleCounterZeroOnHealthyRuns(t *testing.T) {
+	e := newEnv(t, Config{Workers: 2})
+	id := e.uploadMetis(testGraph(10))
+	v, _ := e.submit(fmt.Sprintf(`{"graph_id":%q,"k":3,"options":{"mode":"minimal","pes":2}}`, id))
+	if v = e.await(v.ID); v.State != StateDone {
+		t.Fatalf("job ended %s (%s)", v.State, v.Error)
+	}
+	if st := e.srv.Stats(); st.Jobs.InfeasibleResults != 0 {
+		t.Fatalf("infeasible_results = %d, want 0", st.Jobs.InfeasibleResults)
+	}
+}
