@@ -7,6 +7,7 @@
 package parhip
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -468,7 +469,7 @@ func BenchmarkEvoOnCoarseGraph(b *testing.B) {
 		cfg.Rounds = 1
 		var cut int64
 		mpi.NewWorld(2).Run(func(c *mpi.Comm) {
-			p := evo.Evolve(c, g, cfg)
+			p := evo.Evolve(context.Background(), c, g, cfg)
 			if c.Rank() == 0 {
 				cut = partition.EdgeCut(g, p)
 			}

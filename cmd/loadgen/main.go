@@ -6,9 +6,13 @@
 // gets exercised alongside cold runs.
 //
 //	parhipd -addr :8090 &
-//	loadgen -addr http://localhost:8090 -jobs 64 -concurrency 8 -dup 0.4
+//	loadgen -addr http://localhost:8090 -jobs 64 -concurrency 8 -dup 0.4 -cancel 0.2
 //
-// It reports client-side latency percentiles and the server's own /v1/stats.
+// -cancel makes a fraction of the submitted jobs be cancelled mid-flight
+// with DELETE /v1/jobs/{id} (exercising the service's queued- and
+// running-job cancellation paths); -job-timeout-ms attaches a server-side
+// timeout_ms to every submission. It reports client-side latency
+// percentiles and the server's own /v1/stats.
 package main
 
 import (
@@ -35,14 +39,16 @@ type jobSpec struct {
 	GraphID string
 	K       int32
 	Seed    uint64
+	Cancel  bool // DELETE the job shortly after submission
 }
 
 type outcome struct {
-	spec    jobSpec
-	latency time.Duration
-	cached  bool
-	failed  bool
-	err     string
+	spec      jobSpec
+	latency   time.Duration
+	cached    bool
+	failed    bool
+	cancelled bool
+	err       string
 }
 
 func main() {
@@ -56,6 +62,8 @@ func main() {
 		kset        = flag.String("kset", "2,4,8", "comma-separated block counts to draw from")
 		mode        = flag.String("mode", "fast", "partitioning mode: fast, eco or minimal")
 		dup         = flag.Float64("dup", 0.3, "fraction of submissions repeating an earlier (graph, options) combo")
+		cancelFrac  = flag.Float64("cancel", 0, "fraction of jobs cancelled mid-flight via DELETE")
+		jobTimeout  = flag.Int64("job-timeout-ms", 0, "server-side timeout_ms attached to every job (0 = none)")
 		seed        = flag.Int64("seed", 1, "load generator seed")
 		timeout     = flag.Duration("timeout", 5*time.Minute, "per-job completion timeout")
 	)
@@ -93,13 +101,16 @@ func main() {
 	var specs []jobSpec
 	for i := 0; i < *jobs; i++ {
 		if len(specs) > 0 && rnd.Float64() < *dup {
-			specs = append(specs, specs[rnd.Intn(len(specs))])
+			dupSpec := specs[rnd.Intn(len(specs))]
+			dupSpec.Cancel = rnd.Float64() < *cancelFrac
+			specs = append(specs, dupSpec)
 			continue
 		}
 		specs = append(specs, jobSpec{
 			GraphID: graphIDs[rnd.Intn(len(graphIDs))],
 			K:       ks[rnd.Intn(len(ks))],
 			Seed:    uint64(rnd.Intn(4)) + 1,
+			Cancel:  rnd.Float64() < *cancelFrac,
 		})
 	}
 
@@ -112,7 +123,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for spec := range work {
-				results <- runJob(*addr, spec, *mode, *timeout)
+				results <- runJob(*addr, spec, *mode, *timeout, *jobTimeout)
 			}
 		}()
 	}
@@ -129,8 +140,13 @@ func main() {
 		latencies []time.Duration
 		cached    int
 		failed    int
+		cancelled int
 	)
 	for o := range results {
+		if o.cancelled {
+			cancelled++
+			continue
+		}
 		if o.failed {
 			failed++
 			fmt.Fprintf(os.Stderr, "job %+v failed: %s\n", o.spec, o.err)
@@ -142,9 +158,9 @@ func main() {
 		}
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	fmt.Printf("\n%d jobs in %v (%.1f jobs/s), %d failed, %d served from cache\n",
+	fmt.Printf("\n%d jobs in %v (%.1f jobs/s), %d failed, %d cancelled, %d served from cache\n",
 		*jobs, elapsed.Round(time.Millisecond),
-		float64(*jobs)/elapsed.Seconds(), failed, cached)
+		float64(*jobs)/elapsed.Seconds(), failed, cancelled, cached)
 	if len(latencies) > 0 {
 		var sum time.Duration
 		for _, l := range latencies {
@@ -190,14 +206,18 @@ func upload(addr string, g *graph.Graph) (string, error) {
 	return meta.ID, nil
 }
 
-func runJob(addr string, spec jobSpec, mode string, timeout time.Duration) outcome {
+func runJob(addr string, spec jobSpec, mode string, timeout time.Duration, jobTimeoutMS int64) outcome {
 	o := outcome{spec: spec}
 	start := time.Now()
-	body, _ := json.Marshal(map[string]any{
+	req := map[string]any{
 		"graph_id": spec.GraphID,
 		"k":        spec.K,
 		"options":  map[string]any{"mode": mode, "seed": spec.Seed},
-	})
+	}
+	if jobTimeoutMS > 0 {
+		req["timeout_ms"] = jobTimeoutMS
+	}
+	body, _ := json.Marshal(req)
 	resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		o.failed, o.err = true, err.Error()
@@ -219,8 +239,19 @@ func runJob(addr string, spec jobSpec, mode string, timeout time.Duration) outco
 		o.failed, o.err = true, fmt.Sprintf("submit status %d: %s", resp.StatusCode, view.Error)
 		return o
 	}
+	if spec.Cancel && view.State != "done" {
+		// Exercise the cancellation path: a prompt DELETE hits the job while
+		// it is queued or running. A 409 means it finished first — fine, the
+		// poll below observes whichever terminal state won the race.
+		del, err := http.NewRequest(http.MethodDelete, addr+"/v1/jobs/"+view.ID, nil)
+		if err == nil {
+			if resp, err := http.DefaultClient.Do(del); err == nil {
+				resp.Body.Close()
+			}
+		}
+	}
 	deadline := time.Now().Add(timeout)
-	for view.State != "done" && view.State != "failed" {
+	for view.State != "done" && view.State != "failed" && view.State != "cancelled" {
 		if time.Now().After(deadline) {
 			o.failed, o.err = true, "timeout"
 			return o
@@ -238,8 +269,17 @@ func runJob(addr string, spec jobSpec, mode string, timeout time.Duration) outco
 			return o
 		}
 	}
-	if view.State == "failed" {
+	switch view.State {
+	case "failed":
 		o.failed, o.err = true, view.Error
+		return o
+	case "cancelled":
+		if !spec.Cancel && jobTimeoutMS == 0 {
+			// Nobody asked for this cancellation: count it as a failure.
+			o.failed, o.err = true, "unexpectedly cancelled: "+view.Error
+			return o
+		}
+		o.cancelled = true
 		return o
 	}
 	o.latency = time.Since(start)
@@ -258,7 +298,7 @@ func printServerStats(addr string) {
 		QueueDepth int `json:"queue_depth"`
 		Running    int `json:"running"`
 		Jobs       struct {
-			Submitted, Completed, Failed int64
+			Submitted, Completed, Failed, Cancelled int64
 		} `json:"jobs"`
 		Cache struct {
 			Size    int     `json:"size"`
@@ -275,8 +315,8 @@ func printServerStats(addr string) {
 		fmt.Fprintf(os.Stderr, "loadgen: decode /v1/stats: %v\n", err)
 		return
 	}
-	fmt.Printf("server: %d/%d/%d jobs submitted/completed/failed; cache %d entries, %d hits / %d misses (%.0f%% hit rate); %d core runs, %.0fms partitioner time\n",
-		stats.Jobs.Submitted, stats.Jobs.Completed, stats.Jobs.Failed,
+	fmt.Printf("server: %d/%d/%d/%d jobs submitted/completed/failed/cancelled; cache %d entries, %d hits / %d misses (%.0f%% hit rate); %d core runs, %.0fms partitioner time\n",
+		stats.Jobs.Submitted, stats.Jobs.Completed, stats.Jobs.Failed, stats.Jobs.Cancelled,
 		stats.Cache.Size, stats.Cache.Hits, stats.Cache.Misses, 100*stats.Cache.HitRate,
 		stats.Core.Runs, stats.Core.TotalMS)
 }

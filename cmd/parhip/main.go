@@ -2,21 +2,30 @@
 //
 // The input is either a METIS-format graph file (-graph) or a generated
 // instance (-family with -n). Output is a quality report and, optionally,
-// the block assignment (one line per node) written to -out.
+// the block assignment (one line per node) written to -out. A SIGINT
+// (Ctrl-C) or SIGTERM cancels the run cooperatively: the simulated ranks
+// unwind at the next superstep, partial progress statistics are printed,
+// and the process exits with status 130. -progress streams per-level
+// checkpoint events to stderr while the run is in flight.
 //
 // Examples:
 //
-//	parhip -family web -n 20000 -k 8 -pes 8 -mode eco
+//	parhip -family web -n 20000 -k 8 -pes 8 -mode eco -progress
 //	parhip -graph mygraph.metis -k 2 -out blocks.txt
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro"
@@ -36,6 +45,8 @@ func main() {
 		class     = flag.String("class", "auto", "graph class: social, mesh or auto")
 		eps       = flag.Float64("eps", 0.03, "allowed imbalance")
 		baseline  = flag.Bool("baseline", false, "run the matching-based baseline instead")
+		progress  = flag.Bool("progress", false, "stream per-level progress events to stderr")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		out       = flag.String("out", "", "write the block of each node to this file")
 	)
 	flag.Parse()
@@ -75,14 +86,65 @@ func main() {
 
 	fmt.Printf("graph: n=%d m=%d   k=%d  pes=%d  mode=%s\n",
 		g.NumNodes(), g.NumEdges(), *k, *pes, *mode)
+
+	// Ctrl-C / SIGTERM cancels the run cooperatively; -timeout bounds it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// Track the latest checkpoint so an interrupted run can report how far
+	// it got; -progress additionally streams every event.
+	var mu sync.Mutex
+	var last *parhip.ProgressEvent
+	onEvent := func(ev parhip.ProgressEvent) {
+		mu.Lock()
+		last = &ev
+		mu.Unlock()
+		if *progress {
+			if ev.Cut >= 0 {
+				fmt.Fprintf(os.Stderr, "  [%6.2fs] cycle %d/%d %-9s level %-2d n=%-8d cut=%d imb=%.4f\n",
+					ev.Elapsed.Seconds(), ev.Cycle+1, ev.Cycles, ev.Phase, ev.Level, ev.N, ev.Cut, ev.Imbalance)
+			} else {
+				fmt.Fprintf(os.Stderr, "  [%6.2fs] cycle %d/%d %-9s level %-2d n=%-8d m=%d\n",
+					ev.Elapsed.Seconds(), ev.Cycle+1, ev.Cycles, ev.Phase, ev.Level, ev.N, ev.M)
+			}
+		}
+	}
+
 	start := time.Now()
 	var res parhip.Result
 	if *baseline {
-		res, err = parhip.PartitionBaseline(g, int32(*k), opt, 0)
+		res, err = parhip.PartitionBaselineCtx(ctx, g, int32(*k), opt, 0)
 	} else {
-		res, err = parhip.Partition(g, int32(*k), opt)
+		var p *parhip.Partitioner
+		p, err = parhip.New(g, parhip.WithK(int32(*k)), parhip.WithOptions(opt),
+			parhip.WithProgressFunc(onEvent))
+		if err == nil {
+			res, err = p.Run(ctx)
+		}
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "parhip: run cancelled after %.3fs (%v)\n",
+				time.Since(start).Seconds(), err)
+			mu.Lock()
+			if last != nil {
+				fmt.Fprintf(os.Stderr, "parhip: partial progress: cycle %d/%d, phase %s, level %d (n=%d)",
+					last.Cycle+1, last.Cycles, last.Phase, last.Level, last.N)
+				if last.Cut >= 0 {
+					fmt.Fprintf(os.Stderr, ", cut=%d imbalance=%.4f", last.Cut, last.Imbalance)
+				}
+				fmt.Fprintln(os.Stderr)
+			} else {
+				fmt.Fprintln(os.Stderr, "parhip: cancelled before the first checkpoint")
+			}
+			mu.Unlock()
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "parhip:", err)
 		os.Exit(1)
 	}

@@ -1,10 +1,12 @@
-// Quickstart: build a small graph, partition it into two blocks, inspect
-// the result.
+// Quickstart: build a small graph, partition it into two blocks with the
+// v2 session API (New + Run under a context), inspect the result.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
@@ -26,7 +28,20 @@ func main() {
 	}
 	g := b.Build()
 
-	res, err := parhip.Partition(g, 2, parhip.Options{PEs: 2, Class: parhip.Mesh, Seed: 3})
+	// A session validates its options up front and runs under a context:
+	// cancel it (or let the deadline pass) and Run returns ctx.Err() with
+	// every simulated rank unwound.
+	p, err := parhip.New(g,
+		parhip.WithK(2),
+		parhip.WithPEs(2),
+		parhip.WithClass(parhip.Mesh),
+		parhip.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := p.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

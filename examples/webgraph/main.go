@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,18 @@ func main() {
 	const k = 8
 	opt := parhip.Options{PEs: 8, Class: parhip.Social, Seed: 1}
 
-	res, err := parhip.Partition(web, k, opt)
+	// The v2 session API streams per-level progress while the run is in
+	// flight — on a real web crawl this is minutes of otherwise-silent work.
+	p, err := parhip.New(web, parhip.WithK(k), parhip.WithOptions(opt),
+		parhip.WithProgressFunc(func(ev parhip.ProgressEvent) {
+			if ev.Phase == "refine" {
+				fmt.Printf("  refine level %d (n=%d): cut=%d\n", ev.Level, ev.N, ev.Cut)
+			}
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

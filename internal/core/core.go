@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,6 +19,33 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sclp"
 )
+
+// Phase identifies what part of the multilevel pipeline a Progress event
+// was emitted from.
+type Phase string
+
+// Phases of one V-cycle, plus the terminal "done" event.
+const (
+	PhaseCoarsen   Phase = "coarsen"
+	PhaseInit      Phase = "init"
+	PhaseRefine    Phase = "refine"
+	PhaseRebalance Phase = "rebalance"
+	PhaseDone      Phase = "done"
+)
+
+// Progress is one checkpoint of a running partition, delivered to
+// Config.OnProgress on rank 0. Cut and Imbalance are -1 when the phase has
+// not computed them (coarsening tracks graph shrinkage, not quality).
+type Progress struct {
+	Phase     Phase
+	Cycle     int // V-cycle index, 0-based
+	Cycles    int // total V-cycles configured
+	Level     int // hierarchy level: 0 = finest/input graph
+	N, M      int64
+	Cut       int64
+	Imbalance float64
+	Elapsed   time.Duration
+}
 
 // GraphClass selects the coarsening size-constraint factor f (§V-A: 14 on
 // social networks and web graphs, 20000 on mesh type networks).
@@ -79,6 +107,14 @@ type Config struct {
 
 	// Seed drives all randomness (identical value on every rank).
 	Seed uint64
+
+	// OnProgress, when non-nil, receives checkpoint events (one per
+	// coarsening/refinement level plus phase transitions) on rank 0 only.
+	// It must be set — or left nil — identically on every rank: refinement
+	// checkpoints compute the current cut and block weights, which are
+	// collectives, so a mixed configuration deadlocks. The callback runs on
+	// rank 0's goroutine and must not block for long.
+	OnProgress func(Progress)
 }
 
 func (c *Config) normalize() {
@@ -181,13 +217,37 @@ type levelRec struct {
 // returns this rank's NTotal-length block assignment (ghosts synced)
 // together with run statistics. Collective; cfg must be identical on every
 // rank.
-func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) {
+//
+// Cancellation contract: ctx is checked between pipeline stages (each
+// coarsening level, before and after initial partitioning, each refinement
+// level, before rebalancing); inside a stage the mpi world's cooperative
+// abort takes over (see mpi.World.Abort), so a rank never runs more than
+// roughly one superstep past cancellation. A cancelled rank returns
+// ctx.Err(); ranks cut short inside a collective unwind through the abort
+// panic that mpi.World.Run swallows. Callers running their own world must
+// pair a non-background ctx with mpi.World.WatchContext, as RunCtx does —
+// otherwise ranks still blocked in collectives are never woken.
+func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.K < 1 {
 		return nil, Stats{}, fmt.Errorf("core: k = %d", cfg.K)
 	}
 	cfg.normalize()
 	c := d.Comm
 	startAll := time.Now()
+	// report emits a progress checkpoint on rank 0. Callers must compute
+	// any collective quantities (cut, block weights) on every rank before
+	// calling it.
+	report := func(p Progress) {
+		if cfg.OnProgress == nil || c.Rank() != 0 {
+			return
+		}
+		p.Cycles = cfg.VCycles
+		p.Elapsed = time.Since(startAll)
+		cfg.OnProgress(p)
+	}
 	var st Stats
 	if cfg.K == 1 {
 		part := make([]int64, d.NTotal())
@@ -202,6 +262,18 @@ func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) 
 	shared := rng.New(cfg.Seed)
 	totalWeight := d.GlobalNodeWeight()
 	lmax := partition.Lmax(totalWeight, cfg.K, cfg.Eps)
+	maxBlock := func(bw []int64) int64 {
+		var mx int64
+		for _, w := range bw {
+			if w > mx {
+				mx = w
+			}
+		}
+		return mx
+	}
+	imbalanceOf := func(mx int64) float64 {
+		return float64(mx)/(float64(totalWeight)/float64(cfg.K)) - 1
+	}
 	coarsestLimit := cfg.CoarsestPerBlock * int64(cfg.K)
 	if coarsestLimit < cfg.MinCoarsest {
 		coarsestLimit = cfg.MinCoarsest
@@ -220,6 +292,9 @@ func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) 
 		}
 	}
 	for cycle := 0; cycle < cfg.VCycles; cycle++ {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		f := cfg.SizeFactor
 		if cycle > 0 {
 			// Later V-cycles diversify with a random factor f in [10, 25]
@@ -243,6 +318,9 @@ func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) 
 			st.Levels = append(st.Levels, LevelStat{N: d.GlobalN, M: d.GlobalM})
 		}
 		for cur.GlobalN > coarsestLimit {
+			if err := ctx.Err(); err != nil {
+				return nil, st, err
+			}
 			labels := sclp.ParCluster(cur, sclp.ParClusterConfig{
 				U:              u,
 				Iterations:     cfg.CoarsenIters,
@@ -263,8 +341,13 @@ func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) 
 			if cycle == 0 {
 				st.Levels = append(st.Levels, LevelStat{N: cur.GlobalN, M: cur.GlobalM})
 			}
+			report(Progress{Phase: PhaseCoarsen, Cycle: cycle, Level: len(levels),
+				N: cur.GlobalN, M: cur.GlobalM, Cut: -1, Imbalance: -1})
 		}
 		st.CoarsenTime += time.Since(tCoarsen)
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 
 		// --- Initial partitioning: replicate coarsest graph, run KaFFPaE ---
 		tInit := time.Now()
@@ -287,8 +370,19 @@ func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) 
 		if cfg.EvoTimeBudget > 0 {
 			evoCfg.TimeBudget = cfg.EvoTimeBudget / time.Duration(c.Size())
 		}
-		best := evo.Evolve(c, coarsest, evoCfg)
+		best := evo.Evolve(ctx, c, coarsest, evoCfg)
 		st.InitTime += time.Since(tInit)
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
+		// The coarsest graph is replicated, so rank 0 can score the initial
+		// partition locally — no collective needed.
+		if cfg.OnProgress != nil && c.Rank() == 0 {
+			report(Progress{Phase: PhaseInit, Cycle: cycle, Level: len(levels),
+				N: int64(coarsest.NumNodes()), M: coarsest.NumEdges(),
+				Cut:       partition.EdgeCut(coarsest, best),
+				Imbalance: partition.Imbalance(coarsest, best, cfg.K)})
+		}
 
 		// --- Parallel uncoarsening with label propagation local search ---
 		tRefine := time.Now()
@@ -296,31 +390,42 @@ func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) 
 		for v := int32(0); v < cur.NTotal(); v++ {
 			curPart[v] = int64(best[cur.ToGlobal(v)])
 		}
+		// reportRefine computes the current cut and imbalance (collectives,
+		// executed on every rank — gated on OnProgress, which the Config
+		// contract requires to be rank-consistent) and emits a checkpoint.
+		reportRefine := func(dg *dgraph.DGraph, p []int64, level int) {
+			if cfg.OnProgress == nil {
+				return
+			}
+			cut := dg.EdgeCut(p)
+			mx := maxBlock(dg.BlockWeights(p, cfg.K))
+			report(Progress{Phase: PhaseRefine, Cycle: cycle, Level: level,
+				N: dg.GlobalN, M: dg.GlobalM, Cut: cut, Imbalance: imbalanceOf(mx)})
+		}
 		sclp.ParRefine(cur, curPart, sclp.ParRefineConfig{
 			K: cfg.K, Lmax: lmax, Iterations: cfg.RefineIters,
 			PhasesPerRound: cfg.PhasesPerRound, Seed: shared.Uint64(),
 		})
+		reportRefine(cur, curPart, len(levels))
 		for i := len(levels) - 1; i >= 0; i-- {
+			if err := ctx.Err(); err != nil {
+				return nil, st, err
+			}
 			lv := levels[i]
 			curPart = contract.ParProject(lv.fine, lv.coarse, lv.fineToCoarse, curPart)
 			sclp.ParRefine(lv.fine, curPart, sclp.ParRefineConfig{
 				K: cfg.K, Lmax: lmax, Iterations: cfg.RefineIters,
 				PhasesPerRound: cfg.PhasesPerRound, Seed: shared.Uint64(),
 			})
+			reportRefine(lv.fine, curPart, i)
 		}
 		st.RefineTime += time.Since(tRefine)
 		part = curPart
 	}
-
-	maxBlock := func(bw []int64) int64 {
-		var mx int64
-		for _, w := range bw {
-			if w > mx {
-				mx = w
-			}
-		}
-		return mx
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
 	}
+
 	mx := maxBlock(d.BlockWeights(part, cfg.K))
 
 	// Feasibility is a postcondition, not a report: when refinement left a
@@ -333,14 +438,18 @@ func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) 
 		})
 		st.RebalanceTime = time.Since(tReb)
 		mx = maxBlock(d.BlockWeights(part, cfg.K))
+		report(Progress{Phase: PhaseRebalance, Cycle: cfg.VCycles - 1, Level: 0,
+			N: d.GlobalN, M: d.GlobalM, Cut: -1, Imbalance: imbalanceOf(mx)})
 	}
 
 	st.Cut = d.EdgeCut(part)
 	st.Lmax = lmax
 	st.MaxBlockWeight = mx
-	st.Imbalance = float64(mx)/(float64(totalWeight)/float64(cfg.K)) - 1
+	st.Imbalance = imbalanceOf(mx)
 	st.Feasible = mx <= lmax
 	st.TotalTime = time.Since(startAll)
+	report(Progress{Phase: PhaseDone, Cycle: cfg.VCycles - 1, Level: 0,
+		N: d.GlobalN, M: d.GlobalM, Cut: st.Cut, Imbalance: st.Imbalance})
 	return part, st, nil
 }
 
@@ -367,25 +476,53 @@ type Result struct {
 
 // Run partitions g with P simulated PEs and returns the full partition and
 // the statistics observed on rank 0. It is the entry point used by the
-// examples and the experiment harness.
+// examples and the experiment harness. Run is RunCtx with a background
+// context (not cancellable).
 func Run(P int, g *graph.Graph, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), P, g, cfg)
+}
+
+// RunCtx is Run bound to a context: when ctx is cancelled or its deadline
+// passes, every simulated rank unwinds cooperatively (no goroutine outlives
+// the call) and RunCtx returns ctx.Err(). A run that completed before the
+// cancellation was observed still returns its result.
+func RunCtx(ctx context.Context, P int, g *graph.Graph, cfg Config) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	var res Result
 	var runErr error
 	world := mpi.NewWorld(P)
+	stop := world.WatchContext(ctx)
+	defer stop()
 	world.Run(func(c *mpi.Comm) {
 		d := dgraph.FromGraph(c, g)
-		part, st, err := PartitionDistributed(d, cfg)
+		part, st, err := PartitionDistributed(ctx, d, cfg)
 		if err != nil {
 			if c.Rank() == 0 {
 				runErr = err
 			}
 			return
 		}
+		// gatherPart is collective: it completes only if every rank got
+		// here, so res is set iff the whole pipeline finished.
 		full := gatherPart(d, part)
 		if c.Rank() == 0 {
 			st.Comm = world.TotalStats()
 			res = Result{Part: full, Stats: st}
 		}
 	})
-	return res, runErr
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	// Ranks cut short inside a collective unwind via the abort panic
+	// without setting runErr; surface the cancellation explicitly. A fully
+	// assembled result beats a late cancellation, though.
+	if err := ctx.Err(); err != nil && res.Part == nil {
+		return Result{}, err
+	}
+	return res, nil
 }

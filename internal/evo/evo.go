@@ -12,6 +12,7 @@
 package evo
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/graph"
@@ -128,7 +129,19 @@ func evaluate(g *graph.Graph, p []int32, k int32, eps float64, obj Objective) in
 
 // Evolve runs the evolutionary algorithm and returns the globally best
 // partition, identical on every rank. Collective.
-func Evolve(c *mpi.Comm, g *graph.Graph, cfg Config) []int32 {
+//
+// Evolve honors ctx deadlines cooperatively: the search loop stops starting
+// new combine/mutation steps once ctx is done (each step runs a full
+// multilevel partition, so this is the natural granularity) and proceeds
+// straight to the collective selection of the best individual found so far.
+// When the surrounding world is additionally aborted (mpi.World.Abort /
+// WatchContext, as core.RunCtx arranges), the selection collectives unwind
+// instead of completing — ctx alone degrades gracefully, ctx + abort
+// cancels hard.
+func Evolve(ctx context.Context, c *mpi.Comm, g *graph.Graph, cfg Config) []int32 {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.PopulationSize < 2 {
 		cfg.PopulationSize = 2
 	}
@@ -145,6 +158,9 @@ func Evolve(c *mpi.Comm, g *graph.Graph, cfg Config) []int32 {
 		pop = append(pop, evaluate(g, append([]int32(nil), cfg.Initial...), cfg.K, cfg.Eps, cfg.Objective))
 	}
 	for len(pop) < cfg.PopulationSize {
+		if len(pop) > 0 && ctx.Err() != nil {
+			break // cancelled: one individual is enough to select from
+		}
 		kc := base
 		kc.Seed = r.Uint64()
 		p, err := kaffpa.Partition(g, kc)
@@ -182,6 +198,9 @@ func Evolve(c *mpi.Comm, g *graph.Graph, cfg Config) []int32 {
 	start := time.Now()
 	step := 0
 	for {
+		if ctx.Err() != nil {
+			break // deadline/cancel: select among what we have
+		}
 		if cfg.TimeBudget > 0 {
 			if time.Since(start) >= cfg.TimeBudget {
 				break

@@ -1,7 +1,9 @@
 package evo
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -15,7 +17,7 @@ func TestEvolveSingleRank(t *testing.T) {
 	mpi.NewWorld(1).Run(func(c *mpi.Comm) {
 		cfg := DefaultConfig(4)
 		cfg.Rounds = 2
-		p := Evolve(c, g, cfg)
+		p := Evolve(context.Background(), c, g, cfg)
 		if err := partition.Validate(g, p, 4); err != nil {
 			t.Error(err)
 		}
@@ -32,7 +34,7 @@ func TestEvolveAllRanksAgree(t *testing.T) {
 	mpi.NewWorld(P).Run(func(c *mpi.Comm) {
 		cfg := DefaultConfig(2)
 		cfg.Rounds = 2
-		results[c.Rank()] = Evolve(c, g, cfg)
+		results[c.Rank()] = Evolve(context.Background(), c, g, cfg)
 	})
 	for r := 1; r < P; r++ {
 		for v := range results[0] {
@@ -60,7 +62,7 @@ func TestEvolveBeatsSingleMultilevelRun(t *testing.T) {
 		cfg := DefaultConfig(k)
 		cfg.Seed = 1
 		cfg.Rounds = 3
-		p := Evolve(c, g, cfg)
+		p := Evolve(context.Background(), c, g, cfg)
 		cut := partition.EdgeCut(g, p)
 		if cut > soloCut*11/10 {
 			t.Errorf("evolved cut %d much worse than solo run %d", cut, soloCut)
@@ -82,7 +84,7 @@ func TestEvolveWithInitialNeverWorsens(t *testing.T) {
 		cfg := DefaultConfig(k)
 		cfg.Rounds = 2
 		cfg.Initial = initial
-		p := Evolve(c, g, cfg)
+		p := Evolve(context.Background(), c, g, cfg)
 		cut := partition.EdgeCut(g, p)
 		if cut > initCut {
 			t.Errorf("evolution worsened the injected individual: %d -> %d", initCut, cut)
@@ -97,7 +99,7 @@ func TestEvolveZeroRounds(t *testing.T) {
 	mpi.NewWorld(3).Run(func(c *mpi.Comm) {
 		cfg := DefaultConfig(2)
 		cfg.Rounds = 0
-		p := Evolve(c, g, cfg)
+		p := Evolve(context.Background(), c, g, cfg)
 		if err := partition.Validate(g, p, 2); err != nil {
 			t.Error(err)
 		}
@@ -109,7 +111,7 @@ func TestEvolveSmallGraph(t *testing.T) {
 	mpi.NewWorld(2).Run(func(c *mpi.Comm) {
 		cfg := DefaultConfig(2)
 		cfg.Rounds = 1
-		p := Evolve(c, g, cfg)
+		p := Evolve(context.Background(), c, g, cfg)
 		if !partition.IsFeasible(g, p, 2, 0.03) {
 			t.Errorf("cycle partition infeasible: %v", p)
 		}
@@ -128,7 +130,7 @@ func TestEvolveAlternativeObjectives(t *testing.T) {
 			cfg := DefaultConfig(k)
 			cfg.Rounds = 1
 			cfg.Objective = obj
-			p := Evolve(c, g, cfg)
+			p := Evolve(context.Background(), c, g, cfg)
 			if err := partition.Validate(g, p, k); err != nil {
 				t.Errorf("objective %d: %v", obj, err)
 			}
@@ -163,5 +165,27 @@ func TestWireRoundTrip(t *testing.T) {
 		if got[i] != p[i] {
 			t.Fatalf("wire roundtrip %v -> %v", p, got)
 		}
+	}
+}
+
+// TestEvolveHonorsCancelledContext: with a done context and no world
+// abort wired, Evolve degrades gracefully — it skips the search steps
+// (here a one-minute time budget) and still returns a valid partition
+// selected collectively from the minimal population.
+func TestEvolveHonorsCancelledContext(t *testing.T) {
+	g, _ := gen.PlantedPartition(600, 8, 8, 0.5, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	mpi.NewWorld(2).Run(func(c *mpi.Comm) {
+		cfg := DefaultConfig(2)
+		cfg.TimeBudget = time.Minute // would otherwise search for a minute
+		p := Evolve(ctx, c, g, cfg)
+		if err := partition.Validate(g, p, 2); err != nil {
+			t.Error(err)
+		}
+	})
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("cancelled evolution still took %v", elapsed)
 	}
 }

@@ -15,6 +15,7 @@
 package matchbase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -237,7 +238,13 @@ func parallelHeavyEdgeMatching(d *dgraph.DGraph, maxWeight int64, r *rng.RNG) []
 type proposal struct{ proposer, target int64 }
 
 // PartitionDistributed runs the baseline on a distributed graph. Collective.
-func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) {
+// ctx is honored with the same contract as core.PartitionDistributed:
+// checked between levels, backed by the world's cooperative abort inside
+// them.
+func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.K < 1 {
 		return nil, Stats{}, fmt.Errorf("matchbase: k = %d", cfg.K)
 	}
@@ -268,6 +275,9 @@ func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) 
 	var levels []levelRec
 	st.Levels = append(st.Levels, cur.GlobalN)
 	for lvl := 0; lvl < cfg.MaxLevels && cur.GlobalN > coarsestLimit; lvl++ {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		labels := parallelHeavyEdgeMatching(cur, maxPair, local)
 		// Owners may have matched nodes other ranks hold as ghosts; bring
 		// the ghost labels in sync before contracting.
@@ -292,6 +302,9 @@ func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) 
 			ErrMemoryBudget, cur.GlobalN, cfg.MemoryBudgetNodes)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 	coarsest := cur.Gather()
 	// Initial partitioning: recursive bisection (PT-Scotch/ParMETIS style),
 	// identical on all ranks via the shared seed.
@@ -315,6 +328,9 @@ func PartitionDistributed(d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) 
 	}
 	refine(cur, curPart)
 	for i := len(levels) - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		lv := levels[i]
 		curPart = contract.ParProject(lv.fine, lv.coarse, lv.fineToCoarse, curPart)
 		refine(lv.fine, curPart)
@@ -344,14 +360,29 @@ type Result struct {
 }
 
 // Run partitions g with P simulated PEs using the baseline. It returns
-// ErrMemoryBudget (wrapped) when the memory model aborts the run.
+// ErrMemoryBudget (wrapped) when the memory model aborts the run. Run is
+// RunCtx with a background context.
 func Run(P int, g *graph.Graph, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), P, g, cfg)
+}
+
+// RunCtx is Run bound to a context: cancellation unwinds every simulated
+// rank cooperatively and returns ctx.Err().
+func RunCtx(ctx context.Context, P int, g *graph.Graph, cfg Config) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	var res Result
 	var runErr error
 	world := mpi.NewWorld(P)
+	stop := world.WatchContext(ctx)
+	defer stop()
 	world.Run(func(c *mpi.Comm) {
 		d := dgraph.FromGraph(c, g)
-		part, st, err := PartitionDistributed(d, cfg)
+		part, st, err := PartitionDistributed(ctx, d, cfg)
 		if c.Rank() == 0 {
 			if err != nil {
 				runErr = err
@@ -372,5 +403,10 @@ func Run(P int, g *graph.Graph, cfg Config) (Result, error) {
 			d.Comm.Allgatherv(part[:d.NLocal()])
 		}
 	})
+	if runErr == nil && res.Part == nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 	return res, runErr
 }

@@ -20,6 +20,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -42,15 +43,21 @@ type message struct {
 	data []int64
 }
 
+// abortSignal is the panic payload of a cooperative world abort. World.Run
+// recognizes it and swallows it instead of re-raising: an aborted rank is an
+// expected unwinding, not a crash.
+type abortSignal struct{}
+
 // mailbox is an unbounded FIFO queue for one (dst, src) pair.
 type mailbox struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	q    []message
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       []message
+	aborted *atomic.Bool // the owning world's abort flag
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{}
+func newMailbox(aborted *atomic.Bool) *mailbox {
+	mb := &mailbox{aborted: aborted}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
@@ -69,6 +76,10 @@ func (mb *mailbox) pop(kind msgKind, tag int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
+		if mb.aborted.Load() {
+			// The deferred Unlock releases the mutex during panic.
+			panic(abortSignal{})
+		}
 		for i, m := range mb.q {
 			if m.kind == kindPoison {
 				// The deferred Unlock releases the mutex during panic.
@@ -105,10 +116,11 @@ type Stats struct {
 
 // World owns the mailboxes and statistics for a set of ranks.
 type World struct {
-	size  int
-	boxes [][]*mailbox // boxes[dst][src]
-	msgs  []atomic.Int64
-	words []atomic.Int64
+	size    int
+	boxes   [][]*mailbox // boxes[dst][src]
+	msgs    []atomic.Int64
+	words   []atomic.Int64
+	aborted atomic.Bool
 }
 
 // NewWorld creates a world with the given number of ranks. It panics if
@@ -126,10 +138,52 @@ func NewWorld(size int) *World {
 	for d := range w.boxes {
 		w.boxes[d] = make([]*mailbox, size)
 		for s := range w.boxes[d] {
-			w.boxes[d][s] = newMailbox()
+			w.boxes[d][s] = newMailbox(&w.aborted)
 		}
 	}
 	return w
+}
+
+// Abort requests a cooperative shutdown of the whole world: every rank
+// currently blocked in a receive (point-to-point or inside a collective)
+// wakes up and unwinds with an internal abort panic that Run swallows, and
+// every later receive or CheckAbort call unwinds immediately. Abort is safe
+// to call from any goroutine, any number of times. It is the substrate
+// context cancellation is built on (see WatchContext).
+func (w *World) Abort() {
+	if w.aborted.Swap(true) {
+		return
+	}
+	for _, row := range w.boxes {
+		for _, mb := range row {
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		}
+	}
+}
+
+// Aborted reports whether Abort has been called.
+func (w *World) Aborted() bool { return w.aborted.Load() }
+
+// WatchContext aborts the world as soon as ctx is cancelled. The returned
+// stop function releases the watcher goroutine (and must be called to avoid
+// leaking it); it blocks until the watcher has exited.
+func (w *World) WatchContext(ctx context.Context) (stop func()) {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		select {
+		case <-ctx.Done():
+			w.Abort()
+		case <-done:
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
 }
 
 // Size returns the number of ranks.
@@ -138,7 +192,9 @@ func (w *World) Size() int { return w.size }
 // Run executes fn once per rank, each on its own goroutine, and returns
 // when all ranks have finished. A panic on any rank is re-raised on the
 // caller's goroutine after the others complete or block permanently; Run
-// must therefore only be used with SPMD functions that terminate.
+// must therefore only be used with SPMD functions that terminate. Abort
+// unwindings (ranks cut short by World.Abort / a cancelled WatchContext)
+// are not crashes and are swallowed; callers detect them via Aborted().
 func (w *World) Run(fn func(c *Comm)) {
 	var wg sync.WaitGroup
 	panics := make([]any, w.size)
@@ -156,9 +212,13 @@ func (w *World) Run(fn func(c *Comm)) {
 	}
 	wg.Wait()
 	for r, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		if p == nil {
+			continue
 		}
+		if _, ok := p.(abortSignal); ok {
+			continue
+		}
+		panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
 	}
 }
 
@@ -182,6 +242,20 @@ type Comm struct {
 
 // Rank returns this rank's ID in [0, Size()).
 func (c *Comm) Rank() int { return c.rank }
+
+// Aborted reports whether the world has been aborted. Long compute loops
+// between communication calls may poll it to bail out early.
+func (c *Comm) Aborted() bool { return c.world.aborted.Load() }
+
+// CheckAbort unwinds the calling rank (with the internal abort panic that
+// Run swallows) if the world has been aborted. Collective phase loops call
+// it at superstep boundaries so computing ranks notice a cancellation as
+// fast as blocked ones.
+func (c *Comm) CheckAbort() {
+	if c.world.aborted.Load() {
+		panic(abortSignal{})
+	}
+}
 
 // Size returns the number of ranks in the world.
 func (c *Comm) Size() int { return c.world.size }

@@ -69,6 +69,9 @@ func ParCluster(d *dgraph.DGraph, cfg ParClusterConfig) []int64 {
 		// its local node count (phases are collective synchronization
 		// points; ranks with few or no local nodes still participate).
 		for ph := 0; ph < cfg.PhasesPerRound; ph++ {
+			// Superstep boundary: a cancelled world unwinds here instead of
+			// computing another phase (see mpi.Comm.CheckAbort).
+			d.Comm.CheckAbort()
 			start := ph * len(order) / cfg.PhasesPerRound
 			end := (ph + 1) * len(order) / cfg.PhasesPerRound
 			for _, v := range order[start:end] {
@@ -254,6 +257,8 @@ func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 		// Fixed phase count on every rank (see ParCluster): phases are
 		// collective synchronization points.
 		for ph := 0; ph < cfg.PhasesPerRound; ph++ {
+			// Superstep boundary: cancelled worlds unwind here.
+			d.Comm.CheckAbort()
 			start := ph * len(order) / cfg.PhasesPerRound
 			end := (ph + 1) * len(order) / cfg.PhasesPerRound
 			phase := order[start:end]

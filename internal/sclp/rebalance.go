@@ -64,6 +64,8 @@ func ParRebalance(d *dgraph.DGraph, part []int64, cfg ParRebalanceConfig) (int64
 	// ranks stay in lockstep.
 	stalls := 0
 	for round := 0; ; round++ {
+		// Superstep boundary: cancelled worlds unwind here.
+		d.Comm.CheckAbort()
 		// blockWeight is rank-consistent, so every rank takes the same
 		// branch and the collectives below stay symmetric.
 		if feasible() {

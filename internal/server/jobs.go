@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -15,21 +17,29 @@ import (
 type JobState string
 
 // Job states. A cache hit at submission time jumps straight to done.
+// Cancelled is terminal: a queued job cancelled by DELETE (or an expired
+// timeout_ms) never reaches a worker, and a running one unwinds its
+// partitioner cooperatively, freeing the worker.
 const (
-	StateQueued  JobState = "queued"
-	StateRunning JobState = "running"
-	StateDone    JobState = "done"
-	StateFailed  JobState = "failed"
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
 )
 
-// PartitionFunc computes a partition; the production implementation is
-// parhip.Partition. Tests substitute a counting wrapper to prove the cache
-// short-circuits recomputation.
-type PartitionFunc func(g *graph.Graph, k int32, opt parhip.Options) (parhip.Result, error)
+// PartitionFunc computes a partition; the production implementation wraps
+// a parhip.Partitioner session. It must honor ctx (return promptly with
+// ctx.Err() once cancelled) and may report live progress through
+// onProgress (never nil; called from the partitioner's coordinating rank).
+// Tests substitute counting/blocking wrappers.
+type PartitionFunc func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options,
+	onProgress func(parhip.ProgressEvent)) (parhip.Result, error)
 
 // job is the manager-internal record. Every field is guarded by the
-// manager's mutex; workers take the mutex for state transitions and release
-// it around the actual partitioning call.
+// manager's mutex — except ctx/cancel, which are set once at submission
+// and safe to use concurrently; workers take the mutex for state
+// transitions and release it around the actual partitioning call.
 type job struct {
 	id        string
 	graphID   string
@@ -45,18 +55,28 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	result    *parhip.Result
+
+	// ctx bounds the job's run: it carries the optional submission
+	// timeout_ms deadline and is cancelled by DELETE /v1/jobs/{id}. Nil
+	// for jobs answered from cache at submission.
+	ctx       context.Context
+	cancel    context.CancelFunc
+	timeoutMS int64
+	cancelReq bool // DELETE seen (distinguishes cancel from timeout)
+	progress  *parhip.ProgressEvent
 }
 
 // JobTiming is one completed job's timing record, exposed by /v1/stats.
 type JobTiming struct {
-	ID      string  `json:"id"`
-	GraphID string  `json:"graph_id"`
-	K       int32   `json:"k"`
-	Cached  bool    `json:"cached"`
-	Failed  bool    `json:"failed,omitempty"`
-	QueueMS float64 `json:"queue_ms"`
-	RunMS   float64 `json:"run_ms"`
-	Cut     int64   `json:"cut"`
+	ID        string  `json:"id"`
+	GraphID   string  `json:"graph_id"`
+	K         int32   `json:"k"`
+	Cached    bool    `json:"cached"`
+	Failed    bool    `json:"failed,omitempty"`
+	Cancelled bool    `json:"cancelled,omitempty"`
+	QueueMS   float64 `json:"queue_ms"`
+	RunMS     float64 `json:"run_ms"`
+	Cut       int64   `json:"cut"`
 }
 
 // recentTimings bounds the per-job timing history kept for /v1/stats.
@@ -70,23 +90,31 @@ const maxRetainedJobs = 4096
 
 // jobManager owns the queue, the bounded worker pool and the result cache,
 // and aggregates the service counters reported by /v1/stats.
+//
+// The queue is a mutex/cond-guarded slice rather than a channel so that a
+// job cancelled while queued can be removed on the spot: its slot is free
+// for new submissions immediately, instead of a corpse occupying channel
+// capacity until a worker happens to dequeue it.
 type jobManager struct {
 	partition PartitionFunc
-	queue     chan *job
 	wg        sync.WaitGroup
 	cache     *resultCache
 
-	mu      sync.Mutex
-	closed  bool
-	nextID  int64
-	jobs    map[string]*job
-	order   []string // submission order, for listing
-	workers int
-	running int
+	mu       sync.Mutex
+	qcond    *sync.Cond // signalled on enqueue and close
+	queue    []*job     // pending jobs, FIFO
+	queueCap int
+	closed   bool
+	nextID   int64
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	workers  int
+	running  int
 
 	submitted   int64
 	completed   int64
 	failed      int64
+	cancelled   int64
 	infeasible  int64
 	cacheHits   int64
 	cacheMisses int64
@@ -106,11 +134,12 @@ type jobManager struct {
 func newJobManager(workers, queueSize, cacheSize int, fn PartitionFunc) *jobManager {
 	m := &jobManager{
 		partition: fn,
-		queue:     make(chan *job, queueSize),
+		queueCap:  queueSize,
 		cache:     newResultCache(cacheSize),
 		jobs:      make(map[string]*job),
 		workers:   workers,
 	}
+	m.qcond = sync.NewCond(&m.mu)
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -127,8 +156,8 @@ func (m *jobManager) close() {
 		return
 	}
 	m.closed = true
+	m.qcond.Broadcast()
 	m.mu.Unlock()
-	close(m.queue)
 	m.wg.Wait()
 }
 
@@ -151,13 +180,13 @@ func jobKey(fingerprint string, k int32, o parhip.Options) string {
 }
 
 // submit registers a job for sg. On a cache hit the job completes
-// immediately without entering the queue; otherwise it is enqueued for the
-// worker pool, or rejected with errQueueFull when the queue is at capacity.
-// The whole decision runs under the manager mutex: the enqueue is a
-// non-blocking select, and holding the mutex makes it atomic with the
-// closed check (no send on a closed queue) and with registration (no
-// partially registered jobs visible to concurrent submissions).
-func (m *jobManager) submit(sg *storedGraph, k int32, opts parhip.Options, view jobOptions) (*job, error) {
+// immediately without entering the queue; otherwise it is appended to the
+// queue slice for the worker pool, or rejected with errQueueFull when the
+// queue is at capacity. The whole decision runs under the manager mutex,
+// making the capacity check atomic with the closed check and with
+// registration (no partially registered jobs visible to concurrent
+// submissions).
+func (m *jobManager) submit(sg *storedGraph, k int32, opts parhip.Options, view jobOptions, timeoutMS int64) (*job, error) {
 	key := jobKey(sg.Fingerprint, k, opts)
 	now := time.Now()
 
@@ -177,6 +206,7 @@ func (m *jobManager) submit(sg *storedGraph, k int32, opts parhip.Options, view 
 		key:       key,
 		state:     StateQueued,
 		submitted: now,
+		timeoutMS: timeoutMS,
 	}
 
 	if res, ok := m.cache.get(key); ok {
@@ -188,21 +218,121 @@ func (m *jobManager) submit(sg *storedGraph, k int32, opts parhip.Options, view 
 		return j, nil
 	}
 
-	select {
-	case m.queue <- j:
-		m.jobs[j.id] = j
-		m.order = append(m.order, j.id)
-		m.submitted++
-		return j, nil
-	default:
+	if len(m.queue) >= m.queueCap {
 		m.nextID--
 		return nil, errQueueFull
 	}
+
+	// The per-job context is rooted in Background, not the submission
+	// request: the job outlives the HTTP exchange. The timeout clock
+	// starts now, covering queue time as well as the run.
+	ctx := context.Background()
+	if timeoutMS > 0 {
+		j.ctx, j.cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(ctx)
+	}
+
+	m.queue = append(m.queue, j)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.submitted++
+	m.qcond.Signal()
+	if timeoutMS > 0 {
+		// Realize a queue-time expiry eagerly: without this, a timed-out
+		// job would keep reporting "queued" and holding its queue slot
+		// until a worker happened to pop it. Firing after the job left the
+		// queued state is a no-op.
+		time.AfterFunc(time.Duration(timeoutMS)*time.Millisecond, func() { m.expireQueued(j) })
+	}
+	return j, nil
+}
+
+// expireQueued cancels j if its timeout fired while it was still waiting
+// in the queue, freeing the slot immediately.
+func (m *jobManager) expireQueued(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.state != StateQueued {
+		return
+	}
+	for i, q := range m.queue {
+		if q == j {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			break
+		}
+	}
+	m.cancelLocked(j, fmt.Sprintf("timeout after %dms while queued", j.timeoutMS), time.Now())
+}
+
+// cancelJob implements DELETE /v1/jobs/{id}. Queued jobs transition to
+// cancelled immediately (the worker pool drops them at dequeue); running
+// jobs get their context cancelled and transition once the partitioner
+// unwinds. The bool reports whether the job existed; the error is non-nil
+// when the job is already in a non-cancellable terminal state.
+func (m *jobManager) cancelJob(id string) (*job, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, false, nil
+	}
+	switch j.state {
+	case StateQueued:
+		j.cancelReq = true
+		j.cancel()
+		// Free the queue slot on the spot (the job may already be out of
+		// the slice if a worker popped it a moment ago — the dequeue-side
+		// state check drops it then).
+		for i, q := range m.queue {
+			if q == j {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		m.cancelLocked(j, "cancelled while queued", time.Now())
+	case StateRunning:
+		j.cancelReq = true
+		j.cancel() // the worker observes ctx and finishes the transition
+	case StateCancelled:
+		// Idempotent.
+	default:
+		return j, true, fmt.Errorf("job %s already %s", id, j.state)
+	}
+	return j, true, nil
+}
+
+// cancelLocked moves j to the cancelled terminal state. Callers hold m.mu.
+func (m *jobManager) cancelLocked(j *job, msg string, now time.Time) {
+	j.state = StateCancelled
+	j.errMsg = msg
+	if j.started.IsZero() {
+		j.started = now
+	}
+	j.finished = now
+	j.g = nil
+	if j.cancel != nil {
+		j.cancel() // release the timeout timer
+	}
+	m.cancelled++
+	m.pushTimingLocked(j)
 }
 
 func (m *jobManager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.qcond.Wait()
+		}
+		if len(m.queue) == 0 {
+			// Closed and drained: every accepted job has been finished.
+			m.mu.Unlock()
+			return
+		}
+		j := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
 		m.runJob(j)
 	}
 }
@@ -210,6 +340,18 @@ func (m *jobManager) worker() {
 func (m *jobManager) runJob(j *job) {
 	start := time.Now()
 	m.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while queued: already terminal, never occupies a
+		// worker (the dequeue just drops the corpse).
+		m.mu.Unlock()
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		// timeout_ms expired while queued.
+		m.cancelLocked(j, "timeout expired while queued: "+err.Error(), time.Now())
+		m.mu.Unlock()
+		return
+	}
 	j.state = StateRunning
 	j.started = start
 	m.running++
@@ -224,15 +366,37 @@ func (m *jobManager) runJob(j *job) {
 		return
 	}
 	m.cacheMisses++
-	g, k, opts := j.g, j.k, j.opts
+	g, k, opts, ctx := j.g, j.k, j.opts, j.ctx
 	m.mu.Unlock()
 
-	res, err := m.partition(g, k, opts)
+	onProgress := func(ev parhip.ProgressEvent) {
+		m.mu.Lock()
+		j.progress = &ev
+		m.mu.Unlock()
+	}
+	res, err := m.partition(ctx, g, k, opts, onProgress)
 	end := time.Now()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.running--
+	// Cancellation and timeout are terminal "cancelled", not "failed" —
+	// and a result that limped in despite a cancelled context is treated
+	// as cancelled too: the cache must never hold output of a cut-short
+	// run, and the client that cancelled must not observe a "done".
+	if cause := j.ctx.Err(); cause != nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		msg := "cancelled by client"
+		if !j.cancelReq {
+			msg = fmt.Sprintf("timeout after %dms", j.timeoutMS)
+		}
+		if err != nil {
+			msg += ": " + err.Error()
+		}
+		m.cancelLocked(j, msg, end)
+		return
+	}
+	j.cancel() // release the timeout timer
 	if err != nil {
 		j.state = StateFailed
 		j.errMsg = err.Error()
@@ -278,6 +442,9 @@ func (m *jobManager) finishLocked(j *job, res *parhip.Result, cached bool, now t
 	j.cached = cached
 	j.result = res
 	j.g = nil
+	if j.cancel != nil {
+		j.cancel() // release the timeout timer
+	}
 	if j.started.IsZero() {
 		j.started = now
 	}
@@ -288,13 +455,14 @@ func (m *jobManager) finishLocked(j *job, res *parhip.Result, cached bool, now t
 
 func (m *jobManager) pushTimingLocked(j *job) {
 	t := JobTiming{
-		ID:      j.id,
-		GraphID: j.graphID,
-		K:       j.k,
-		Cached:  j.cached,
-		Failed:  j.state == StateFailed,
-		QueueMS: float64(j.started.Sub(j.submitted)) / float64(time.Millisecond),
-		RunMS:   float64(j.finished.Sub(j.started)) / float64(time.Millisecond),
+		ID:        j.id,
+		GraphID:   j.graphID,
+		K:         j.k,
+		Cached:    j.cached,
+		Failed:    j.state == StateFailed,
+		Cancelled: j.state == StateCancelled,
+		QueueMS:   float64(j.started.Sub(j.submitted)) / float64(time.Millisecond),
+		RunMS:     float64(j.finished.Sub(j.started)) / float64(time.Millisecond),
 	}
 	if j.result != nil {
 		t.Cut = j.result.Cut
@@ -316,7 +484,7 @@ func (m *jobManager) evictFinishedLocked() {
 	keep := m.order[:0]
 	for _, id := range m.order {
 		j := m.jobs[id]
-		if excess > 0 && (j.state == StateDone || j.state == StateFailed) {
+		if excess > 0 && (j.state == StateDone || j.state == StateFailed || j.state == StateCancelled) {
 			delete(m.jobs, id)
 			excess--
 			continue

@@ -13,9 +13,13 @@
 //	GET    /v1/graphs/{id}       one graph's metadata
 //	DELETE /v1/graphs/{id}       drop a graph (running jobs are unaffected)
 //	POST   /v1/jobs              submit a partition job -> job view (202;
-//	                             200 when served from cache)
+//	                             200 when served from cache); the body may
+//	                             set timeout_ms to bound queue+run time
 //	GET    /v1/jobs              list jobs in submission order
-//	GET    /v1/jobs/{id}         poll one job's state and timings
+//	GET    /v1/jobs/{id}         poll one job's state, timings and live
+//	                             partitioner progress
+//	DELETE /v1/jobs/{id}         cancel a queued or running job (200/202;
+//	                             409 once done or failed)
 //	GET    /v1/jobs/{id}/result  fetch the partition vector and metrics
 //	GET    /v1/stats             queue depth, cache hit rate, per-job
 //	                             timings, cumulative core statistics
@@ -24,6 +28,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -72,8 +77,14 @@ func (c Config) withDefaults() Config {
 		c.MaxGraphs = 256
 	}
 	if c.PartitionFn == nil {
-		c.PartitionFn = func(g *graph.Graph, k int32, opt parhip.Options) (parhip.Result, error) {
-			return parhip.Partition(g, k, opt)
+		c.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options,
+			onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
+			p, err := parhip.New(g, parhip.WithK(k), parhip.WithOptions(opt),
+				parhip.WithProgressFunc(onProgress))
+			if err != nil {
+				return parhip.Result{}, err
+			}
+			return p.Run(ctx)
 		}
 	}
 	return c
@@ -106,6 +117,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -207,6 +219,10 @@ type jobRequest struct {
 	GraphID string     `json:"graph_id"`
 	K       int32      `json:"k"`
 	Options jobOptions `json:"options"`
+	// TimeoutMS optionally bounds the job's total lifetime (queue + run);
+	// on expiry the job is cancelled. It is intentionally not part of the
+	// options: a timeout must not change the result cache key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // canonOptions maps the wire options onto parhip.Options with every default
@@ -249,6 +265,9 @@ func canonOptions(o jobOptions) (parhip.Options, jobOptions, error) {
 	if o.Eps < 0 {
 		return opt, o, fmt.Errorf("eps must be >= 0, got %g", o.Eps)
 	}
+	if o.Eps > parhip.MaxEps {
+		return opt, o, fmt.Errorf("eps must be <= %g, got %g", parhip.MaxEps, o.Eps)
+	}
 	if o.Eps == 0 {
 		o.Eps = 0.03
 	}
@@ -271,21 +290,37 @@ func canonOptions(o jobOptions) (parhip.Options, jobOptions, error) {
 	return opt, o, nil
 }
 
+// progressView is the wire form of the latest partitioner checkpoint of a
+// running job (see parhip.ProgressEvent).
+type progressView struct {
+	Phase     string  `json:"phase"`
+	Cycle     int     `json:"cycle"`
+	Cycles    int     `json:"cycles"`
+	Level     int     `json:"level"`
+	N         int64   `json:"n"`
+	M         int64   `json:"m"`
+	Cut       int64   `json:"cut"`
+	Imbalance float64 `json:"imbalance"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
 // jobView is the wire form of a job's state.
 type jobView struct {
-	ID          string     `json:"id"`
-	GraphID     string     `json:"graph_id"`
-	K           int32      `json:"k"`
-	Options     jobOptions `json:"options"`
-	State       JobState   `json:"state"`
-	Cached      bool       `json:"cached"`
-	Error       string     `json:"error,omitempty"`
-	SubmittedAt time.Time  `json:"submitted_at"`
-	QueueMS     float64    `json:"queue_ms,omitempty"`
-	RunMS       float64    `json:"run_ms,omitempty"`
-	Cut         *int64     `json:"cut,omitempty"`
-	Imbalance   *float64   `json:"imbalance,omitempty"`
-	Feasible    *bool      `json:"feasible,omitempty"`
+	ID          string        `json:"id"`
+	GraphID     string        `json:"graph_id"`
+	K           int32         `json:"k"`
+	Options     jobOptions    `json:"options"`
+	TimeoutMS   int64         `json:"timeout_ms,omitempty"`
+	State       JobState      `json:"state"`
+	Cached      bool          `json:"cached"`
+	Error       string        `json:"error,omitempty"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	QueueMS     float64       `json:"queue_ms,omitempty"`
+	RunMS       float64       `json:"run_ms,omitempty"`
+	Progress    *progressView `json:"progress,omitempty"`
+	Cut         *int64        `json:"cut,omitempty"`
+	Imbalance   *float64      `json:"imbalance,omitempty"`
+	Feasible    *bool         `json:"feasible,omitempty"`
 }
 
 // viewLocked snapshots j; callers hold the manager mutex.
@@ -295,10 +330,25 @@ func viewLocked(j *job) jobView {
 		GraphID:     j.graphID,
 		K:           j.k,
 		Options:     j.optsView,
+		TimeoutMS:   j.timeoutMS,
 		State:       j.state,
 		Cached:      j.cached,
 		Error:       j.errMsg,
 		SubmittedAt: j.submitted,
+	}
+	if j.progress != nil {
+		ev := *j.progress
+		v.Progress = &progressView{
+			Phase:     ev.Phase,
+			Cycle:     ev.Cycle,
+			Cycles:    ev.Cycles,
+			Level:     ev.Level,
+			N:         ev.N,
+			M:         ev.M,
+			Cut:       ev.Cut,
+			Imbalance: ev.Imbalance,
+			ElapsedMS: float64(ev.Elapsed) / float64(time.Millisecond),
+		}
 	}
 	if !j.started.IsZero() {
 		v.QueueMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
@@ -330,12 +380,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no graph %q", req.GraphID)
 		return
 	}
+	if req.K > sg.N {
+		writeError(w, http.StatusBadRequest, "k = %d exceeds graph %s's %d nodes", req.K, sg.ID, sg.N)
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "timeout_ms must be >= 0, got %d", req.TimeoutMS)
+		return
+	}
 	opts, view, err := canonOptions(req.Options)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
 		return
 	}
-	j, err := s.jobs.submit(sg, req.K, opts, view)
+	j, err := s.jobs.submit(sg, req.K, opts, view, req.TimeoutMS)
 	switch {
 	case errors.Is(err, errQueueFull):
 		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueSize)
@@ -381,6 +439,33 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// handleCancelJob cancels a queued or running job. Responses: 200 with the
+// job view when the job is already terminal-cancelled (queued jobs land
+// here immediately; repeated DELETEs are idempotent), 202 while a running
+// job's partitioner is still unwinding (poll GET /v1/jobs/{id} until state
+// is "cancelled"), 404 for unknown jobs and 409 for jobs that finished
+// first.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok, err := s.jobs.cancelJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.jobs.mu.Lock()
+	v := viewLocked(j)
+	s.jobs.mu.Unlock()
+	code := http.StatusOK
+	if v.State == StateRunning {
+		code = http.StatusAccepted // cancellation requested, still unwinding
+	}
+	writeJSON(w, code, v)
+}
+
 // resultView is the wire form of a finished job's partition.
 type resultView struct {
 	JobID     string  `json:"job_id"`
@@ -405,6 +490,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	switch state {
 	case StateFailed:
 		writeError(w, http.StatusUnprocessableEntity, "job failed: %s", errMsg)
+	case StateCancelled:
+		writeError(w, http.StatusGone, "job cancelled: %s", errMsg)
 	case StateDone:
 		writeJSON(w, http.StatusOK, resultView{
 			JobID:     j.id,
@@ -435,6 +522,9 @@ type StatsView struct {
 		Submitted int64 `json:"submitted"`
 		Completed int64 `json:"completed"`
 		Failed    int64 `json:"failed"`
+		// Cancelled counts jobs that reached the cancelled terminal state,
+		// whether by DELETE /v1/jobs/{id} or an expired timeout_ms.
+		Cancelled int64 `json:"cancelled"`
 		// InfeasibleResults counts jobs failed by the feasibility gate:
 		// the partitioner returned a result violating the hard balance
 		// bound even after rebalancing. Always <= Failed.
@@ -477,15 +567,16 @@ func (s *Server) Stats() StatsView {
 	m := s.jobs
 	var v StatsView
 	v.UptimeSeconds = time.Since(s.start).Seconds()
-	v.QueueDepth = len(m.queue)
-	v.QueueCapacity = cap(m.queue)
 
 	m.mu.Lock()
+	v.QueueDepth = len(m.queue)
+	v.QueueCapacity = m.queueCap
 	v.Workers = m.workers
 	v.Running = m.running
 	v.Jobs.Submitted = m.submitted
 	v.Jobs.Completed = m.completed
 	v.Jobs.Failed = m.failed
+	v.Jobs.Cancelled = m.cancelled
 	v.Jobs.InfeasibleResults = m.infeasible
 	v.Cache.Hits = m.cacheHits
 	v.Cache.Misses = m.cacheMisses

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -93,7 +94,7 @@ func (e *testEnv) await(id string) jobView {
 		if code != http.StatusOK {
 			e.t.Fatalf("poll %s: status %d: %s", id, code, raw)
 		}
-		if v.State == StateDone || v.State == StateFailed {
+		if v.State == StateDone || v.State == StateFailed || v.State == StateCancelled {
 			return v
 		}
 		if time.Now().After(deadline) {
@@ -175,7 +176,7 @@ func TestUploadBinaryFormat(t *testing.T) {
 func TestCacheHitSkipsRecomputation(t *testing.T) {
 	var runs atomic.Int64
 	cfg := Config{Workers: 2}
-	cfg.PartitionFn = func(g *graph.Graph, k int32, opt parhip.Options) (parhip.Result, error) {
+	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
 		runs.Add(1)
 		return parhip.Partition(g, k, opt)
 	}
@@ -290,7 +291,7 @@ func TestQueueFull(t *testing.T) {
 	block := make(chan struct{})
 	var once sync.Once
 	cfg := Config{Workers: 1, QueueSize: 1}
-	cfg.PartitionFn = func(g *graph.Graph, k int32, opt parhip.Options) (parhip.Result, error) {
+	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
 		<-block
 		return parhip.Partition(g, k, opt)
 	}
@@ -361,7 +362,7 @@ func TestResultBeforeDone(t *testing.T) {
 	block := make(chan struct{})
 	var once sync.Once
 	cfg := Config{Workers: 1}
-	cfg.PartitionFn = func(g *graph.Graph, k int32, opt parhip.Options) (parhip.Result, error) {
+	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
 		<-block
 		return parhip.Partition(g, k, opt)
 	}
@@ -453,7 +454,7 @@ func TestServerCloseDrainsQueue(t *testing.T) {
 func TestInfeasibleResultFailsJob(t *testing.T) {
 	var calls atomic.Int64
 	cfg := Config{Workers: 1}
-	cfg.PartitionFn = func(g *graph.Graph, k int32, opt parhip.Options) (parhip.Result, error) {
+	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
 		calls.Add(1)
 		res := parhip.Result{
 			Part:      make([]int32, g.NumNodes()), // everything in block 0

@@ -1,0 +1,26 @@
+// Package testutil holds small helpers shared by the test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitNoLeak polls until the goroutine count drops back to at most
+// base+slack, failing the test after a generous deadline. Bracketing with
+// a retry loop absorbs unrelated runtime goroutines winding down.
+func WaitNoLeak(t testing.TB, base, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -11,21 +11,30 @@
 // graph. Parallelism runs on simulated message-passing ranks (goroutines),
 // standing in for the paper's MPI processes.
 //
-// Quick start:
+// Quick start (v2 session API):
 //
-//	g := parhip.NewBuilder(4)
-//	g.AddEdge(0, 1)
-//	g.AddEdge(1, 2)
-//	g.AddEdge(2, 3)
-//	res, err := parhip.Partition(g.Build(), 2, parhip.Options{})
+//	b := parhip.NewBuilder(4)
+//	b.AddEdge(0, 1)
+//	b.AddEdge(1, 2)
+//	b.AddEdge(2, 3)
+//	p, err := parhip.New(b.Build(), parhip.WithK(2))
+//	if err != nil { ... }
+//	res, err := p.Run(ctx) // cancellable; see also p.Progress()
+//
+// A session is bound to a context.Context: cancelling it (or letting its
+// deadline pass) unwinds every simulated rank cooperatively and Run
+// returns ctx.Err(). Progress() streams per-level checkpoint events while
+// the run is in flight. The v1 Partition/Options entry points remain as
+// deprecated wrappers.
 //
 // See the examples directory for realistic scenarios.
 package parhip
 
 import (
-	"fmt"
-	"io"
+	"context"
 	"time"
+
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/evo"
@@ -80,8 +89,13 @@ const (
 	Mesh
 )
 
-// Options configures Partition. The zero value requests the Fast mode on a
-// social-type graph with 4 simulated PEs, 3% imbalance and seed 1.
+// Options configures the deprecated Partition entry point. The zero value
+// requests the Fast mode on a social-type graph with 4 simulated PEs, 3%
+// imbalance and seed 1.
+//
+// Deprecated: new code should configure a session with New and functional
+// options (WithK, WithMode, ...). Options remains a thin wrapper: it can
+// be applied wholesale to a session with WithOptions.
 type Options struct {
 	// PEs is the number of simulated processing elements (default 4).
 	PEs int
@@ -172,37 +186,36 @@ func (o Options) pes() int {
 }
 
 // Partition computes a k-way partition of g with the ParHIP algorithm.
+// It now applies the same strict option validation as New (invalid eps,
+// PEs, mode etc. are errors, no longer silently replaced by defaults).
+//
+// Deprecated: use New + Run, which add cancellation and progress:
+//
+//	p, err := parhip.New(g, parhip.WithK(k), parhip.WithOptions(opt))
+//	res, err := p.Run(ctx)
 func Partition(g *Graph, k int32, opt Options) (Result, error) {
-	if g == nil {
-		return Result{}, fmt.Errorf("parhip: nil graph")
-	}
-	if k < 1 {
-		return Result{}, fmt.Errorf("parhip: k = %d", k)
-	}
-	res, err := core.Run(opt.pes(), g, opt.coreConfig(k))
+	p, err := New(g, WithK(k), WithOptions(opt))
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		Part:      res.Part,
-		Cut:       res.Stats.Cut,
-		Imbalance: res.Stats.Imbalance,
-		Feasible:  res.Stats.Feasible,
-		Stats:     res.Stats,
-	}, nil
+	return p.Run(context.Background())
 }
 
 // PartitionBaseline computes a k-way partition with the ParMETIS-style
 // matching-based baseline the paper compares against. memoryBudgetNodes
 // bounds the size of the coarsest graph a PE may replicate (0 = unlimited);
 // beyond it the run fails like ParMETIS running out of memory in the
-// paper's tables.
+// paper's tables. It is PartitionBaselineCtx with a background context.
 func PartitionBaseline(g *Graph, k int32, opt Options, memoryBudgetNodes int64) (Result, error) {
-	if g == nil {
-		return Result{}, fmt.Errorf("parhip: nil graph")
-	}
-	if k < 1 {
-		return Result{}, fmt.Errorf("parhip: k = %d", k)
+	return PartitionBaselineCtx(context.Background(), g, k, opt, memoryBudgetNodes)
+}
+
+// PartitionBaselineCtx is PartitionBaseline bound to a context: when ctx
+// is cancelled, the simulated ranks unwind cooperatively and it returns
+// ctx.Err(). It applies the same strict option validation as New.
+func PartitionBaselineCtx(ctx context.Context, g *Graph, k int32, opt Options, memoryBudgetNodes int64) (Result, error) {
+	if err := validateRun(g, k, opt); err != nil {
+		return Result{}, err
 	}
 	cfg := matchbase.DefaultConfig(k)
 	if opt.Eps > 0 {
@@ -212,7 +225,7 @@ func PartitionBaseline(g *Graph, k int32, opt Options, memoryBudgetNodes int64) 
 		cfg.Seed = opt.Seed
 	}
 	cfg.MemoryBudgetNodes = memoryBudgetNodes
-	res, err := matchbase.Run(opt.pes(), g, cfg)
+	res, err := matchbase.RunCtx(ctx, opt.pes(), g, cfg)
 	if err != nil {
 		return Result{}, err
 	}

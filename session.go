@@ -1,0 +1,324 @@
+package parhip
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file is the v2 public API: a Partitioner session constructed with
+// New and functional options, run under a context.Context with live
+// progress reporting. The v1 entry points (Partition, PartitionBaseline,
+// the Options struct) remain as thin deprecated wrappers around it.
+
+// ErrAlreadyRun is returned by Partitioner.Run when the session has
+// already been started: a Partitioner is single-use, like an http.Request.
+var ErrAlreadyRun = errors.New("parhip: session already run; create a new Partitioner with New")
+
+// MaxEps bounds the allowed imbalance parameter. An eps beyond it (the
+// heaviest block allowed 100x the average) is always a caller bug, not a
+// balance setting, and is rejected at the API boundary.
+const MaxEps = 99.0
+
+// ProgressEvent is one checkpoint of a running partition, delivered on the
+// Partitioner's Progress channel (and to WithProgressFunc callbacks).
+type ProgressEvent struct {
+	// Phase is the pipeline stage: "coarsen", "init", "refine",
+	// "rebalance" or "done".
+	Phase string
+	// Cycle is the 0-based V-cycle index; Cycles the configured total.
+	Cycle, Cycles int
+	// Level is the hierarchy level the event refers to (0 = input graph).
+	Level int
+	// N and M are the node/edge counts of the graph at that level.
+	N, M int64
+	// Cut and Imbalance are the current partition quality, or -1 when the
+	// phase has not computed them (coarsening tracks shrinkage only).
+	Cut       int64
+	Imbalance float64
+	// Elapsed is the wall-clock time since Run started.
+	Elapsed time.Duration
+}
+
+// settings is the resolved configuration of a Partitioner session. The
+// *Set flags record that an option was passed explicitly: the legacy
+// Options struct uses 0 as "unset, take the default", so an explicit zero
+// would otherwise be silently replaced — exactly what v2 validation
+// promises not to do. New rejects those instead.
+type settings struct {
+	k          int32
+	opts       Options
+	epsSet     bool
+	seedSet    bool
+	pesSet     bool
+	onProgress []func(ProgressEvent)
+	progressN  int // Progress channel capacity
+}
+
+// Option configures a Partitioner session (see New).
+type Option func(*settings)
+
+// WithK sets the number of blocks. Required.
+func WithK(k int32) Option { return func(s *settings) { s.k = k } }
+
+// WithPEs sets the number of simulated processing elements. Must be
+// positive; omit the option for the default of 4.
+func WithPEs(n int) Option {
+	return func(s *settings) { s.opts.PEs = n; s.pesSet = true }
+}
+
+// WithMode selects the quality/time trade-off (default Fast).
+func WithMode(m Mode) Option { return func(s *settings) { s.opts.Mode = m } }
+
+// WithClass selects the graph class driving the coarsening size constraint
+// (default Social).
+func WithClass(c GraphClass) Option { return func(s *settings) { s.opts.Class = c } }
+
+// WithEps sets the allowed imbalance. Must be in (0, MaxEps]; omit the
+// option for the default of 0.03. An explicit 0 is rejected rather than
+// silently mapped to the default (the hard-balance case eps=0 is not
+// supported by the partitioner).
+func WithEps(eps float64) Option {
+	return func(s *settings) { s.opts.Eps = eps; s.epsSet = true }
+}
+
+// WithSeed makes the run reproducible. Must be >= 1; omit the option for
+// the default of 1 (0 is the legacy "unset" sentinel and is rejected).
+func WithSeed(seed uint64) Option {
+	return func(s *settings) { s.opts.Seed = seed; s.seedSet = true }
+}
+
+// WithEvoTimeBudget bounds the evolutionary search by wall-clock time,
+// divided among the PEs as in the paper's eco setting.
+func WithEvoTimeBudget(d time.Duration) Option {
+	return func(s *settings) { s.opts.EvoTimeBudget = d }
+}
+
+// WithObjective selects the fitness of the coarsest-level evolutionary
+// search (default MinimizeCut).
+func WithObjective(o Objective) Option { return func(s *settings) { s.opts.Objective = o } }
+
+// WithPrepartition feeds an existing k-way partition into the first
+// V-cycle; the result is never worse than the input.
+func WithPrepartition(p []int32) Option { return func(s *settings) { s.opts.Prepartition = p } }
+
+// WithOptions applies a v1 Options struct wholesale — the bridge for
+// callers migrating incrementally. It replaces everything set by earlier
+// With* options (v1 semantics: zero fields mean "use the default"); later
+// options still override it.
+func WithOptions(o Options) Option {
+	return func(s *settings) {
+		s.opts = o
+		// The struct carries v1 zero-means-default semantics, so earlier
+		// explicit-zero markers no longer apply to its fields.
+		s.epsSet, s.seedSet, s.pesSet = false, false, false
+	}
+}
+
+// WithProgressFunc registers a callback invoked synchronously for every
+// progress event (on the coordinating rank's goroutine — it must not block
+// for long). Unlike the Progress channel, callbacks never drop events. A
+// nil fn is ignored.
+func WithProgressFunc(fn func(ProgressEvent)) Option {
+	return func(s *settings) {
+		if fn != nil {
+			s.onProgress = append(s.onProgress, fn)
+		}
+	}
+}
+
+// WithProgressBuffer sets the capacity of the Progress channel (default
+// 64). When the consumer falls behind, newer events are dropped rather
+// than stalling the partitioner.
+func WithProgressBuffer(n int) Option { return func(s *settings) { s.progressN = n } }
+
+// Partitioner is a single-use partitioning session: configure it with New,
+// optionally subscribe to Progress, then call Run. All methods are safe
+// for concurrent use.
+type Partitioner struct {
+	g *Graph
+	s settings
+
+	mu       sync.Mutex
+	started  bool
+	finished bool               // Run has returned
+	progress chan ProgressEvent // nil until Progress() is called
+}
+
+// New validates the configuration and returns a ready-to-run session.
+//
+//	p, err := parhip.New(g, parhip.WithK(8), parhip.WithMode(parhip.Eco))
+//	...
+//	res, err := p.Run(ctx)
+//
+// Unlike the deprecated Partition, every invalid setting is rejected here
+// with a descriptive error instead of being silently replaced by a
+// default: k < 1 or k > n, eps outside [0, MaxEps], negative PEs, unknown
+// Mode/Class/Objective values, a negative evolutionary time budget, and a
+// prepartition of the wrong length.
+func New(g *Graph, opts ...Option) (*Partitioner, error) {
+	s := settings{progressN: 64}
+	for _, o := range opts {
+		o(&s)
+	}
+	if err := validateRun(g, s.k, s.opts); err != nil {
+		return nil, err
+	}
+	// The legacy Options struct reads 0 as "unset": an explicit zero passed
+	// through an option would be silently replaced by the default, which is
+	// the exact behavior v2 validation exists to eliminate. Reject it.
+	if s.epsSet && s.opts.Eps == 0 {
+		return nil, errors.New("parhip: WithEps(0) is not supported (0 is the legacy 'use default' sentinel); omit WithEps for the 0.03 default or pass a positive eps")
+	}
+	if s.seedSet && s.opts.Seed == 0 {
+		return nil, errors.New("parhip: WithSeed(0) is not supported (0 is the legacy 'use default' sentinel); omit WithSeed for the default seed 1")
+	}
+	if s.pesSet && s.opts.PEs == 0 {
+		return nil, errors.New("parhip: WithPEs(0) is not supported (0 is the legacy 'use default' sentinel); omit WithPEs for the default of 4")
+	}
+	return &Partitioner{g: g, s: s}, nil
+}
+
+// validateRun is the strict option validation shared by New and the
+// deprecated Partition/PartitionBaseline entry points.
+func validateRun(g *Graph, k int32, o Options) error {
+	if g == nil {
+		return errors.New("parhip: nil graph")
+	}
+	if k < 1 {
+		return fmt.Errorf("parhip: k = %d, need k >= 1 (set it with WithK)", k)
+	}
+	if k > g.NumNodes() {
+		return fmt.Errorf("parhip: k = %d exceeds the graph's %d nodes", k, g.NumNodes())
+	}
+	if o.Eps < 0 {
+		return fmt.Errorf("parhip: eps = %g, must be >= 0", o.Eps)
+	}
+	if o.Eps > MaxEps {
+		return fmt.Errorf("parhip: eps = %g, must be <= %g", o.Eps, MaxEps)
+	}
+	if o.PEs < 0 {
+		return fmt.Errorf("parhip: PEs = %d, must be >= 0 (0 selects the default)", o.PEs)
+	}
+	if o.Mode < Fast || o.Mode > Minimal {
+		return fmt.Errorf("parhip: unknown mode %d", o.Mode)
+	}
+	if o.Class < Social || o.Class > Mesh {
+		return fmt.Errorf("parhip: unknown graph class %d", o.Class)
+	}
+	if o.Objective < MinimizeCut || o.Objective > MinimizeMaxQuotientDegree {
+		return fmt.Errorf("parhip: unknown objective %d", o.Objective)
+	}
+	if o.EvoTimeBudget < 0 {
+		return fmt.Errorf("parhip: negative evolutionary time budget %v", o.EvoTimeBudget)
+	}
+	if o.Prepartition != nil && int32(len(o.Prepartition)) != g.NumNodes() {
+		return fmt.Errorf("parhip: prepartition has %d entries for %d nodes",
+			len(o.Prepartition), g.NumNodes())
+	}
+	return nil
+}
+
+// Progress returns the session's progress channel. Subscribe before
+// calling Run; events arriving while the buffer is full are dropped, and
+// the channel is closed when Run returns (on success, error and
+// cancellation alike), so ranging over it terminates.
+func (p *Partitioner) Progress() <-chan ProgressEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.progress == nil {
+		n := p.s.progressN
+		if n < 1 {
+			n = 1
+		}
+		p.progress = make(chan ProgressEvent, n)
+		if p.finished {
+			// First subscription after Run already returned: hand back a
+			// closed (empty) channel so ranging over it still terminates.
+			close(p.progress)
+		}
+	}
+	return p.progress
+}
+
+// emitsProgress reports whether Run must wire the core progress callback.
+// Progress checkpoints add one cut/block-weight allreduce per refinement
+// level, so sessions nobody observes skip them entirely.
+func (p *Partitioner) emitsProgress() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.progress != nil || len(p.s.onProgress) > 0
+}
+
+func (p *Partitioner) emit(ev ProgressEvent) {
+	p.mu.Lock()
+	ch := p.progress
+	p.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- ev:
+		default: // consumer is behind: drop rather than stall the ranks
+		}
+	}
+	for _, fn := range p.s.onProgress {
+		fn(ev)
+	}
+}
+
+// Run executes the session. It blocks until the partition is complete, the
+// context is cancelled, or its deadline passes; in the latter two cases it
+// returns ctx.Err() promptly (every simulated rank unwinds cooperatively
+// at the next superstep boundary — no goroutine outlives the call). Run
+// may be called once per Partitioner; later calls return ErrAlreadyRun.
+func (p *Partitioner) Run(ctx context.Context) (Result, error) {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return Result{}, ErrAlreadyRun
+	}
+	p.started = true
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.finished = true
+		if p.progress != nil {
+			close(p.progress)
+		}
+		p.mu.Unlock()
+	}()
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := p.s.opts.coreConfig(p.s.k)
+	if p.emitsProgress() {
+		cfg.OnProgress = func(cp core.Progress) {
+			p.emit(ProgressEvent{
+				Phase:     string(cp.Phase),
+				Cycle:     cp.Cycle,
+				Cycles:    cp.Cycles,
+				Level:     cp.Level,
+				N:         cp.N,
+				M:         cp.M,
+				Cut:       cp.Cut,
+				Imbalance: cp.Imbalance,
+				Elapsed:   cp.Elapsed,
+			})
+		}
+	}
+	res, err := core.RunCtx(ctx, p.s.opts.pes(), p.g, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Part:      res.Part,
+		Cut:       res.Stats.Cut,
+		Imbalance: res.Stats.Imbalance,
+		Feasible:  res.Stats.Feasible,
+		Stats:     res.Stats,
+	}, nil
+}
