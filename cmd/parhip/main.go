@@ -152,6 +152,10 @@ func main() {
 	fmt.Printf("cut=%d  imbalance=%.4f  feasible=%v  commvol=%d  time=%.3fs\n",
 		res.Cut, res.Imbalance, res.Feasible,
 		parhip.CommunicationVolume(g, res.Part, int32(*k)), elapsed.Seconds())
+	if c := res.Stats.Comm; c.MessagesSent > 0 {
+		fmt.Printf("comm: %d msgs, %d bytes (%d neighbor msgs over %d sparse exchanges)\n",
+			c.MessagesSent, c.BytesSent(), c.NeighborMessages, c.NeighborExchanges)
+	}
 	if len(res.Stats.Levels) > 0 {
 		fmt.Print("hierarchy:")
 		for _, lv := range res.Stats.Levels {

@@ -1,10 +1,12 @@
 package contract
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/dgraph"
 	"repro/internal/hashtab"
+	"repro/internal/mpi"
 )
 
 // ParResult is the outcome of one parallel contraction step.
@@ -36,26 +38,27 @@ func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
 	c := fine.Comm
 	size := c.Size()
 	nl := fine.NLocal()
+	// One sharder serves every owner-routed exchange of the contraction;
+	// its per-destination buffers are recycled between steps.
+	sh := mpi.NewSharder(c)
 
 	// Step 1: route distinct local cluster IDs to their responsible ranks.
 	seen := hashtab.NewSetI64(int(nl) + 16)
-	toResp := make([][]int64, size)
 	for v := int32(0); v < nl; v++ {
 		l := labels[v]
 		if seen.Insert(l) {
-			toResp[fine.Owner(l)] = append(toResp[fine.Owner(l)], l)
+			sh.Add(fine.Owner(l), l)
 		}
 	}
-	incoming := c.Alltoallv(toResp)
 	distinct := hashtab.NewSetI64(64)
 	var respLabels []int64
-	for _, buf := range incoming {
+	sh.Exchange(func(_ int, buf []int64) {
 		for _, l := range buf {
 			if distinct.Insert(l) {
 				respLabels = append(respLabels, l)
 			}
 		}
-	}
+	})
 	// Deterministic coarse IDs: sort the responsible labels.
 	sort.Slice(respLabels, func(i, j int) bool { return respLabels[i] < respLabels[j] })
 
@@ -69,6 +72,9 @@ func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
 	}
 
 	// Step 3: query q for every referenced cluster ID (local and ghost).
+	// The query lists must survive until the answers return (positions
+	// correlate them), so this exchange keeps explicit per-rank buffers and
+	// runs them through the pooled collective.
 	queries := hashtab.NewSetI64(int(fine.NTotal()) + 16)
 	queryByResp := make([][]int64, size)
 	for v := int32(0); v < fine.NTotal(); v++ {
@@ -77,11 +83,10 @@ func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
 			queryByResp[fine.Owner(l)] = append(queryByResp[fine.Owner(l)], l)
 		}
 	}
-	queryIn := c.Alltoallv(queryByResp)
 	replies := make([][]int64, size)
-	for rk, buf := range queryIn {
+	c.AlltoallvFunc(queryByResp, func(rk int, buf []int64) {
 		if len(buf) == 0 {
-			continue
+			return
 		}
 		ans := make([]int64, len(buf))
 		for i, l := range buf {
@@ -95,14 +100,18 @@ func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
 			ans[i] = id
 		}
 		replies[rk] = ans
-	}
-	answered := c.Alltoallv(replies)
+	})
 	labelToCoarse := hashtab.NewMapI64(int(fine.NTotal()) + 16)
-	for rk := 0; rk < size; rk++ {
-		for i, l := range queryByResp[rk] {
-			labelToCoarse.Put(l, answered[rk][i])
+	c.AlltoallvFunc(replies, func(rk int, ans []int64) {
+		if len(ans) != len(queryByResp[rk]) {
+			c.PoisonPeers()
+			panic(fmt.Sprintf("contract: rank %d answered %d of %d cluster queries",
+				rk, len(ans), len(queryByResp[rk])))
 		}
-	}
+		for i, l := range queryByResp[rk] {
+			labelToCoarse.Put(l, ans[i])
+		}
+	})
 	cOf := func(v int32) int64 {
 		id, ok := labelToCoarse.Get(labels[v])
 		if !ok {
@@ -146,35 +155,37 @@ func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
 			}
 		}
 	}
-	edgeOut := make([][]int64, size)
-	edgeAcc.ForEach(func(cu, cv, w int64) {
-		o := ownerOfCoarse(cu)
-		edgeOut[o] = append(edgeOut[o], cu, cv, w)
-	})
-	nodeOut := make([][]int64, size)
-	nodeAcc.ForEach(func(cu, w int64) {
-		o := ownerOfCoarse(cu)
-		nodeOut[o] = append(nodeOut[o], cu, w)
-	})
-	edgeIn := c.Alltoallv(edgeOut)
-	nodeIn := c.Alltoallv(nodeOut)
-
-	// Step 5: assemble the local coarse subgraph.
 	lo := coarseVtx[c.Rank()]
 	cLocal := int32(coarseVtx[c.Rank()+1] - lo)
-	nw := make([]int64, cLocal)
-	for _, buf := range nodeIn {
-		for i := 0; i+1 < len(buf); i += 2 {
-			nw[buf[i]-lo] += buf[i+1]
-		}
-	}
 	type triple struct{ src, dst, w int64 }
 	var edges []triple
-	for _, buf := range edgeIn {
-		for i := 0; i+2 < len(buf); i += 3 {
+	edgeAcc.ForEach(func(cu, cv, w int64) {
+		sh.Add(ownerOfCoarse(cu), cu, cv, w)
+	})
+	sh.Exchange(func(rk int, buf []int64) {
+		if len(buf)%3 != 0 {
+			c.PoisonPeers()
+			panic(fmt.Sprintf("contract: rank %d sent %d words of quotient edges (not triples)", rk, len(buf)))
+		}
+		for i := 0; i < len(buf); i += 3 {
 			edges = append(edges, triple{buf[i], buf[i+1], buf[i+2]})
 		}
-	}
+	})
+	nw := make([]int64, cLocal)
+	nodeAcc.ForEach(func(cu, w int64) {
+		sh.Add(ownerOfCoarse(cu), cu, w)
+	})
+	sh.Exchange(func(rk int, buf []int64) {
+		if len(buf)%2 != 0 {
+			c.PoisonPeers()
+			panic(fmt.Sprintf("contract: rank %d sent %d words of node weights (not pairs)", rk, len(buf)))
+		}
+		for i := 0; i < len(buf); i += 2 {
+			nw[buf[i]-lo] += buf[i+1]
+		}
+	})
+
+	// Step 5: assemble the local coarse subgraph.
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].src != edges[j].src {
 			return edges[i].src < edges[j].src
@@ -212,27 +223,28 @@ func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
 // Collective.
 func ParLift(fine *dgraph.DGraph, coarse *dgraph.DGraph, fineToCoarse []int64, finePart []int64) []int64 {
 	c := fine.Comm
-	size := c.Size()
-	out := make([][]int64, size)
+	sh := mpi.NewSharder(c)
 	seen := hashtab.NewSetI64(int(fine.NLocal()) + 16)
 	for v := int32(0); v < fine.NLocal(); v++ {
 		cu := fineToCoarse[v]
 		if seen.Insert(cu) {
-			o := coarse.Owner(cu)
-			out[o] = append(out[o], cu, finePart[v])
+			sh.Add(coarse.Owner(cu), cu, finePart[v])
 		}
 	}
-	in := c.Alltoallv(out)
 	coarsePart := make([]int64, coarse.NTotal())
-	for _, buf := range in {
-		for i := 0; i+1 < len(buf); i += 2 {
+	sh.Exchange(func(rk int, buf []int64) {
+		if len(buf)%2 != 0 {
+			c.PoisonPeers()
+			panic(fmt.Sprintf("contract: rank %d sent %d words of block assignments (not pairs)", rk, len(buf)))
+		}
+		for i := 0; i < len(buf); i += 2 {
 			lu, ok := coarse.ToLocal(buf[i])
 			if !ok || coarse.IsGhost(lu) {
 				continue
 			}
 			coarsePart[lu] = buf[i+1]
 		}
-	}
+	})
 	coarse.SyncGhosts(coarsePart)
 	return coarsePart
 }

@@ -45,6 +45,11 @@ type Progress struct {
 	Cut       int64
 	Imbalance float64
 	Elapsed   time.Duration
+	// CommMsgs and CommBytes are the whole-world traffic accumulated since
+	// the run started (a monotone counter snapshot, not a per-phase delta),
+	// so live observers can watch communication volume grow phase by phase.
+	CommMsgs  int64
+	CommBytes int64
 }
 
 // GraphClass selects the coarsening size-constraint factor f (§V-A: 14 on
@@ -246,6 +251,10 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 		}
 		p.Cycles = cfg.VCycles
 		p.Elapsed = time.Since(startAll)
+		// WorldStats reads atomics only — no collective, safe on rank 0 alone.
+		ws := c.WorldStats()
+		p.CommMsgs = ws.MessagesSent
+		p.CommBytes = ws.BytesSent()
 		cfg.OnProgress(p)
 	}
 	var st Stats

@@ -45,10 +45,16 @@ type DGraph struct {
 	ghostOwner  []int32 // owning rank per ghost
 	g2l         *hashtab.MapI64
 
-	// adjRanks[v] lists the distinct ranks owning ghost neighbours of local
-	// node v (nil for non-interface nodes). Used to push label updates only
-	// to PEs that can see them (§IV-A).
-	adjRanks [][]int32
+	// Adjacent-rank lists in CSR form: the distinct ranks owning ghost
+	// neighbours of local node v are adjRankDat[adjRankOff[v]:adjRankOff[v+1]]
+	// (empty for non-interface nodes). Used to push label updates only to
+	// PEs that can see them (§IV-A).
+	adjRankOff []int32
+	adjRankDat []int32
+
+	// plan is the precomputed halo-exchange plan (see plan.go), built once
+	// in finalize().
+	plan *ExchangePlan
 }
 
 // UniformVtxDist splits n nodes into size contiguous chunks of nearly equal
@@ -135,9 +141,11 @@ func (d *DGraph) internGhost(gu int64) int32 {
 	return lu
 }
 
-// finalize computes the per-node adjacent-rank lists.
+// finalize computes the per-node adjacent-rank lists and derives the
+// level's halo-exchange plan. Collective (plan construction verifies the
+// rank topology).
 func (d *DGraph) finalize() {
-	d.adjRanks = make([][]int32, d.nLocal)
+	d.adjRankOff = make([]int32, d.nLocal+1)
 	var scratch []int32
 	for v := int32(0); v < d.nLocal; v++ {
 		scratch = scratch[:0]
@@ -146,18 +154,21 @@ func (d *DGraph) finalize() {
 				scratch = append(scratch, d.ghostOwner[u-d.nLocal])
 			}
 		}
+		d.adjRankOff[v+1] = d.adjRankOff[v]
 		if len(scratch) == 0 {
 			continue
 		}
 		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
-		uniq := scratch[:1]
-		for _, r := range scratch[1:] {
-			if r != uniq[len(uniq)-1] {
-				uniq = append(uniq, r)
+		prev := int32(-1)
+		for _, r := range scratch {
+			if r != prev {
+				d.adjRankDat = append(d.adjRankDat, r)
+				d.adjRankOff[v+1]++
+				prev = r
 			}
 		}
-		d.adjRanks[v] = append([]int32(nil), uniq...)
 	}
+	d.buildPlan()
 }
 
 // NLocal returns the number of nodes this rank owns.
@@ -177,12 +188,14 @@ func (d *DGraph) IsGhost(v int32) bool { return v >= d.nLocal }
 
 // IsInterface reports whether local node v has a neighbour on another rank.
 func (d *DGraph) IsInterface(v int32) bool {
-	return v < d.nLocal && d.adjRanks[v] != nil
+	return v < d.nLocal && d.adjRankOff[v+1] > d.adjRankOff[v]
 }
 
 // AdjacentRanks returns the ranks owning ghost neighbours of local node v
-// (nil for interior nodes). The slice must not be modified.
-func (d *DGraph) AdjacentRanks(v int32) []int32 { return d.adjRanks[v] }
+// (empty for interior nodes). The slice must not be modified.
+func (d *DGraph) AdjacentRanks(v int32) []int32 {
+	return d.adjRankDat[d.adjRankOff[v]:d.adjRankOff[v+1]]
+}
 
 // ToGlobal converts a local ID (local node or ghost) to its global ID.
 func (d *DGraph) ToGlobal(v int32) int64 {
@@ -300,7 +313,11 @@ func (d *DGraph) Validate() error {
 
 // LookupI64 answers point queries against a distributed per-local-node
 // array: queries are global node IDs, and the result holds, for each query,
-// vals[q - ownerFirst] read on q's owner. Collective: all ranks must call.
+// vals[q - ownerFirst] read on q's owner. Queries may target any rank (not
+// just plan neighbors — uncoarsening projection asks arbitrary coarse
+// owners), so the exchange is a dense all-to-all, but it runs on the
+// pooled-buffer collective so received payloads are recycled. Collective:
+// all ranks must call.
 func (d *DGraph) LookupI64(vals []int64, queries []int64) []int64 {
 	size := d.Comm.Size()
 	// Group queries by owner, remembering the original position.
@@ -311,34 +328,64 @@ func (d *DGraph) LookupI64(vals []int64, queries []int64) []int64 {
 		byOwner[o] = append(byOwner[o], q)
 		posByOwner[o] = append(posByOwner[o], int32(qi))
 	}
-	incoming := d.Comm.Alltoallv(byOwner)
 	// Answer what we own.
 	replies := make([][]int64, size)
 	lo := d.FirstGlobal()
-	for r, qs := range incoming {
+	d.Comm.AlltoallvFunc(byOwner, func(r int, qs []int64) {
 		if len(qs) == 0 {
-			continue
+			return
 		}
 		ans := make([]int64, len(qs))
 		for i, q := range qs {
 			ans[i] = vals[q-lo]
 		}
 		replies[r] = ans
-	}
-	answered := d.Comm.Alltoallv(replies)
+	})
 	out := make([]int64, len(queries))
-	for r := 0; r < size; r++ {
-		for i, pos := range posByOwner[r] {
-			out[pos] = answered[r][i]
+	d.Comm.AlltoallvFunc(replies, func(r int, ans []int64) {
+		if len(ans) != len(posByOwner[r]) {
+			d.Comm.PoisonPeers()
+			panic(fmt.Sprintf("dgraph: rank %d answered %d of %d queries",
+				r, len(ans), len(posByOwner[r])))
 		}
-	}
+		for i, pos := range posByOwner[r] {
+			out[pos] = ans[i]
+		}
+	})
 	return out
 }
 
 // SyncGhosts overwrites the ghost tail of vals (indices NLocal()..NTotal())
 // with the owners' current local values. vals must have NTotal() entries.
-// Collective.
+// The exchange follows the precomputed plan: values only (both sides know
+// the wire order), adjacent ranks only, staging buffers reused. Collective.
 func (d *DGraph) SyncGhosts(vals []int64) {
+	p := d.plan
+	for i := range p.nbrs {
+		buf := p.sendBuf[i][:0]
+		for _, v := range p.sendVtx[p.sendOff[i]:p.sendOff[i+1]] {
+			buf = append(buf, vals[v])
+		}
+		p.sendBuf[i] = buf
+	}
+	p.topo.NeighborAlltoallv(p.sendBuf, func(i int, data []int64) {
+		ghosts := p.recvGhost[p.recvOff[i]:p.recvOff[i+1]]
+		if len(data) != len(ghosts) {
+			d.Comm.PoisonPeers()
+			panic(fmt.Sprintf("dgraph: ghost sync from rank %d carried %d values for %d ghosts",
+				p.nbrs[i], len(data), len(ghosts)))
+		}
+		for j, g := range ghosts {
+			vals[g] = data[j]
+		}
+	})
+	p.resetStaging()
+}
+
+// syncGhostsDense is the pre-plan implementation (point queries through the
+// dense all-to-all). It is retained as the test oracle the plan-based path
+// is verified against.
+func (d *DGraph) syncGhostsDense(vals []int64) {
 	answers := d.LookupI64(vals[:d.nLocal], d.ghostGlobal)
 	copy(vals[d.nLocal:], answers)
 }
@@ -346,13 +393,67 @@ func (d *DGraph) SyncGhosts(vals []int64) {
 // PushGhosts propagates updated values of the given changed local interface
 // nodes to the ranks holding them as ghosts, updating their vals arrays in
 // place. Nodes in changed that are not interface nodes are skipped. This is
-// the update-exchange from §IV-A, realized as one sparse all-to-all per
-// phase. Collective.
+// the update-exchange from §IV-A, realized as one sparse neighborhood
+// exchange per phase. Collective.
 func (d *DGraph) PushGhosts(vals []int64, changed []int32) {
+	d.PushGhostsFunc(vals, changed, nil)
+}
+
+// PushGhostsFunc is PushGhosts with an update hook: when onUpdate is
+// non-nil it is invoked for every ghost whose value actually changes,
+// before the write, with the ghost's local ID and the old and new values.
+// Label propagation uses it to migrate locally tracked cluster weights.
+//
+// Wire protocol: for each changed vertex v and each adjacent rank, the
+// plan's staging receives the pair (position of v in that neighbor's send
+// list, vals[v]). A malformed incoming buffer — odd length or an
+// out-of-range position — poisons the peers and panics loudly instead of
+// being silently truncated. Collective.
+func (d *DGraph) PushGhostsFunc(vals []int64, changed []int32, onUpdate func(ghost int32, old, new int64)) {
+	p := d.plan
+	p.resetStaging()
+	for _, v := range changed {
+		base := d.adjRankOff[v]
+		for j := base; j < d.adjRankOff[v+1]; j++ {
+			packed := p.adjPlan[j]
+			slot := packed >> 32
+			pos := packed & 0xffffffff
+			p.sendBuf[slot] = append(p.sendBuf[slot], pos, vals[v])
+		}
+	}
+	p.topo.NeighborAlltoallv(p.sendBuf, func(i int, data []int64) {
+		if len(data)%2 != 0 {
+			d.Comm.PoisonPeers()
+			panic(fmt.Sprintf("dgraph: ghost push from rank %d carried %d words (odd, not (pos, value) pairs)",
+				p.nbrs[i], len(data)))
+		}
+		ghosts := p.recvGhost[p.recvOff[i]:p.recvOff[i+1]]
+		for j := 0; j < len(data); j += 2 {
+			pos := data[j]
+			if pos < 0 || pos >= int64(len(ghosts)) {
+				d.Comm.PoisonPeers()
+				panic(fmt.Sprintf("dgraph: ghost push from rank %d names position %d of %d",
+					p.nbrs[i], pos, len(ghosts)))
+			}
+			g := ghosts[pos]
+			nv := data[j+1]
+			if onUpdate != nil && vals[g] != nv {
+				onUpdate(g, vals[g], nv)
+			}
+			vals[g] = nv
+		}
+	})
+	p.resetStaging()
+}
+
+// pushGhostsDense is the pre-plan implementation ((globalID, value) pairs
+// over the dense all-to-all, silently skipping unknown IDs). It is retained
+// as the test oracle the plan-based path is verified against.
+func (d *DGraph) pushGhostsDense(vals []int64, changed []int32) {
 	size := d.Comm.Size()
 	out := make([][]int64, size)
 	for _, v := range changed {
-		for _, r := range d.adjRanks[v] {
+		for _, r := range d.AdjacentRanks(v) {
 			out[r] = append(out[r], d.ToGlobal(v), vals[v])
 		}
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/matchbase"
+	"repro/internal/mpi"
 	"repro/internal/partition"
 )
 
@@ -106,6 +107,11 @@ type AlgoStats struct {
 	BestCut      int64
 	AvgImbalance float64
 	AvgTime      time.Duration
+	// CommMsgs and CommBytes are the per-repetition average simulated-rank
+	// traffic, so BENCH_*.json trajectories can record communication-volume
+	// regressions alongside quality drift.
+	CommMsgs  int64
+	CommBytes int64
 	// Feasible reports whether every repetition respected the hard balance
 	// bound Lmax; WorstOverload is the largest observed excess over Lmax
 	// (0 when Feasible). Recording both lets BENCH_*.json trajectories
@@ -138,17 +144,19 @@ func (a AlgoStats) timeString() string {
 }
 
 // runner executes one partitioning attempt and returns the partition it
-// produced; the harness evaluates quality itself.
-type runner func(g *graph.Graph, seed uint64) (part []int32, elapsed time.Duration, err error)
+// produced plus the simulated-rank traffic of the run; the harness
+// evaluates quality itself.
+type runner func(g *graph.Graph, seed uint64) (part []int32, elapsed time.Duration, comm mpi.Stats, err error)
 
 func repeat(g *graph.Graph, k int32, eps float64, reps int, r runner) AlgoStats {
 	var st AlgoStats
 	var sumCut, sumImb float64
 	var sumTime time.Duration
+	var sumComm mpi.Stats
 	st.BestCut = int64(1) << 62
 	st.Feasible = true
 	for i := 0; i < reps; i++ {
-		part, elapsed, err := r(g, uint64(i+1))
+		part, elapsed, comm, err := r(g, uint64(i+1))
 		if err != nil {
 			st.Failed = true
 			st.Reason = err.Error()
@@ -158,6 +166,7 @@ func repeat(g *graph.Graph, k int32, eps float64, reps int, r runner) AlgoStats 
 		cut := partition.EdgeCut(g, part)
 		sumCut += float64(cut)
 		sumTime += elapsed
+		sumComm.Add(comm)
 		if cut < st.BestCut {
 			st.BestCut = cut
 		}
@@ -182,6 +191,8 @@ func repeat(g *graph.Graph, k int32, eps float64, reps int, r runner) AlgoStats 
 	st.AvgCut = sumCut / float64(reps)
 	st.AvgImbalance = sumImb / float64(reps)
 	st.AvgTime = sumTime / time.Duration(reps)
+	st.CommMsgs = sumComm.MessagesSent / int64(reps)
+	st.CommBytes = sumComm.BytesSent() / int64(reps)
 	return st
 }
 
@@ -235,36 +246,36 @@ func RunTable(opt TableOptions) []TableRow {
 				budget = floor
 			}
 		}
-		row.Baseline = repeat(g, opt.K, opt.Eps, opt.Reps, func(g *graph.Graph, seed uint64) ([]int32, time.Duration, error) {
+		row.Baseline = repeat(g, opt.K, opt.Eps, opt.Reps, func(g *graph.Graph, seed uint64) ([]int32, time.Duration, mpi.Stats, error) {
 			cfg := matchbase.DefaultConfig(opt.K)
 			cfg.Eps = opt.Eps
 			cfg.Seed = seed
 			cfg.MemoryBudgetNodes = budget
 			res, err := matchbase.Run(opt.PEs, g, cfg)
 			if err != nil {
-				return nil, 0, err
+				return nil, 0, mpi.Stats{}, err
 			}
-			return res.Part, res.Stats.TotalTime, nil
+			return res.Part, res.Stats.TotalTime, res.Stats.Comm, nil
 		})
-		row.Fast = repeat(g, opt.K, opt.Eps, opt.Reps, func(g *graph.Graph, seed uint64) ([]int32, time.Duration, error) {
+		row.Fast = repeat(g, opt.K, opt.Eps, opt.Reps, func(g *graph.Graph, seed uint64) ([]int32, time.Duration, mpi.Stats, error) {
 			cfg := core.FastConfig(opt.K, inst.Class)
 			cfg.Eps = opt.Eps
 			cfg.Seed = seed
 			res, err := core.Run(opt.PEs, g, cfg)
 			if err != nil {
-				return nil, 0, err
+				return nil, 0, mpi.Stats{}, err
 			}
-			return res.Part, res.Stats.TotalTime, nil
+			return res.Part, res.Stats.TotalTime, res.Stats.Comm, nil
 		})
-		row.Eco = repeat(g, opt.K, opt.Eps, opt.Reps, func(g *graph.Graph, seed uint64) ([]int32, time.Duration, error) {
+		row.Eco = repeat(g, opt.K, opt.Eps, opt.Reps, func(g *graph.Graph, seed uint64) ([]int32, time.Duration, mpi.Stats, error) {
 			cfg := core.EcoConfig(opt.K, inst.Class)
 			cfg.Eps = opt.Eps
 			cfg.Seed = seed
 			res, err := core.Run(opt.PEs, g, cfg)
 			if err != nil {
-				return nil, 0, err
+				return nil, 0, mpi.Stats{}, err
 			}
-			return res.Part, res.Stats.TotalTime, nil
+			return res.Part, res.Stats.TotalTime, res.Stats.Comm, nil
 		})
 		rows = append(rows, row)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/mpi"
 )
 
 func TestBenchmarkSetShape(t *testing.T) {
@@ -61,9 +62,9 @@ func TestRepeatAggregates(t *testing.T) {
 		}
 	}
 	calls := 0
-	st := repeat(g, 2, 0.03, 3, func(_ *graph.Graph, seed uint64) ([]int32, time.Duration, error) {
+	st := repeat(g, 2, 0.03, 3, func(_ *graph.Graph, seed uint64) ([]int32, time.Duration, mpi.Stats, error) {
 		calls++
-		return balanced, 0, nil
+		return balanced, 0, mpi.Stats{MessagesSent: 6, WordsSent: 12}, nil
 	})
 	if calls != 3 {
 		t.Fatalf("runner called %d times", calls)
@@ -74,9 +75,12 @@ func TestRepeatAggregates(t *testing.T) {
 	if st.Failed || !st.Feasible || st.WorstOverload != 0 {
 		t.Fatalf("balanced run misreported: %+v", st)
 	}
+	if st.CommMsgs != 6 || st.CommBytes != 12*8 {
+		t.Fatalf("comm aggregation: msgs=%d bytes=%d, want 6 and 96", st.CommMsgs, st.CommBytes)
+	}
 
-	st = repeat(g, 2, 0.03, 2, func(_ *graph.Graph, seed uint64) ([]int32, time.Duration, error) {
-		return skewed, 0, nil
+	st = repeat(g, 2, 0.03, 2, func(_ *graph.Graph, seed uint64) ([]int32, time.Duration, mpi.Stats, error) {
+		return skewed, 0, mpi.Stats{}, nil
 	})
 	if st.Feasible || st.WorstOverload != 3 {
 		t.Fatalf("skewed run: feasible=%v overload=%d, want false,3", st.Feasible, st.WorstOverload)

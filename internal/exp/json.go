@@ -27,8 +27,13 @@ type Record struct {
 	Feasible      bool    `json:"feasible"`
 	WorstOverload int64   `json:"worst_overload"`
 	Seconds       float64 `json:"seconds"`
-	Failed        bool    `json:"failed,omitempty"`
-	Reason        string  `json:"reason,omitempty"`
+	// CommMsgs/CommBytes are the per-repetition average message count and
+	// wire volume across the simulated ranks. Always emitted so the bench
+	// trajectory records communication regressions, not just quality drift.
+	CommMsgs  int64  `json:"comm_msgs"`
+	CommBytes int64  `json:"comm_bytes"`
+	Failed    bool   `json:"failed,omitempty"`
+	Reason    string `json:"reason,omitempty"`
 }
 
 // Records flattens table rows into one Record per (instance, algorithm).
@@ -62,6 +67,8 @@ func Records(experiment string, k int32, pes int, rows []TableRow) []Record {
 				rec.Feasible = a.st.Feasible
 				rec.WorstOverload = a.st.WorstOverload
 				rec.Seconds = a.st.AvgTime.Seconds()
+				rec.CommMsgs = a.st.CommMsgs
+				rec.CommBytes = a.st.CommBytes
 			}
 			out = append(out, rec)
 		}

@@ -105,6 +105,7 @@ type Stats struct {
 	Imbalance float64
 	Feasible  bool
 	TotalTime time.Duration
+	Comm      mpi.Stats // whole-world traffic (filled by Run)
 }
 
 // parallelHeavyEdgeMatching computes a heavy-edge matching in two stages,
@@ -120,7 +121,6 @@ type Stats struct {
 // unmatched nodes as singletons.
 func parallelHeavyEdgeMatching(d *dgraph.DGraph, maxWeight int64, r *rng.RNG) []int64 {
 	nl := d.NLocal()
-	c := d.Comm
 	labels := make([]int64, d.NTotal())
 	for v := int32(0); v < d.NTotal(); v++ {
 		labels[v] = d.ToGlobal(v)
@@ -164,11 +164,13 @@ func parallelHeavyEdgeMatching(d *dgraph.DGraph, maxWeight int64, r *rng.RNG) []
 		labels[best] = gv
 	}
 
-	// Stage 2: cross-rank handshake. Proposals carry (proposer, target,
-	// combined weight); owners accept greedily in (target, proposer) order
-	// for determinism across runs.
-	size := c.Size()
-	proposals := make([][]int64, size)
+	// Stage 2: cross-rank handshake over the halo-exchange plan's sparse
+	// neighborhood topology — proposals target ghost owners and acceptances
+	// return to proposer owners, both adjacent ranks by construction, so no
+	// message touches a non-adjacent PE. Proposals carry (proposer, target);
+	// owners accept greedily in (target, proposer) order for determinism
+	// across runs.
+	plan := d.Plan()
 	for _, v := range order {
 		if matched[v] {
 			continue
@@ -190,24 +192,25 @@ func parallelHeavyEdgeMatching(d *dgraph.DGraph, maxWeight int64, r *rng.RNG) []
 		if best < 0 {
 			continue
 		}
-		o := int(d.GhostOwner(best))
-		proposals[o] = append(proposals[o], d.ToGlobal(v), d.ToGlobal(best))
+		plan.AddToRank(d.GhostOwner(best), d.ToGlobal(v), d.ToGlobal(best))
 	}
-	incoming := c.Alltoallv(proposals)
 	// Flatten and sort incoming proposals deterministically.
 	var all []proposal
-	for _, buf := range incoming {
-		for i := 0; i+1 < len(buf); i += 2 {
+	plan.Exchange(func(src int32, buf []int64) {
+		if len(buf)%2 != 0 {
+			d.Comm.PoisonPeers()
+			panic(fmt.Sprintf("matchbase: rank %d sent %d words of proposals (not pairs)", src, len(buf)))
+		}
+		for i := 0; i < len(buf); i += 2 {
 			all = append(all, proposal{buf[i], buf[i+1]})
 		}
-	}
+	})
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].target != all[j].target {
 			return all[i].target < all[j].target
 		}
 		return all[i].proposer < all[j].proposer
 	})
-	accepts := make([][]int64, size)
 	for _, p := range all {
 		lu, ok := d.ToLocal(p.target)
 		if !ok || lu >= nl || matched[lu] {
@@ -219,18 +222,21 @@ func parallelHeavyEdgeMatching(d *dgraph.DGraph, maxWeight int64, r *rng.RNG) []
 			label = p.target
 		}
 		labels[lu] = label
-		accepts[d.Owner(p.proposer)] = append(accepts[d.Owner(p.proposer)], p.proposer, label)
+		plan.AddToRank(int32(d.Owner(p.proposer)), p.proposer, label)
 	}
-	acked := c.Alltoallv(accepts)
-	for _, buf := range acked {
-		for i := 0; i+1 < len(buf); i += 2 {
+	plan.Exchange(func(src int32, buf []int64) {
+		if len(buf)%2 != 0 {
+			d.Comm.PoisonPeers()
+			panic(fmt.Sprintf("matchbase: rank %d sent %d words of acceptances (not pairs)", src, len(buf)))
+		}
+		for i := 0; i < len(buf); i += 2 {
 			lu, ok := d.ToLocal(buf[i])
 			if ok && lu < nl {
 				matched[lu] = true
 				labels[lu] = buf[i+1]
 			}
 		}
-	}
+	})
 	return labels
 }
 
@@ -398,6 +404,7 @@ func RunCtx(ctx context.Context, P int, g *graph.Graph, cfg Config) (Result, err
 					gv++
 				}
 			}
+			st.Comm = world.TotalStats()
 			res = Result{Part: full, Stats: st}
 		} else if err == nil {
 			d.Comm.Allgatherv(part[:d.NLocal()])

@@ -13,10 +13,17 @@
 //   - Collectives: Barrier, Bcast, Gather, Allgatherv, Reduce variants,
 //     Allreduce variants, exclusive prefix sum (ExScan) and sparse
 //     Alltoallv, all built on point-to-point messages.
+//   - Neighborhood collectives: a Topology fixes a sparse, symmetric
+//     communication graph over the ranks once, and NeighborAlltoallv then
+//     exchanges data with adjacent ranks only (the analogue of
+//     MPI_Neighbor_alltoallv). Halo exchanges run on these.
 //
 // Every payload is a []int64; senders' slices are copied, modelling
-// serialization. Per-rank counters record message and word volume so
-// experiments can report communication cost.
+// serialization. Staging copies come from a world-level buffer pool, and
+// the callback-style collectives (AlltoallvFunc, NeighborAlltoallv) recycle
+// received buffers back into it, keeping steady-state exchanges
+// allocation-free. Per-rank counters record message and word volume by
+// traffic class so experiments can report communication cost.
 package mpi
 
 import (
@@ -37,58 +44,85 @@ const (
 	kindPoison
 )
 
-type message struct {
-	kind msgKind
-	tag  int
-	data []int64
-}
+// commClass buckets traffic for the per-class Stats counters.
+type commClass uint8
+
+const (
+	classP2P  commClass = iota // user point-to-point sends
+	classColl                  // dense collectives (barrier, reduce, alltoallv, ...)
+	classNbr                   // sparse neighborhood collectives (Topology)
+	numClasses
+)
 
 // abortSignal is the panic payload of a cooperative world abort. World.Run
 // recognizes it and swallows it instead of re-raising: an aborted rank is an
 // expected unwinding, not a crash.
 type abortSignal struct{}
 
-// mailbox is an unbounded FIFO queue for one (dst, src) pair.
+// popKey identifies one receive queue inside a mailbox.
+type popKey struct {
+	kind msgKind
+	tag  int
+}
+
+// mailbox holds the pending messages for one (dst, src) pair, bucketed into
+// per-(kind, tag) FIFO queues so a receive is a map lookup instead of a
+// linear scan over unrelated traffic. Messages within one (kind, tag) bucket
+// keep their arrival order, which preserves the substrate's in-order
+// delivery guarantee per (src, dst, tag).
 type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	q       []message
-	aborted *atomic.Bool // the owning world's abort flag
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[popKey][][]int64
+	poisoned bool
+	aborted  *atomic.Bool // the owning world's abort flag
 }
 
 func newMailbox(aborted *atomic.Bool) *mailbox {
-	mb := &mailbox{aborted: aborted}
+	mb := &mailbox{aborted: aborted, queues: make(map[popKey][][]int64)}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
-func (mb *mailbox) push(m message) {
+func (mb *mailbox) push(kind msgKind, tag int, data []int64) {
 	mb.mu.Lock()
-	mb.q = append(mb.q, m)
+	if kind == kindPoison {
+		mb.poisoned = true
+	} else {
+		k := popKey{kind, tag}
+		mb.queues[k] = append(mb.queues[k], data)
+	}
+	// Each mailbox has a single consumer (the owning rank's goroutine), so
+	// Signal suffices; Abort broadcasts separately.
 	mb.cond.Signal()
 	mb.mu.Unlock()
 }
 
 // pop removes and returns the first queued message with the given kind and
-// tag, blocking until one arrives. A queued poison message takes priority
-// and panics the receiver.
-func (mb *mailbox) pop(kind msgKind, tag int) message {
+// tag, blocking until one arrives. A poisoned mailbox panics the receiver.
+func (mb *mailbox) pop(kind msgKind, tag int) []int64 {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	k := popKey{kind, tag}
 	for {
 		if mb.aborted.Load() {
 			// The deferred Unlock releases the mutex during panic.
 			panic(abortSignal{})
 		}
-		for i, m := range mb.q {
-			if m.kind == kindPoison {
-				// The deferred Unlock releases the mutex during panic.
-				panic("mpi: peer rank reported a fatal error (poisoned)")
+		if mb.poisoned {
+			// The deferred Unlock releases the mutex during panic.
+			panic("mpi: peer rank reported a fatal error (poisoned)")
+		}
+		if q := mb.queues[k]; len(q) > 0 {
+			data := q[0]
+			if len(q) == 1 {
+				// Tags are fresh per collective, so drop drained buckets to
+				// keep the map from accumulating dead keys.
+				delete(mb.queues, k)
+			} else {
+				mb.queues[k] = q[1:]
 			}
-			if m.kind == kind && m.tag == tag {
-				mb.q = append(mb.q[:i], mb.q[i+1:]...)
-				return m
-			}
+			return data
 		}
 		mb.cond.Wait()
 	}
@@ -96,31 +130,120 @@ func (mb *mailbox) pop(kind msgKind, tag int) message {
 
 // tryPop removes and returns the first queued message with the given kind
 // and tag without blocking.
-func (mb *mailbox) tryPop(kind msgKind, tag int) (message, bool) {
+func (mb *mailbox) tryPop(kind msgKind, tag int) ([]int64, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for i, m := range mb.q {
-		if m.kind == kind && m.tag == tag {
-			mb.q = append(mb.q[:i], mb.q[i+1:]...)
-			return m, true
-		}
+	k := popKey{kind, tag}
+	q := mb.queues[k]
+	if len(q) == 0 {
+		return nil, false
 	}
-	return message{}, false
+	data := q[0]
+	if len(q) == 1 {
+		delete(mb.queues, k)
+	} else {
+		mb.queues[k] = q[1:]
+	}
+	return data, true
 }
 
-// Stats counts traffic originating at one rank.
+// Stats counts traffic originating at one rank (or, after summing, a whole
+// world). MessagesSent/WordsSent are totals; the per-class fields break the
+// same traffic down by collective class, and the *Exchanges fields count
+// completed all-to-all supersteps per class.
 type Stats struct {
 	MessagesSent int64
 	WordsSent    int64 // 8-byte words
+
+	// Per-class breakdown (sums to the totals above).
+	P2PMessages      int64 // user Send/Recv traffic
+	P2PWords         int64
+	CollMessages     int64 // dense collectives over all P ranks
+	CollWords        int64
+	NeighborMessages int64 // sparse neighborhood collectives
+	NeighborWords    int64
+
+	// Superstep counters: completed exchange invocations per class.
+	DenseExchanges    int64 // Alltoallv / AlltoallvFunc calls
+	NeighborExchanges int64 // Topology.NeighborAlltoallv calls
+}
+
+// BytesSent converts the word counter to bytes (every payload word is 8
+// bytes on the wire).
+func (s Stats) BytesSent() int64 { return s.WordsSent * 8 }
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.MessagesSent += o.MessagesSent
+	s.WordsSent += o.WordsSent
+	s.P2PMessages += o.P2PMessages
+	s.P2PWords += o.P2PWords
+	s.CollMessages += o.CollMessages
+	s.CollWords += o.CollWords
+	s.NeighborMessages += o.NeighborMessages
+	s.NeighborWords += o.NeighborWords
+	s.DenseExchanges += o.DenseExchanges
+	s.NeighborExchanges += o.NeighborExchanges
+}
+
+// rankCounters holds one rank's traffic counters (atomics: sends happen on
+// the rank's goroutine but TotalStats may read concurrently).
+type rankCounters struct {
+	msgs      [numClasses]atomic.Int64
+	words     [numClasses]atomic.Int64
+	denseExch atomic.Int64
+	nbrExch   atomic.Int64
 }
 
 // World owns the mailboxes and statistics for a set of ranks.
 type World struct {
-	size    int
-	boxes   [][]*mailbox // boxes[dst][src]
-	msgs    []atomic.Int64
-	words   []atomic.Int64
-	aborted atomic.Bool
+	size     int
+	boxes    [][]*mailbox // boxes[dst][src]
+	counters []rankCounters
+	pairMsgs []atomic.Int64 // messages sent src->dst, at [src*size+dst]
+	aborted  atomic.Bool
+
+	// bufMu/bufFree is a free list of payload buffers. Sends draw staging
+	// copies from it; only the pooled receive paths (AlltoallvFunc,
+	// Topology.NeighborAlltoallv) return buffers, so a buffer handed to a
+	// plain Recv caller simply leaves the pool for good.
+	bufMu   sync.Mutex
+	bufFree [][]int64
+}
+
+// maxPooledBuffers bounds the free list; maxPooledCap keeps pathologically
+// large one-off payloads from being retained forever.
+const (
+	maxPooledBuffers = 1024
+	maxPooledCap     = 1 << 20
+)
+
+// getBuf returns a length-n buffer, reusing a pooled one when possible.
+func (w *World) getBuf(n int) []int64 {
+	w.bufMu.Lock()
+	for len(w.bufFree) > 0 {
+		b := w.bufFree[len(w.bufFree)-1]
+		w.bufFree = w.bufFree[:len(w.bufFree)-1]
+		if cap(b) >= n {
+			w.bufMu.Unlock()
+			return b[:n]
+		}
+		// Too small for this request; drop it and try the next.
+	}
+	w.bufMu.Unlock()
+	return make([]int64, n)
+}
+
+// putBuf returns a buffer to the pool. Callers must not retain b afterwards.
+func (w *World) putBuf(b []int64) {
+	if cap(b) == 0 || cap(b) > maxPooledCap {
+		return
+	}
+	w.bufMu.Lock()
+	if len(w.bufFree) < maxPooledBuffers {
+		w.bufFree = append(w.bufFree, b[:0])
+	}
+	w.bufMu.Unlock()
 }
 
 // NewWorld creates a world with the given number of ranks. It panics if
@@ -130,10 +253,10 @@ func NewWorld(size int) *World {
 		panic(fmt.Sprintf("mpi: world size %d < 1", size))
 	}
 	w := &World{
-		size:  size,
-		boxes: make([][]*mailbox, size),
-		msgs:  make([]atomic.Int64, size),
-		words: make([]atomic.Int64, size),
+		size:     size,
+		boxes:    make([][]*mailbox, size),
+		counters: make([]rankCounters, size),
+		pairMsgs: make([]atomic.Int64, size*size),
 	}
 	for d := range w.boxes {
 		w.boxes[d] = make([]*mailbox, size)
@@ -142,6 +265,13 @@ func NewWorld(size int) *World {
 		}
 	}
 	return w
+}
+
+// PairMessages returns the number of messages sent from src to dst so far.
+// Tests use it to assert sparse collectives keep non-adjacent rank pairs
+// silent.
+func (w *World) PairMessages(src, dst int) int64 {
+	return w.pairMsgs[src*w.size+dst].Load()
 }
 
 // Abort requests a cooperative shutdown of the whole world: every rank
@@ -222,12 +352,29 @@ func (w *World) Run(fn func(c *Comm)) {
 	}
 }
 
+// statsOf assembles the Stats snapshot of one rank.
+func (w *World) statsOf(r int) Stats {
+	c := &w.counters[r]
+	s := Stats{
+		P2PMessages:       c.msgs[classP2P].Load(),
+		P2PWords:          c.words[classP2P].Load(),
+		CollMessages:      c.msgs[classColl].Load(),
+		CollWords:         c.words[classColl].Load(),
+		NeighborMessages:  c.msgs[classNbr].Load(),
+		NeighborWords:     c.words[classNbr].Load(),
+		DenseExchanges:    c.denseExch.Load(),
+		NeighborExchanges: c.nbrExch.Load(),
+	}
+	s.MessagesSent = s.P2PMessages + s.CollMessages + s.NeighborMessages
+	s.WordsSent = s.P2PWords + s.CollWords + s.NeighborWords
+	return s
+}
+
 // TotalStats sums the per-rank statistics.
 func (w *World) TotalStats() Stats {
 	var s Stats
 	for r := 0; r < w.size; r++ {
-		s.MessagesSent += w.msgs[r].Load()
-		s.WordsSent += w.words[r].Load()
+		s.Add(w.statsOf(r))
 	}
 	return s
 }
@@ -261,29 +408,40 @@ func (c *Comm) CheckAbort() {
 func (c *Comm) Size() int { return c.world.size }
 
 // Stats returns the traffic counters for this rank.
-func (c *Comm) Stats() Stats {
-	return Stats{
-		MessagesSent: c.world.msgs[c.rank].Load(),
-		WordsSent:    c.world.words[c.rank].Load(),
-	}
-}
+func (c *Comm) Stats() Stats { return c.world.statsOf(c.rank) }
 
-func (c *Comm) send(dst int, kind msgKind, tag int, data []int64) {
+// WorldStats sums the traffic counters of every rank in the world. Unlike a
+// collective it reads atomics only, so any rank (or an outside observer
+// goroutine) may call it at any time; the snapshot is monotone but not a
+// consistent cut.
+func (c *Comm) WorldStats() Stats { return c.world.TotalStats() }
+
+func (c *Comm) sendClass(dst int, kind msgKind, tag int, data []int64, class commClass) {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("mpi: send to rank %d outside world of size %d", dst, c.world.size))
 	}
-	cp := make([]int64, len(data))
+	cp := c.world.getBuf(len(data))
 	copy(cp, data)
-	c.world.msgs[c.rank].Add(1)
-	c.world.words[c.rank].Add(int64(len(data)))
-	c.world.boxes[dst][c.rank].push(message{kind: kind, tag: tag, data: cp})
+	ctr := &c.world.counters[c.rank]
+	ctr.msgs[class].Add(1)
+	ctr.words[class].Add(int64(len(data)))
+	c.world.pairMsgs[c.rank*c.world.size+dst].Add(1)
+	c.world.boxes[dst][c.rank].push(kind, tag, cp)
+}
+
+func (c *Comm) send(dst int, kind msgKind, tag int, data []int64) {
+	class := classColl
+	if kind == kindUser {
+		class = classP2P
+	}
+	c.sendClass(dst, kind, tag, data, class)
 }
 
 func (c *Comm) recv(src int, kind msgKind, tag int) []int64 {
 	if src < 0 || src >= c.world.size {
 		panic(fmt.Sprintf("mpi: recv from rank %d outside world of size %d", src, c.world.size))
 	}
-	return c.world.boxes[c.rank][src].pop(kind, tag).data
+	return c.world.boxes[c.rank][src].pop(kind, tag)
 }
 
 // Send delivers data to dst with a user tag. It never blocks. The slice is
@@ -298,16 +456,15 @@ func (c *Comm) Recv(src, tag int) []int64 { return c.recv(src, kindUser, tag) }
 // ok=false without blocking. It models MPI_Iprobe + MPI_Recv, which the
 // evolutionary algorithm uses to pick up migrants opportunistically.
 func (c *Comm) TryRecv(src, tag int) ([]int64, bool) {
-	m, ok := c.world.boxes[c.rank][src].tryPop(kindUser, tag)
-	return m.data, ok
+	return c.world.boxes[c.rank][src].tryPop(kindUser, tag)
 }
 
 // TryRecvAny returns a queued user message with the given tag from any
 // rank, or ok=false without blocking.
 func (c *Comm) TryRecvAny(tag int) (src int, data []int64, ok bool) {
 	for s := 0; s < c.world.size; s++ {
-		if m, found := c.world.boxes[c.rank][s].tryPop(kindUser, tag); found {
-			return s, m.data, true
+		if data, found := c.world.boxes[c.rank][s].tryPop(kindUser, tag); found {
+			return s, data, true
 		}
 	}
 	return -1, nil, false
@@ -430,7 +587,7 @@ func opMin(a, b []int64) {
 func (c *Comm) PoisonPeers() {
 	for r := 0; r < c.world.size; r++ {
 		if r != c.rank {
-			c.world.boxes[r][c.rank].push(message{kind: kindPoison})
+			c.world.boxes[r][c.rank].push(kindPoison, 0, nil)
 		}
 	}
 }
@@ -512,6 +669,7 @@ func (c *Comm) Alltoallv(out [][]int64) [][]int64 {
 		panic(fmt.Sprintf("mpi: Alltoallv with %d buffers for %d ranks", len(out), c.Size()))
 	}
 	tag := c.nextSeq()
+	c.world.counters[c.rank].denseExch.Add(1)
 	for r := 0; r < c.Size(); r++ {
 		if r == c.rank {
 			continue
@@ -529,6 +687,35 @@ func (c *Comm) Alltoallv(out [][]int64) [][]int64 {
 		in[r] = c.recv(r, kindCollective, tag)
 	}
 	return in
+}
+
+// AlltoallvFunc is the buffer-reusing variant of Alltoallv: out[p] is sent
+// to rank p, and recv is invoked once per source rank (ascending rank order,
+// this rank included) with the payload received from it. The data slice is
+// only valid during the callback — it is returned to the world's buffer
+// pool afterwards (for the self-delivery, data aliases out[rank] directly).
+// Steady-state callers therefore allocate no receive buffers at all.
+func (c *Comm) AlltoallvFunc(out [][]int64, recv func(src int, data []int64)) {
+	if len(out) != c.Size() {
+		panic(fmt.Sprintf("mpi: AlltoallvFunc with %d buffers for %d ranks", len(out), c.Size()))
+	}
+	tag := c.nextSeq()
+	c.world.counters[c.rank].denseExch.Add(1)
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		c.send(r, kindCollective, tag, out[r])
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			recv(r, out[r])
+			continue
+		}
+		data := c.recv(r, kindCollective, tag)
+		recv(r, data)
+		c.world.putBuf(data)
+	}
 }
 
 // BcastI64 broadcasts a single value from root.

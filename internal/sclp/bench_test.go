@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dgraph"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/mpi"
 	"repro/internal/partition"
 )
@@ -47,6 +48,107 @@ func BenchmarkParClusterP4(b *testing.B) {
 			d := dgraph.FromGraph(c, g)
 			ParCluster(d, ParClusterConfig{U: 600, Iterations: 3, DegreeOrder: true, Seed: uint64(i + 1)})
 		})
+	}
+}
+
+// benchGraph is the shared instance for the label-exchange benchmarks: a
+// community graph whose random cross edges give every rank interface nodes
+// towards every other rank.
+func benchExchangeGraph() *graph.Graph {
+	g, _ := gen.PlantedPartition(8000, 50, 8, 0.5, 7)
+	return g
+}
+
+// BenchmarkExchangeLabels measures one plan-based label-exchange superstep
+// (every interface node dirty — the worst case). Compare allocs/op against
+// BenchmarkExchangeLabelsDense: the steady path stages into reusable
+// buffers and recycles message payloads through the world's pool, so it
+// must report a small fraction of the dense baseline's allocations
+// (TestExchangeLabelsAllocRatio enforces >= 5x).
+func BenchmarkExchangeLabels(b *testing.B) {
+	g := benchExchangeGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	mpi.NewWorld(4).Run(func(c *mpi.Comm) {
+		d := dgraph.FromGraph(c, g)
+		labels := make([]int64, d.NTotal())
+		for v := int32(0); v < d.NTotal(); v++ {
+			labels[v] = d.ToGlobal(v)
+		}
+		iface := interfaceNodes(d)
+		ds := newDirtySet(d.NLocal())
+		for i := 0; i < b.N; i++ {
+			for _, v := range iface {
+				ds.add(v)
+			}
+			exchangeLabels(d, labels, nil, ds)
+		}
+	})
+}
+
+// BenchmarkExchangeLabelsDense is the pre-plan baseline: freshly allocated
+// [][]int64 buffers, (globalID, label) pairs over the dense Alltoallv, and
+// hash-lookup decoding. Kept as the allocation yardstick the plan-based
+// path is measured against.
+func BenchmarkExchangeLabelsDense(b *testing.B) {
+	g := benchExchangeGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	mpi.NewWorld(4).Run(func(c *mpi.Comm) {
+		d := dgraph.FromGraph(c, g)
+		labels := make([]int64, d.NTotal())
+		for v := int32(0); v < d.NTotal(); v++ {
+			labels[v] = d.ToGlobal(v)
+		}
+		iface := interfaceNodes(d)
+		for i := 0; i < b.N; i++ {
+			out := make([][]int64, c.Size())
+			for _, v := range iface {
+				for _, rk := range d.AdjacentRanks(v) {
+					out[rk] = append(out[rk], d.ToGlobal(v), labels[v])
+				}
+			}
+			in := c.Alltoallv(out)
+			for _, buf := range in {
+				for j := 0; j+1 < len(buf); j += 2 {
+					lu, ok := d.ToLocal(buf[j])
+					if !ok || !d.IsGhost(lu) {
+						continue
+					}
+					labels[lu] = buf[j+1]
+				}
+			}
+		}
+	})
+}
+
+func interfaceNodes(d *dgraph.DGraph) []int32 {
+	var iface []int32
+	for v := int32(0); v < d.NLocal(); v++ {
+		if d.IsInterface(v) {
+			iface = append(iface, v)
+		}
+	}
+	return iface
+}
+
+// TestExchangeLabelsAllocRatio is the allocation regression guard for the
+// acceptance criterion: the plan-based exchange must report at least 5x
+// fewer allocs/op than the dense baseline.
+func TestExchangeLabelsAllocRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	plan := testing.Benchmark(BenchmarkExchangeLabels)
+	dense := testing.Benchmark(BenchmarkExchangeLabelsDense)
+	pa, da := plan.AllocsPerOp(), dense.AllocsPerOp()
+	t.Logf("allocs/op: plan=%d dense=%d", pa, da)
+	if pa == 0 {
+		return
+	}
+	if da/pa < 5 {
+		t.Errorf("plan-based exchange allocates %d/op vs dense %d/op: ratio %.1f < 5",
+			pa, da, float64(da)/float64(pa))
 	}
 }
 

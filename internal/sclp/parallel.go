@@ -58,7 +58,7 @@ func ParCluster(d *dgraph.DGraph, cfg ParClusterConfig) []int64 {
 	conn := hashtab.NewAccumulatorI64(64)
 
 	order := localOrder(d, cfg.DegreeOrder, r)
-	changedSet := make(map[int32]bool)
+	changedSet := newDirtySet(d.NLocal())
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		if iter > 0 {
@@ -78,7 +78,7 @@ func ParCluster(d *dgraph.DGraph, cfg ParClusterConfig) []int64 {
 				if parMoveNode(d, v, labels, weight, cfg.Constraint, cfg.U, conn, r) {
 					movedLocal++
 					if d.IsInterface(v) {
-						changedSet[v] = true
+						changedSet.add(v)
 					}
 				}
 			}
@@ -164,40 +164,52 @@ func parMoveNode(d *dgraph.DGraph, v int32, labels []int64, weight *hashtab.MapI
 	return true
 }
 
-// exchangeLabels sends (globalID, newLabel) for the changed interface nodes
-// to adjacent PEs and applies incoming updates, moving the ghost's weight
-// between the locally tracked clusters. Collective.
-func exchangeLabels(d *dgraph.DGraph, labels []int64, weight *hashtab.MapI64, changed map[int32]bool) {
-	size := d.Comm.Size()
-	out := make([][]int64, size)
-	for v := range changed {
-		for _, rk := range d.AdjacentRanks(v) {
-			out[rk] = append(out[rk], d.ToGlobal(v), labels[v])
+// dirtySet tracks the interface nodes changed during one phase: a stack
+// preserving (deterministic) insertion order for staging, and a bitset for
+// O(1) dedup. Both are reused across phases without reallocation — the
+// steady superstep path allocates nothing here.
+type dirtySet struct {
+	stack []int32
+	bits  []uint64
+}
+
+func newDirtySet(n int32) *dirtySet {
+	return &dirtySet{bits: make([]uint64, (int(n)+63)/64)}
+}
+
+func (s *dirtySet) add(v int32) {
+	w, b := v>>6, uint64(1)<<(uint(v)&63)
+	if s.bits[w]&b == 0 {
+		s.bits[w] |= b
+		s.stack = append(s.stack, v)
+	}
+}
+
+func (s *dirtySet) reset() {
+	for _, v := range s.stack {
+		s.bits[v>>6] = 0
+	}
+	s.stack = s.stack[:0]
+}
+
+// exchangeLabels pushes the changed interface nodes' labels to the adjacent
+// PEs holding their ghosts (plan-based sparse exchange) and applies the
+// incoming updates, moving each reassigned ghost's weight between the
+// locally tracked clusters when weight is non-nil. The dirty set is drained
+// for the next phase. Collective.
+func exchangeLabels(d *dgraph.DGraph, labels []int64, weight *hashtab.MapI64, changed *dirtySet) {
+	var onUpdate func(ghost int32, old, new int64)
+	if weight != nil {
+		onUpdate = func(ghost int32, old, new int64) {
+			gw := d.NW[ghost]
+			ow, _ := weight.Get(old)
+			weight.Put(old, ow-gw)
+			nw, _ := weight.Get(new)
+			weight.Put(new, nw+gw)
 		}
 	}
-	clear(changed)
-	in := d.Comm.Alltoallv(out)
-	for _, buf := range in {
-		for i := 0; i+1 < len(buf); i += 2 {
-			lu, ok := d.ToLocal(buf[i])
-			if !ok || !d.IsGhost(lu) {
-				continue
-			}
-			old := labels[lu]
-			nl := buf[i+1]
-			if old == nl {
-				continue
-			}
-			if weight != nil {
-				gw := d.NW[lu]
-				ow, _ := weight.Get(old)
-				weight.Put(old, ow-gw)
-				nw, _ := weight.Get(nl)
-				weight.Put(nl, nw+gw)
-			}
-			labels[lu] = nl
-		}
-	}
+	d.PushGhostsFunc(labels, changed.stack, onUpdate)
+	changed.reset()
 }
 
 // ParRefineConfig controls the parallel refinement run (§IV-B,
@@ -246,7 +258,7 @@ func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 	r := rng.New(cfg.Seed).Split(uint64(d.Comm.Rank()))
 	conn := hashtab.NewAccumulatorI64(64)
 	order := localOrder(d, false, r)
-	changedSet := make(map[int32]bool)
+	changedSet := newDirtySet(nl)
 	var totalMoves int64
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
@@ -293,7 +305,7 @@ func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 				if parRefineNode(d, v, part, blockWeight, localContrib, headroom, cfg.Lmax, conn, r) {
 					movedLocal++
 					if d.IsInterface(v) {
-						changedSet[v] = true
+						changedSet.add(v)
 					}
 				}
 			}

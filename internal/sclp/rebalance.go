@@ -43,7 +43,7 @@ func ParRebalance(d *dgraph.DGraph, part []int64, cfg ParRebalanceConfig) (int64
 	headroom := make([]int64, k)
 	demand := make([]int64, k)
 	conn := hashtab.NewAccumulatorI64(64)
-	changedSet := make(map[int32]bool)
+	changedSet := newDirtySet(nl)
 	var totalMoves int64
 
 	feasible := func() bool {
@@ -135,7 +135,7 @@ type rebalanceCandidate struct {
 // localContrib are updated with the local view of the moves.
 func rebalanceRound(d *dgraph.DGraph, part []int64,
 	blockWeight, localContrib, headroom, quota []int64, lmax int64,
-	conn *hashtab.AccumulatorI64, changedSet map[int32]bool) int64 {
+	conn *hashtab.AccumulatorI64, changedSet *dirtySet) int64 {
 
 	nl := d.NLocal()
 	var cands []rebalanceCandidate
@@ -221,7 +221,7 @@ func rebalanceRound(d *dgraph.DGraph, part []int64,
 		part[v] = best
 		moved++
 		if d.IsInterface(v) {
-			changedSet[v] = true
+			changedSet.add(v)
 		}
 	}
 	return moved

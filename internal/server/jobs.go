@@ -11,6 +11,7 @@ import (
 
 	"repro"
 	"repro/internal/graph"
+	"repro/internal/mpi"
 )
 
 // JobState is the lifecycle of a partitioning job.
@@ -124,8 +125,7 @@ type jobManager struct {
 	initTime    time.Duration
 	refineTime  time.Duration
 	totalTime   time.Duration
-	msgsSent    int64
-	wordsSent   int64
+	comm        mpi.Stats
 	cutSum      int64
 
 	recent []JobTiming // ring, newest last
@@ -428,8 +428,7 @@ func (m *jobManager) runJob(j *job) {
 	m.initTime += res.Stats.InitTime
 	m.refineTime += res.Stats.RefineTime
 	m.totalTime += res.Stats.TotalTime
-	m.msgsSent += res.Stats.Comm.MessagesSent
-	m.wordsSent += res.Stats.Comm.WordsSent
+	m.comm.Add(res.Stats.Comm)
 	m.cutSum += res.Cut
 	m.finishLocked(j, &res, false, end)
 }

@@ -302,6 +302,8 @@ type progressView struct {
 	Cut       int64   `json:"cut"`
 	Imbalance float64 `json:"imbalance"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	CommMsgs  int64   `json:"comm_msgs"`
+	CommBytes int64   `json:"comm_bytes"`
 }
 
 // jobView is the wire form of a job's state.
@@ -348,6 +350,8 @@ func viewLocked(j *job) jobView {
 			Cut:       ev.Cut,
 			Imbalance: ev.Imbalance,
 			ElapsedMS: float64(ev.Elapsed) / float64(time.Millisecond),
+			CommMsgs:  ev.CommMsgs,
+			CommBytes: ev.CommBytes,
 		}
 	}
 	if !j.started.IsZero() {
@@ -547,14 +551,23 @@ type StatsView struct {
 	// Core aggregates parhip/core statistics over every job that actually
 	// ran the partitioner (cache hits excluded).
 	Core struct {
-		Runs          int64   `json:"runs"`
-		CoarsenMS     float64 `json:"coarsen_ms"`
-		InitMS        float64 `json:"init_ms"`
-		RefineMS      float64 `json:"refine_ms"`
-		TotalMS       float64 `json:"total_ms"`
-		MessagesSent  int64   `json:"messages_sent"`
-		WordsSent     int64   `json:"words_sent"`
-		CumulativeCut int64   `json:"cumulative_cut"`
+		Runs      int64   `json:"runs"`
+		CoarsenMS float64 `json:"coarsen_ms"`
+		InitMS    float64 `json:"init_ms"`
+		RefineMS  float64 `json:"refine_ms"`
+		TotalMS   float64 `json:"total_ms"`
+		// Communication totals across the simulated ranks of those runs.
+		// comm_bytes is the wire volume (8 bytes per payload word); the
+		// neighbor_* fields isolate the sparse halo-exchange share, and the
+		// *_exchanges fields count all-to-all supersteps by class.
+		MessagesSent      int64 `json:"messages_sent"`
+		WordsSent         int64 `json:"words_sent"`
+		CommBytes         int64 `json:"comm_bytes"`
+		NeighborMessages  int64 `json:"neighbor_messages"`
+		NeighborWords     int64 `json:"neighbor_words"`
+		DenseExchanges    int64 `json:"dense_exchanges"`
+		NeighborExchanges int64 `json:"neighbor_exchanges"`
+		CumulativeCut     int64 `json:"cumulative_cut"`
 	} `json:"core"`
 
 	// RecentJobs holds per-job timings for the last completed jobs,
@@ -585,8 +598,13 @@ func (s *Server) Stats() StatsView {
 	v.Core.InitMS = float64(m.initTime) / float64(time.Millisecond)
 	v.Core.RefineMS = float64(m.refineTime) / float64(time.Millisecond)
 	v.Core.TotalMS = float64(m.totalTime) / float64(time.Millisecond)
-	v.Core.MessagesSent = m.msgsSent
-	v.Core.WordsSent = m.wordsSent
+	v.Core.MessagesSent = m.comm.MessagesSent
+	v.Core.WordsSent = m.comm.WordsSent
+	v.Core.CommBytes = m.comm.BytesSent()
+	v.Core.NeighborMessages = m.comm.NeighborMessages
+	v.Core.NeighborWords = m.comm.NeighborWords
+	v.Core.DenseExchanges = m.comm.DenseExchanges
+	v.Core.NeighborExchanges = m.comm.NeighborExchanges
 	v.Core.CumulativeCut = m.cutSum
 	v.RecentJobs = append([]JobTiming(nil), m.recent...)
 	m.mu.Unlock()

@@ -42,6 +42,10 @@ type ProgressEvent struct {
 	Imbalance float64
 	// Elapsed is the wall-clock time since Run started.
 	Elapsed time.Duration
+	// CommMsgs and CommBytes are the messages and bytes the simulated ranks
+	// have exchanged since the run started (cumulative, monotone).
+	CommMsgs  int64
+	CommBytes int64
 }
 
 // settings is the resolved configuration of a Partitioner session. The
@@ -307,6 +311,8 @@ func (p *Partitioner) Run(ctx context.Context) (Result, error) {
 				Cut:       cp.Cut,
 				Imbalance: cp.Imbalance,
 				Elapsed:   cp.Elapsed,
+				CommMsgs:  cp.CommMsgs,
+				CommBytes: cp.CommBytes,
 			})
 		}
 	}
