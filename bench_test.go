@@ -452,7 +452,7 @@ func BenchmarkEvolutionaryCombine(b *testing.B) {
 	g, _ := gen.PlantedPartition(1500, 12, 9, 0.8, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Partition(g, 4, Options{PEs: 2, Seed: uint64(i + 1)})
+		res, err := PartitionGraph(g, 4, Options{PEs: 2, Seed: uint64(i + 1)})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,6 +7,8 @@
 //	bench -fig5            weak scaling on rgg/delaunay (Figure 5)
 //	bench -fig6            strong scaling incl. web instance (Figure 6)
 //	bench -shrink          coarsening effectiveness (§V-B observation)
+//	bench -repart          repartitioning under edge churn (cold vs warm
+//	                       cut, migration volume)
 //	bench -all             everything
 //
 // Flags -scale, -pes, -reps tune the workload size. -json switches the
@@ -34,6 +36,7 @@ func main() {
 		fig5     = flag.Bool("fig5", false, "run the weak-scaling experiment (Figure 5)")
 		fig6     = flag.Bool("fig6", false, "run the strong-scaling experiment (Figure 6)")
 		shrink   = flag.Bool("shrink", false, "run the coarsening-effectiveness experiment")
+		repart   = flag.Bool("repart", false, "run the repartitioning-under-churn experiment")
 		all      = flag.Bool("all", false, "run everything")
 		scale    = flag.Int("scale", 1, "instance size multiplier")
 		pes      = flag.Int("pes", 4, "simulated PEs for the tables")
@@ -42,7 +45,7 @@ func main() {
 		jsonMode = flag.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
 	)
 	flag.Parse()
-	if !(*table1 || *table2 || *table3 || *fig5 || *fig6 || *shrink || *all) {
+	if !(*table1 || *table2 || *table3 || *fig5 || *fig6 || *shrink || *repart || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -116,6 +119,14 @@ func main() {
 			report.Shrink = exp.ShrinkRecords(shrinkReps)
 		} else {
 			exp.WriteShrink(w, shrinkReps)
+		}
+	}
+	if *all || *repart {
+		pts := exp.RunRepartition(exp.RepartOptions{K: 16, PEs: *pes, Scale: int32(*scale)})
+		if *jsonMode {
+			report.Repart = exp.RepartRecords(pts)
+		} else {
+			exp.WriteRepartition(w, pts)
 		}
 	}
 	if *jsonMode {

@@ -1,14 +1,24 @@
 // Command graphgen writes synthetic benchmark graphs in METIS format.
 //
-// Example:
+// Besides generating fresh instances (-family with -n), it can produce a
+// perturbed copy of a graph with -mutate: a fraction of the edges is
+// replaced by fresh random ones (edge churn), modeling the drift between
+// two revisions of a dynamic graph so examples and benchmarks can exercise
+// repartitioning realistically. The base graph is either generated or read
+// from a file with -in.
+//
+// Examples:
 //
 //	graphgen -family rgg -n 100000 -seed 7 -out rgg17.metis
+//	graphgen -family web -n 50000 -out web-v1.metis
+//	graphgen -in web-v1.metis -mutate 0.05 -seed 9 -out web-v2.metis
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -19,15 +29,35 @@ func main() {
 		family = flag.String("family", "rgg", "rgg, delaunay, rmat, ba, web, mesh3d, grid")
 		n      = flag.Int("n", 10000, "approximate node count")
 		seed   = flag.Uint64("seed", 1, "random seed")
+		in     = flag.String("in", "", "read the base graph from this file instead of generating it")
+		mutate = flag.Float64("mutate", 0, "churn this fraction of the edges (0 = none): drop + re-insert random edges")
 		out    = flag.String("out", "", "output file (default stdout)")
 		format = flag.String("format", "metis", "output format: metis or binary")
 	)
 	flag.Parse()
 
-	g, err := gen.ByFamily(gen.Family(*family), int32(*n), *seed)
+	var (
+		g   *graph.Graph
+		err error
+	)
+	if *in != "" {
+		g, err = readGraph(*in)
+	} else {
+		g, err = gen.ByFamily(gen.Family(*family), int32(*n), *seed)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
+	}
+	if *mutate < 0 || *mutate > 1 {
+		fmt.Fprintf(os.Stderr, "graphgen: -mutate %g outside [0, 1]\n", *mutate)
+		os.Exit(1)
+	}
+	if *mutate > 0 {
+		before := g.NumEdges()
+		g = gen.Perturb(g, *mutate, *seed)
+		fmt.Fprintf(os.Stderr, "mutated: %d -> %d edges (churn %.1f%%)\n",
+			before, g.NumEdges(), 100**mutate)
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -51,5 +81,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "generated %s: n=%d m=%d\n", *family, g.NumNodes(), g.NumEdges())
+	src := *family
+	if *in != "" {
+		src = *in
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: n=%d m=%d\n", src, g.NumNodes(), g.NumEdges())
+}
+
+func readGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bgf") || strings.HasSuffix(path, ".bin") {
+		return graph.ReadBinary(f)
+	}
+	return graph.ReadMetis(f)
 }

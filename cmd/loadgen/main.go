@@ -11,7 +11,10 @@
 // -cancel makes a fraction of the submitted jobs be cancelled mid-flight
 // with DELETE /v1/jobs/{id} (exercising the service's queued- and
 // running-job cancellation paths); -job-timeout-ms attaches a server-side
-// timeout_ms to every submission. It reports client-side latency
+// timeout_ms to every submission; -repart makes a fraction of the jobs
+// migration-aware repartition runs seeded via prev_job_id from an earlier
+// completed job on the same graph (exercising the service's dynamic-graph
+// path and its prev-aware cache keying). It reports client-side latency
 // percentiles and the server's own /v1/stats.
 package main
 
@@ -40,6 +43,36 @@ type jobSpec struct {
 	K       int32
 	Seed    uint64
 	Cancel  bool // DELETE the job shortly after submission
+	Repart  bool // seed with prev_job_id of a done job on the same graph
+}
+
+// prevRegistry records done jobs per graph so repartition submissions can
+// reference them. Seeds differ between specs, so a repartition spec keyed
+// on an earlier job exercises a genuinely different cache entry.
+type prevRegistry struct {
+	mu   sync.Mutex
+	done map[string][]string // graph|k -> done job IDs
+}
+
+func key(graphID string, k int32) string { return fmt.Sprintf("%s|%d", graphID, k) }
+
+func (r *prevRegistry) add(graphID string, k int32, jobID string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done == nil {
+		r.done = make(map[string][]string)
+	}
+	r.done[key(graphID, k)] = append(r.done[key(graphID, k)], jobID)
+}
+
+func (r *prevRegistry) pick(graphID string, k int32) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := r.done[key(graphID, k)]
+	if len(ids) == 0 {
+		return "", false
+	}
+	return ids[len(ids)-1], true
 }
 
 type outcome struct {
@@ -48,6 +81,8 @@ type outcome struct {
 	cached    bool
 	failed    bool
 	cancelled bool
+	repart    bool // submitted with prev_job_id
+	migrated  int64
 	err       string
 }
 
@@ -63,6 +98,7 @@ func main() {
 		mode        = flag.String("mode", "fast", "partitioning mode: fast, eco or minimal")
 		dup         = flag.Float64("dup", 0.3, "fraction of submissions repeating an earlier (graph, options) combo")
 		cancelFrac  = flag.Float64("cancel", 0, "fraction of jobs cancelled mid-flight via DELETE")
+		repartFrac  = flag.Float64("repart", 0, "fraction of jobs submitted as repartitions of an earlier done job (prev_job_id)")
 		jobTimeout  = flag.Int64("job-timeout-ms", 0, "server-side timeout_ms attached to every job (0 = none)")
 		seed        = flag.Int64("seed", 1, "load generator seed")
 		timeout     = flag.Duration("timeout", 5*time.Minute, "per-job completion timeout")
@@ -111,11 +147,13 @@ func main() {
 			K:       ks[rnd.Intn(len(ks))],
 			Seed:    uint64(rnd.Intn(4)) + 1,
 			Cancel:  rnd.Float64() < *cancelFrac,
+			Repart:  rnd.Float64() < *repartFrac,
 		})
 	}
 
 	work := make(chan jobSpec)
 	results := make(chan outcome, *jobs)
+	reg := &prevRegistry{}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < *concurrency; c++ {
@@ -123,7 +161,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for spec := range work {
-				results <- runJob(*addr, spec, *mode, *timeout, *jobTimeout)
+				results <- runJob(*addr, spec, *mode, *timeout, *jobTimeout, reg)
 			}
 		}()
 	}
@@ -141,6 +179,8 @@ func main() {
 		cached    int
 		failed    int
 		cancelled int
+		reparts   int
+		migrated  int64
 	)
 	for o := range results {
 		if o.cancelled {
@@ -156,11 +196,18 @@ func main() {
 		if o.cached {
 			cached++
 		}
+		if o.repart {
+			reparts++
+			migrated += o.migrated
+		}
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	fmt.Printf("\n%d jobs in %v (%.1f jobs/s), %d failed, %d cancelled, %d served from cache\n",
 		*jobs, elapsed.Round(time.Millisecond),
 		float64(*jobs)/elapsed.Seconds(), failed, cancelled, cached)
+	if reparts > 0 {
+		fmt.Printf("%d repartition jobs, %d nodes migrated in total\n", reparts, migrated)
+	}
 	if len(latencies) > 0 {
 		var sum time.Duration
 		for _, l := range latencies {
@@ -206,13 +253,21 @@ func upload(addr string, g *graph.Graph) (string, error) {
 	return meta.ID, nil
 }
 
-func runJob(addr string, spec jobSpec, mode string, timeout time.Duration, jobTimeoutMS int64) outcome {
+func runJob(addr string, spec jobSpec, mode string, timeout time.Duration, jobTimeoutMS int64, reg *prevRegistry) outcome {
 	o := outcome{spec: spec}
 	start := time.Now()
 	req := map[string]any{
 		"graph_id": spec.GraphID,
 		"k":        spec.K,
 		"options":  map[string]any{"mode": mode, "seed": spec.Seed},
+	}
+	if spec.Repart {
+		// Repartition against the most recent done job on this graph; when
+		// none finished yet the job simply runs cold.
+		if prevID, ok := reg.pick(spec.GraphID, spec.K); ok {
+			req["prev_job_id"] = prevID
+			o.repart = true
+		}
 	}
 	if jobTimeoutMS > 0 {
 		req["timeout_ms"] = jobTimeoutMS
@@ -284,6 +339,20 @@ func runJob(addr string, spec jobSpec, mode string, timeout time.Duration, jobTi
 	}
 	o.latency = time.Since(start)
 	o.cached = view.Cached
+	reg.add(spec.GraphID, spec.K, view.ID)
+	if o.repart {
+		// Pull the migration stats off the result body so the summary can
+		// report total churn.
+		if r, err := http.Get(addr + "/v1/jobs/" + view.ID + "/result"); err == nil {
+			var res struct {
+				MigratedNodes int64 `json:"migrated_nodes"`
+			}
+			if json.NewDecoder(r.Body).Decode(&res) == nil {
+				o.migrated = res.MigratedNodes
+			}
+			r.Body.Close()
+		}
+	}
 	return o
 }
 

@@ -2,16 +2,23 @@
 //
 // The input is either a METIS-format graph file (-graph) or a generated
 // instance (-family with -n). Output is a quality report and, optionally,
-// the block assignment (one line per node) written to -out. A SIGINT
-// (Ctrl-C) or SIGTERM cancels the run cooperatively: the simulated ranks
-// unwind at the next superstep, partial progress statistics are printed,
-// and the process exits with status 130. -progress streams per-level
-// checkpoint events to stderr while the run is in flight.
+// the partition written to -out: the versioned text partition format by
+// default (a '%%' header plus one block per node per line, readable by
+// legacy block-per-line parsers), or the binary format when the file name
+// ends in .bpart. A partition saved this way can seed a later
+// migration-aware repartitioning run of a drifted graph via -prev (any
+// partition format, including legacy block-per-line files); the report
+// then includes how many nodes migrated. A SIGINT (Ctrl-C) or SIGTERM
+// cancels the run cooperatively: the simulated ranks unwind at the next
+// superstep, partial progress statistics are printed, and the process
+// exits with status 130. -progress streams per-level checkpoint events to
+// stderr while the run is in flight.
 //
 // Examples:
 //
 //	parhip -family web -n 20000 -k 8 -pes 8 -mode eco -progress
-//	parhip -graph mygraph.metis -k 2 -out blocks.txt
+//	parhip -graph mygraph.metis -k 2 -out blocks.part
+//	parhip -graph mygraph-v2.metis -prev blocks.part -out blocks-v2.part
 package main
 
 import (
@@ -22,7 +29,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -47,7 +53,8 @@ func main() {
 		baseline  = flag.Bool("baseline", false, "run the matching-based baseline instead")
 		progress  = flag.Bool("progress", false, "stream per-level progress events to stderr")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
-		out       = flag.String("out", "", "write the block of each node to this file")
+		prevFile  = flag.String("prev", "", "previous partition file: run a migration-aware repartition seeded with it")
+		out       = flag.String("out", "", "write the partition to this file (text format; binary when the name ends in .bpart)")
 	)
 	flag.Parse()
 
@@ -82,6 +89,36 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "parhip: unknown class %q\n", *class)
 		os.Exit(1)
+	}
+
+	var prev *parhip.Partition
+	if *prevFile != "" {
+		if *baseline {
+			fmt.Fprintln(os.Stderr, "parhip: -prev is not supported with -baseline")
+			os.Exit(1)
+		}
+		f, err := os.Open(*prevFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parhip:", err)
+			os.Exit(1)
+		}
+		prev, err = parhip.ReadPartition(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parhip:", err)
+			os.Exit(1)
+		}
+		kSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "k" {
+				kSet = true
+			}
+		})
+		if kSet && int32(*k) != prev.K() {
+			fmt.Fprintf(os.Stderr, "parhip: -k %d conflicts with -prev partition's k=%d\n", *k, prev.K())
+			os.Exit(1)
+		}
+		*k = int(prev.K())
 	}
 
 	fmt.Printf("graph: n=%d m=%d   k=%d  pes=%d  mode=%s\n",
@@ -120,9 +157,13 @@ func main() {
 	if *baseline {
 		res, err = parhip.PartitionBaselineCtx(ctx, g, int32(*k), opt, 0)
 	} else {
+		opts := []parhip.Option{parhip.WithK(int32(*k)), parhip.WithOptions(opt),
+			parhip.WithProgressFunc(onEvent)}
+		if prev != nil {
+			opts = append(opts, parhip.WithPrevious(prev))
+		}
 		var p *parhip.Partitioner
-		p, err = parhip.New(g, parhip.WithK(int32(*k)), parhip.WithOptions(opt),
-			parhip.WithProgressFunc(onEvent))
+		p, err = parhip.New(g, opts...)
 		if err == nil {
 			res, err = p.Run(ctx)
 		}
@@ -151,7 +192,16 @@ func main() {
 	elapsed := time.Since(start)
 	fmt.Printf("cut=%d  imbalance=%.4f  feasible=%v  commvol=%d  time=%.3fs\n",
 		res.Cut, res.Imbalance, res.Feasible,
-		parhip.CommunicationVolume(g, res.Part, int32(*k)), elapsed.Seconds())
+		res.Partition.CommunicationVolume(g), elapsed.Seconds())
+	if prev != nil {
+		plan, perr := res.Partition.MigrationPlan(prev)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "parhip: migration plan:", perr)
+		} else {
+			fmt.Printf("migration: %d/%d nodes moved (%.1f%%), volume %d\n",
+				plan.MigratedNodes, plan.TotalNodes, 100*plan.MigratedFraction(), plan.MigrationVolume)
+		}
+	}
 	if c := res.Stats.Comm; c.MessagesSent > 0 {
 		fmt.Printf("comm: %d msgs, %d bytes (%d neighbor msgs over %d sparse exchanges)\n",
 			c.MessagesSent, c.BytesSent(), c.NeighborMessages, c.NeighborExchanges)
@@ -164,7 +214,7 @@ func main() {
 		fmt.Println(" nodes")
 	}
 	if *out != "" {
-		if err := writeBlocks(*out, res.Part); err != nil {
+		if err := writePartition(*out, res.Partition); err != nil {
 			fmt.Fprintln(os.Stderr, "parhip:", err)
 			os.Exit(1)
 		}
@@ -202,16 +252,22 @@ func loadGraph(file, family string, n int32, seed uint64) (*parhip.Graph, parhip
 	return g, cls, nil
 }
 
-func writeBlocks(path string, part []int32) error {
+// writePartition saves the partition in the versioned text format, or the
+// binary format for .bpart files.
+func writePartition(path string, p *parhip.Partition) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	w := bufio.NewWriter(f)
-	for _, b := range part {
-		w.WriteString(strconv.Itoa(int(b)))
-		w.WriteByte('\n')
+	if strings.HasSuffix(path, ".bpart") {
+		_, err = p.WriteTo(w)
+	} else {
+		_, err = p.WriteTextTo(w)
+	}
+	if err != nil {
+		return err
 	}
 	return w.Flush()
 }

@@ -32,7 +32,7 @@ func ExampleNew() {
 		return
 	}
 	fmt.Println("cut:", res.Cut)
-	fmt.Println("cliques separated:", res.Part[0] != res.Part[4])
+	fmt.Println("cliques separated:", res.Partition.Block(0) != res.Partition.Block(4))
 	// Output:
 	// cut: 1
 	// cliques separated: true
@@ -52,16 +52,16 @@ func ExamplePartition() {
 	b.AddEdge(3, 4)
 	g := b.Build()
 
-	res, err := parhip.Partition(g, 2, parhip.Options{PEs: 2, Seed: 1})
+	res, err := parhip.PartitionGraph(g, 2, parhip.Options{PEs: 2, Seed: 1})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	fmt.Println("cut:", res.Cut)
 	fmt.Println("feasible:", res.Feasible)
-	fmt.Println("same block within clique 1:", res.Part[0] == res.Part[3])
-	fmt.Println("same block within clique 2:", res.Part[4] == res.Part[7])
-	fmt.Println("cliques separated:", res.Part[0] != res.Part[4])
+	fmt.Println("same block within clique 1:", res.Partition.Block(0) == res.Partition.Block(3))
+	fmt.Println("same block within clique 2:", res.Partition.Block(4) == res.Partition.Block(7))
+	fmt.Println("cliques separated:", res.Partition.Block(0) != res.Partition.Block(4))
 	// Output:
 	// cut: 1
 	// feasible: true

@@ -33,7 +33,7 @@ func main() {
 			} else {
 				g = gen.DelaunayLike(n, 3)
 			}
-			res, err := parhip.Partition(g, k, parhip.Options{
+			res, err := parhip.PartitionGraph(g, k, parhip.Options{
 				PEs: p, Class: parhip.Mesh, Seed: 3,
 			})
 			if err != nil {

@@ -49,7 +49,7 @@ func main() {
 	fmt.Printf("cut=%d imbalance=%.3f feasible=%v\n", res.Cut, res.Imbalance, res.Feasible)
 	for r := int32(0); r < side; r++ {
 		for c := int32(0); c < side; c++ {
-			fmt.Printf("%d ", res.Part[id(r, c)])
+			fmt.Printf("%d ", res.Partition.Block(id(r, c)))
 		}
 		fmt.Println()
 	}

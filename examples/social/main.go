@@ -40,7 +40,7 @@ func main() {
 	}
 	report("matching-baseline", g, bres.Part, k)
 
-	res, err := parhip.Partition(g, k, opt)
+	res, err := parhip.PartitionGraph(g, k, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func main() {
 
 	eco := opt
 	eco.Mode = parhip.Eco
-	eres, err := parhip.Partition(g, k, eco)
+	eres, err := parhip.PartitionGraph(g, k, eco)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,7 +22,7 @@ func TestIntegrationParallelVsSequentialQuality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Partition(g, k, Options{PEs: 4, Seed: 2})
+	par, err := PartitionGraph(g, k, Options{PEs: 4, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestIntegrationIORoundTripThenPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Partition(g2, 4, Options{PEs: 2, Class: Mesh, Seed: 1})
+	res, err := PartitionGraph(g2, 4, Options{PEs: 2, Class: Mesh, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestIntegrationIORoundTripThenPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := Partition(g3, 4, Options{PEs: 2, Class: Mesh, Seed: 1})
+	res2, err := PartitionGraph(g3, 4, Options{PEs: 2, Class: Mesh, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestIntegrationPrepartitionPublicAPI(t *testing.T) {
 		pre[v] = v % k
 	}
 	preCut := EdgeCut(g, pre)
-	res, err := Partition(g, k, Options{PEs: 2, Seed: 3, Prepartition: pre})
+	res, err := PartitionGraph(g, k, Options{PEs: 2, Seed: 3, Prepartition: pre})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestIntegrationHeadlineComparison(t *testing.T) {
 	g := gen.WebCrawlLike(8000, 60, 10, 0.4, 80, 9)
 	k := int32(8)
 	opt := Options{PEs: 2, Seed: 1}
-	ours, err := Partition(g, k, opt)
+	ours, err := PartitionGraph(g, k, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

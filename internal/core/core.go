@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/contract"
@@ -110,6 +111,17 @@ type Config struct {
 	// improved"). It must be a feasible k-way partition.
 	Prepartition []int32
 
+	// PrevPartition, when non-nil (one block per global node), is the
+	// previous partition of a repartitioning run and makes the whole
+	// pipeline migration-aware: it is lifted through the hierarchy
+	// alongside the solution, label propagation refinement keeps nodes on
+	// their previous block when a move is cut-neutral (sclp move penalty),
+	// the coarsest-level evolutionary selection breaks fitness ties in
+	// favour of fewer moves, and Stats reports MigratedNodes and
+	// MigrationVolume against it. Callers normally set it to the same
+	// slice as Prepartition.
+	PrevPartition []int32
+
 	// Seed drives all randomness (identical value on every rank).
 	Seed uint64
 
@@ -198,8 +210,13 @@ type Stats struct {
 	MaxBlockWeight int64
 	// RebalanceMoves counts nodes moved by the explicit rebalance stage.
 	RebalanceMoves int64
-	Feasible       bool
-	Comm           mpi.Stats // whole-world traffic (filled by Run)
+	// MigratedNodes and MigrationVolume report, for runs with a
+	// Config.PrevPartition, how many nodes ended on a different block than
+	// before and their total node weight. Zero otherwise.
+	MigratedNodes   int64
+	MigrationVolume int64
+	Feasible        bool
+	Comm            mpi.Stats // whole-world traffic (filled by Run)
 }
 
 // WorstOverload returns by how much the heaviest block exceeds Lmax
@@ -216,6 +233,10 @@ type levelRec struct {
 	fine         *dgraph.DGraph
 	coarse       *dgraph.DGraph
 	fineToCoarse []int64
+	// prevFine is the previous partition projected onto fine (NTotal
+	// entries), kept only for migration-aware runs so refinement at this
+	// level can apply the move penalty.
+	prevFine []int64
 }
 
 // PartitionDistributed runs ParHIP on an already distributed graph and
@@ -300,6 +321,20 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 			part[v] = int64(cfg.Prepartition[d.ToGlobal(v)])
 		}
 	}
+	// prevFine is the migration reference on the finest level; when set it
+	// is lifted through every hierarchy alongside the solution so each
+	// refinement level can apply the move penalty against it.
+	var prevFine []int64
+	if cfg.PrevPartition != nil {
+		if int64(len(cfg.PrevPartition)) != d.GlobalN {
+			return nil, Stats{}, fmt.Errorf("core: previous partition has %d entries for %d nodes",
+				len(cfg.PrevPartition), d.GlobalN)
+		}
+		prevFine = make([]int64, d.NTotal())
+		for v := int32(0); v < d.NTotal(); v++ {
+			prevFine[v] = int64(cfg.PrevPartition[d.ToGlobal(v)])
+		}
+	}
 	for cycle := 0; cycle < cfg.VCycles; cycle++ {
 		if err := ctx.Err(); err != nil {
 			return nil, st, err
@@ -322,6 +357,12 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 		if part != nil {
 			constraint = part
 		}
+		// prevCur tracks the migration reference at the current level; it is
+		// lifted in lockstep with the coarsening (rank-consistent: every
+		// rank agrees on whether the extra ParLift collective runs).
+		prevCur := prevFine
+		prevTracksConstraint := cycle == 0 && prevCur != nil && constraint != nil &&
+			len(cfg.Prepartition) > 0 && &cfg.Prepartition[0] == &cfg.PrevPartition[0]
 		var levels []levelRec
 		if cycle == 0 {
 			st.Levels = append(st.Levels, LevelStat{N: d.GlobalN, M: d.GlobalM})
@@ -345,7 +386,19 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 			if constraint != nil {
 				constraint = contract.ParLift(cur, res.Coarse, res.FineToCoarse, constraint)
 			}
-			levels = append(levels, levelRec{fine: cur, coarse: res.Coarse, fineToCoarse: res.FineToCoarse})
+			rec := levelRec{fine: cur, coarse: res.Coarse, fineToCoarse: res.FineToCoarse}
+			if prevCur != nil {
+				rec.prevFine = prevCur
+				if prevTracksConstraint {
+					// First V-cycle of a repartition run: the constraint IS the
+					// previous partition, so reuse its lift instead of paying a
+					// second collective.
+					prevCur = constraint
+				} else {
+					prevCur = contract.ParLift(cur, res.Coarse, res.FineToCoarse, prevCur)
+				}
+			}
+			levels = append(levels, rec)
 			cur = res.Coarse
 			if cycle == 0 {
 				st.Levels = append(st.Levels, LevelStat{N: cur.GlobalN, M: cur.GlobalM})
@@ -376,10 +429,29 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 			Initial:        initial,
 			Objective:      cfg.Objective,
 		}
+		if prevCur != nil {
+			// Migration-aware selection on the coarsest graph: fitness ties go
+			// to the individual closer to the previous partition.
+			if prevTracksConstraint {
+				evoCfg.MigrationRef = initial
+			} else {
+				evoCfg.MigrationRef = gatherPart(cur, prevCur)
+			}
+		}
 		if cfg.EvoTimeBudget > 0 {
 			evoCfg.TimeBudget = cfg.EvoTimeBudget / time.Duration(c.Size())
 		}
 		best := evo.Evolve(ctx, c, coarsest, evoCfg)
+		if evoCfg.MigrationRef != nil {
+			// Block IDs are arbitrary: a fresh evolutionary winner may be
+			// structurally close to the previous partition yet label every
+			// block differently, which would count as wholesale migration.
+			// Relabel to maximize the weighted overlap with the reference
+			// (deterministic, identical on every rank — the coarsest graph
+			// is replicated) so the move penalty and the migration stats
+			// measure real movement, not label permutation.
+			remapBlocks(best, evoCfg.MigrationRef, cfg.K, coarsest.NW)
+		}
 		st.InitTime += time.Since(tInit)
 		if err := ctx.Err(); err != nil {
 			return nil, st, err
@@ -414,6 +486,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 		sclp.ParRefine(cur, curPart, sclp.ParRefineConfig{
 			K: cfg.K, Lmax: lmax, Iterations: cfg.RefineIters,
 			PhasesPerRound: cfg.PhasesPerRound, Seed: shared.Uint64(),
+			Prev: prevCur,
 		})
 		reportRefine(cur, curPart, len(levels))
 		for i := len(levels) - 1; i >= 0; i-- {
@@ -425,6 +498,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 			sclp.ParRefine(lv.fine, curPart, sclp.ParRefineConfig{
 				K: cfg.K, Lmax: lmax, Iterations: cfg.RefineIters,
 				PhasesPerRound: cfg.PhasesPerRound, Seed: shared.Uint64(),
+				Prev: lv.prevFine,
 			})
 			reportRefine(lv.fine, curPart, i)
 		}
@@ -456,10 +530,78 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 	st.MaxBlockWeight = mx
 	st.Imbalance = imbalanceOf(mx)
 	st.Feasible = mx <= lmax
+	if prevFine != nil {
+		var movedN, movedW int64
+		for v := int32(0); v < d.NLocal(); v++ {
+			if part[v] != prevFine[v] {
+				movedN++
+				movedW += d.NW[v]
+			}
+		}
+		st.MigratedNodes = d.Comm.AllreduceSum1(movedN)
+		st.MigrationVolume = d.Comm.AllreduceSum1(movedW)
+	}
 	st.TotalTime = time.Since(startAll)
 	report(Progress{Phase: PhaseDone, Cycle: cfg.VCycles - 1, Level: 0,
 		N: d.GlobalN, M: d.GlobalM, Cut: st.Cut, Imbalance: st.Imbalance})
 	return part, st, nil
+}
+
+// remapBlocks relabels p's blocks in place to maximize the node-weighted
+// agreement with ref: the (block, ref-block) pairs are claimed greedily by
+// descending overlap weight, and blocks left over keep distinct unused
+// labels in ascending order. Deterministic in its inputs.
+func remapBlocks(p, ref []int32, k int32, nw []int64) {
+	type pair struct {
+		w        int64
+		from, to int32
+	}
+	overlap := make([]int64, int(k)*int(k))
+	for v := range p {
+		overlap[int(p[v])*int(k)+int(ref[v])] += nw[v]
+	}
+	pairs := make([]pair, 0, len(overlap))
+	for i, w := range overlap {
+		if w > 0 {
+			pairs = append(pairs, pair{w, int32(i / int(k)), int32(i % int(k))})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].w != pairs[j].w {
+			return pairs[i].w > pairs[j].w
+		}
+		if pairs[i].from != pairs[j].from {
+			return pairs[i].from < pairs[j].from
+		}
+		return pairs[i].to < pairs[j].to
+	})
+	mapping := make([]int32, k)
+	fromUsed := make([]bool, k)
+	toUsed := make([]bool, k)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	for _, pr := range pairs {
+		if fromUsed[pr.from] || toUsed[pr.to] {
+			continue
+		}
+		mapping[pr.from] = pr.to
+		fromUsed[pr.from], toUsed[pr.to] = true, true
+	}
+	next := int32(0)
+	for from := int32(0); from < k; from++ {
+		if mapping[from] >= 0 {
+			continue
+		}
+		for toUsed[next] {
+			next++
+		}
+		mapping[from] = next
+		toUsed[next] = true
+	}
+	for v := range p {
+		p[v] = mapping[p[v]]
+	}
 }
 
 // gatherPart assembles the full global partition (one entry per global

@@ -237,3 +237,72 @@ func TestConfigsDiffer(t *testing.T) {
 		t.Fatalf("social size factor %v", c.SizeFactor)
 	}
 }
+
+func TestRemapBlocks(t *testing.T) {
+	// p is ref with blocks renamed 0->2, 1->0, 2->1; remapping must undo it.
+	ref := []int32{0, 0, 1, 1, 2, 2}
+	p := []int32{2, 2, 0, 0, 1, 1}
+	nw := []int64{1, 1, 1, 1, 1, 1}
+	remapBlocks(p, ref, 3, nw)
+	for i := range p {
+		if p[i] != ref[i] {
+			t.Fatalf("remap failed at %d: %v vs %v", i, p, ref)
+		}
+	}
+
+	// Weighted overlap wins: block 0 of p overlaps ref-block 1 with weight
+	// 10 vs ref-block 0 with weight 2, so it must take label 1.
+	ref = []int32{1, 0, 0}
+	p = []int32{0, 0, 0}
+	nw = []int64{10, 1, 1}
+	remapBlocks(p, ref, 2, nw)
+	if p[0] != 1 {
+		t.Fatalf("weighted remap picked %d, want 1", p[0])
+	}
+
+	// Every block keeps a distinct label even when unmatched.
+	p = []int32{0, 1, 2, 3}
+	ref = []int32{0, 0, 0, 0}
+	remapBlocks(p, ref, 4, []int64{1, 1, 1, 1})
+	seen := map[int32]bool{}
+	for _, b := range p {
+		if b < 0 || b >= 4 || seen[b] {
+			t.Fatalf("remap produced invalid labels: %v", p)
+		}
+		seen[b] = true
+	}
+}
+
+// TestPrevPartitionStats checks the migration accounting of a
+// migration-aware distributed run end to end.
+func TestPrevPartitionStats(t *testing.T) {
+	g, planted := gen.PlantedPartition(1200, 8, 8, 0.5, 3)
+	k := int32(8)
+	cfg := MinimalConfig(k, ClassSocial)
+	cfg.Prepartition = planted
+	cfg.PrevPartition = planted
+	res, err := Run(4, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for v, b := range res.Part {
+		if b != planted[v] {
+			want++
+		}
+	}
+	if res.Stats.MigratedNodes != want {
+		t.Errorf("MigratedNodes = %d, recount says %d", res.Stats.MigratedNodes, want)
+	}
+	if res.Stats.MigrationVolume != want { // unit node weights
+		t.Errorf("MigrationVolume = %d, want %d", res.Stats.MigrationVolume, want)
+	}
+	// A run without PrevPartition reports zero.
+	res2, err := Run(4, g, MinimalConfig(k, ClassSocial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.MigratedNodes != 0 || res2.Stats.MigrationVolume != 0 {
+		t.Errorf("cold run reported migration: %+v", res2.Stats)
+	}
+}

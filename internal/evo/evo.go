@@ -43,6 +43,10 @@ const (
 	// ObjectiveMaxQuotientDegree minimizes the maximum number of
 	// neighbouring blocks over all blocks.
 	ObjectiveMaxQuotientDegree
+	// ObjectiveMigration minimizes the number of nodes assigned differently
+	// from Config.MigrationRef, breaking ties by edge cut — the
+	// repartitioning objective. Requires MigrationRef.
+	ObjectiveMigration
 )
 
 func (o Objective) value(g *graph.Graph, p []int32, k int32) int64 {
@@ -90,6 +94,12 @@ type Config struct {
 	// operators still optimize the cut internally (their no-worsening
 	// guarantee is cut-based); selection and migration use the objective.
 	Objective Objective
+	// MigrationRef, when non-nil (one block per node), makes selection
+	// migration-aware: individuals that agree with the reference on more
+	// nodes win objective ties (the MinimizeMigration "component" of the
+	// repartitioning path). Under ObjectiveMigration the divergence from
+	// the reference is the primary fitness and the cut breaks ties.
+	MigrationRef []int32
 }
 
 // DefaultConfig returns sensible defaults for a k-way evolution.
@@ -106,25 +116,55 @@ func DefaultConfig(k int32) Config {
 }
 
 type individual struct {
-	p        []int32
-	cut      int64 // objective value (edge cut under the default objective)
-	feasible bool
+	p []int32
+	// primary is the objective value (edge cut under the default
+	// objective; divergence from the migration reference under
+	// ObjectiveMigration). secondary breaks primary ties: the migration
+	// count when a reference is configured (0 otherwise), or the cut under
+	// ObjectiveMigration.
+	primary   int64
+	secondary int64
+	feasible  bool
 }
 
-// better reports whether a beats b (feasibility first, then objective).
+// better reports whether a beats b (feasibility first, then the primary
+// objective, then the migration/cut tie-break).
 func better(a, b individual) bool {
 	if a.feasible != b.feasible {
 		return a.feasible
 	}
-	return a.cut < b.cut
+	if a.primary != b.primary {
+		return a.primary < b.primary
+	}
+	return a.secondary < b.secondary
 }
 
-func evaluate(g *graph.Graph, p []int32, k int32, eps float64, obj Objective) individual {
-	return individual{
-		p:        p,
-		cut:      obj.value(g, p, k),
-		feasible: partition.IsFeasible(g, p, k, eps),
+// divergence counts the nodes p assigns differently from ref.
+func divergence(p, ref []int32) int64 {
+	var d int64
+	for i := range p {
+		if p[i] != ref[i] {
+			d++
+		}
 	}
+	return d
+}
+
+func evaluate(g *graph.Graph, p []int32, cfg Config) individual {
+	ind := individual{
+		p:        p,
+		feasible: partition.IsFeasible(g, p, cfg.K, cfg.Eps),
+	}
+	if cfg.Objective == ObjectiveMigration {
+		ind.primary = divergence(p, cfg.MigrationRef)
+		ind.secondary = partition.EdgeCut(g, p)
+		return ind
+	}
+	ind.primary = cfg.Objective.value(g, p, cfg.K)
+	if cfg.MigrationRef != nil {
+		ind.secondary = divergence(p, cfg.MigrationRef)
+	}
+	return ind
 }
 
 // Evolve runs the evolutionary algorithm and returns the globally best
@@ -142,6 +182,9 @@ func Evolve(ctx context.Context, c *mpi.Comm, g *graph.Graph, cfg Config) []int3
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if cfg.Objective == ObjectiveMigration && cfg.MigrationRef == nil {
+		panic("evo: ObjectiveMigration requires Config.MigrationRef")
+	}
 	if cfg.PopulationSize < 2 {
 		cfg.PopulationSize = 2
 	}
@@ -155,7 +198,7 @@ func Evolve(ctx context.Context, c *mpi.Comm, g *graph.Graph, cfg Config) []int3
 
 	pop := make([]individual, 0, cfg.PopulationSize)
 	if cfg.Initial != nil {
-		pop = append(pop, evaluate(g, append([]int32(nil), cfg.Initial...), cfg.K, cfg.Eps, cfg.Objective))
+		pop = append(pop, evaluate(g, append([]int32(nil), cfg.Initial...), cfg))
 	}
 	for len(pop) < cfg.PopulationSize {
 		if len(pop) > 0 && ctx.Err() != nil {
@@ -167,7 +210,7 @@ func Evolve(ctx context.Context, c *mpi.Comm, g *graph.Graph, cfg Config) []int3
 		if err != nil {
 			panic("evo: " + err.Error())
 		}
-		pop = append(pop, evaluate(g, p, cfg.K, cfg.Eps, cfg.Objective))
+		pop = append(pop, evaluate(g, p, cfg))
 	}
 
 	bestIdx := func() int {
@@ -216,7 +259,7 @@ func Evolve(ctx context.Context, c *mpi.Comm, g *graph.Graph, cfg Config) []int3
 			if !ok {
 				break
 			}
-			insert(evaluate(g, fromWire(data), cfg.K, cfg.Eps, cfg.Objective))
+			insert(evaluate(g, fromWire(data), cfg))
 		}
 
 		if c.Size() > 1 && cfg.MigrateEvery > 0 && step%cfg.MigrateEvery == 0 {
@@ -232,7 +275,7 @@ func Evolve(ctx context.Context, c *mpi.Comm, g *graph.Graph, cfg Config) []int3
 			kc := base
 			kc.Seed = r.Uint64()
 			p, _ := kaffpa.Partition(g, kc)
-			insert(evaluate(g, p, cfg.K, cfg.Eps, cfg.Objective))
+			insert(evaluate(g, p, cfg))
 			continue
 		}
 
@@ -255,7 +298,7 @@ func Evolve(ctx context.Context, c *mpi.Comm, g *graph.Graph, cfg Config) []int3
 		if err != nil {
 			panic("evo: " + err.Error())
 		}
-		insert(evaluate(g, child, cfg.K, cfg.Eps, cfg.Objective))
+		insert(evaluate(g, child, cfg))
 	}
 
 	// Drain any remaining migrants, then choose the global winner.
@@ -265,21 +308,21 @@ func Evolve(ctx context.Context, c *mpi.Comm, g *graph.Graph, cfg Config) []int3
 		if !ok {
 			break
 		}
-		insert(evaluate(g, fromWire(data), cfg.K, cfg.Eps, cfg.Objective))
+		insert(evaluate(g, fromWire(data), cfg))
 	}
 	best := pop[bestIdx()]
-	// Rank the local champions: (infeasible flag, cut, rank) ascending.
-	scores := c.Allgatherv([]int64{boolTo64(!best.feasible), best.cut})
+	// Rank the local champions: (infeasible flag, primary, secondary, rank)
+	// ascending — the same order better uses locally.
+	scores := c.Allgatherv([]int64{boolTo64(!best.feasible), best.primary, best.secondary})
 	winner := 0
 	for rk := 1; rk < len(scores); rk++ {
-		if scores[rk][0] != scores[winner][0] {
-			if scores[rk][0] < scores[winner][0] {
-				winner = rk
+		for f := 0; f < 3; f++ {
+			if scores[rk][f] != scores[winner][f] {
+				if scores[rk][f] < scores[winner][f] {
+					winner = rk
+				}
+				break
 			}
-			continue
-		}
-		if scores[rk][1] < scores[winner][1] {
-			winner = rk
 		}
 	}
 	var wire []int64

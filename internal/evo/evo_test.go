@@ -189,3 +189,39 @@ func TestEvolveHonorsCancelledContext(t *testing.T) {
 		t.Fatalf("cancelled evolution still took %v", elapsed)
 	}
 }
+
+// TestMigrationAwareSelection checks the repartitioning component: with a
+// migration reference, objective ties go to the closer individual, and
+// ObjectiveMigration makes divergence the primary fitness.
+func TestMigrationAwareSelection(t *testing.T) {
+	g := graph.Grid2D(4, 4)
+	ref := make([]int32, 16)
+	for i := range ref {
+		if i%4 >= 2 {
+			ref[i] = 1
+		}
+	}
+	flipped := make([]int32, 16)
+	for i := range ref {
+		flipped[i] = 1 - ref[i]
+	}
+	cfg := Config{K: 2, Eps: 0.5, Objective: ObjectiveCut, MigrationRef: ref}
+	a := evaluate(g, ref, cfg)     // zero divergence
+	b := evaluate(g, flipped, cfg) // same cut, full divergence
+	if a.primary != b.primary {
+		t.Fatalf("test premise broken: cuts differ (%d vs %d)", a.primary, b.primary)
+	}
+	if !better(a, b) || better(b, a) {
+		t.Error("migration tie-break did not prefer the reference-identical individual")
+	}
+
+	cfg.Objective = ObjectiveMigration
+	am := evaluate(g, ref, cfg)
+	bm := evaluate(g, flipped, cfg)
+	if am.primary != 0 || bm.primary != 16 {
+		t.Errorf("ObjectiveMigration primaries: %d and %d, want 0 and 16", am.primary, bm.primary)
+	}
+	if am.secondary != partition.EdgeCut(g, ref) {
+		t.Errorf("ObjectiveMigration secondary = %d, want the cut", am.secondary)
+	}
+}

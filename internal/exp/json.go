@@ -180,6 +180,7 @@ type JSONReport struct {
 	Weak       []WeakRecord   `json:"weak_scaling,omitempty"`
 	Strong     []StrongRecord `json:"strong_scaling,omitempty"`
 	Shrink     []ShrinkRecord `json:"shrink,omitempty"`
+	Repart     []RepartRecord `json:"repartition,omitempty"`
 }
 
 // WriteJSON renders the report as indented JSON.

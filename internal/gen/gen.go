@@ -429,3 +429,53 @@ func maxI32(a, b int32) int32 {
 	}
 	return b
 }
+
+// Perturb returns a copy of g with roughly frac of its undirected edges
+// churned: each edge is dropped with probability frac, and one fresh
+// uniform-random edge is inserted per dropped edge (a new random endpoint
+// pair may coincide with an existing edge, in which case the weights
+// merge). Node count and node weights are preserved; inserted edges have
+// weight 1. Perturb models graph drift between partitioning runs — the
+// dynamic-graph scenario the repartitioning API serves — so examples,
+// benchmarks and tests can exercise Repartition realistically.
+func Perturb(g *graph.Graph, frac float64, seed uint64) *graph.Graph {
+	n := g.NumNodes()
+	b := graph.NewBuilder(n)
+	for v := int32(0); v < n; v++ {
+		if g.NW[v] != 1 {
+			b.SetNodeWeight(v, g.NW[v])
+		}
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	r := rng.New(seed)
+	var dropped int64
+	for v := int32(0); v < n; v++ {
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			if u <= v {
+				continue // each undirected edge handled once
+			}
+			if frac > 0 && r.Float64() < frac {
+				dropped++
+				continue
+			}
+			b.AddEdgeW(v, u, ws[i])
+		}
+	}
+	if n >= 2 {
+		for i := int64(0); i < dropped; i++ {
+			u := r.Int31n(n)
+			v := r.Int31n(n - 1)
+			if v >= u {
+				v++
+			}
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}

@@ -245,3 +245,27 @@ func TestRGGRadiusFormula(t *testing.T) {
 		t.Fatalf("radius %v out of (0,1)", r)
 	}
 }
+
+func TestPerturb(t *testing.T) {
+	g, _ := PlantedPartition(2000, 20, 8, 0.5, 1)
+	g2 := Perturb(g, 0.05, 9)
+	if g2.NumNodes() != g.NumNodes() {
+		t.Fatalf("node count changed: %d -> %d", g.NumNodes(), g2.NumNodes())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatalf("perturbed graph invalid: %v", err)
+	}
+	if g2.Fingerprint() == g.Fingerprint() {
+		t.Fatal("5% churn left the graph identical")
+	}
+	// Edge count stays within a few percent (drops are re-inserted; only
+	// merges with existing edges shrink the count).
+	lo, hi := g.NumEdges()*93/100, g.NumEdges()*107/100
+	if m := g2.NumEdges(); m < lo || m > hi {
+		t.Fatalf("edge count drifted too far: %d -> %d", g.NumEdges(), m)
+	}
+	// Count differing adjacency entries to confirm actual churn happened.
+	if Perturb(g, 0, 9).Fingerprint() != g.Fingerprint() {
+		t.Fatal("frac=0 should be a structural no-op")
+	}
+}

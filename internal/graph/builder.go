@@ -7,8 +7,11 @@ import (
 
 // Builder accumulates an edge list and produces a validated CSR graph.
 // Edges may be added in either or both directions and in any order;
-// duplicates are merged by summing their weights, and self-loops are
-// dropped. Node weights default to 1.
+// duplicates are merged by summing their weights. Self-loops are rejected
+// with a panic, like the other structural errors: the graph model is
+// simple and undirected (Validate enforces the same invariant), and
+// silently dropping them — the old behavior — hid generator bugs. Node
+// weights default to 1.
 type Builder struct {
 	n       int32
 	nw      []int64
@@ -38,11 +41,14 @@ func (b *Builder) SetNodeWeight(v NodeID, w int64) {
 	b.nw[v] = w
 }
 
-// AddEdge records the undirected edge {u, v} with weight 1.
+// AddEdge records the undirected edge {u, v} with weight 1. It panics on
+// out-of-range endpoints and on self-loops (u == v).
 func (b *Builder) AddEdge(u, v NodeID) { b.AddEdgeW(u, v, 1) }
 
-// AddEdgeW records the undirected edge {u, v} with weight w. Self-loops are
-// ignored. It panics on out-of-range endpoints or non-positive weight.
+// AddEdgeW records the undirected edge {u, v} with weight w. It panics on
+// out-of-range endpoints, non-positive weight, or a self-loop (u == v) —
+// the graph model is simple; callers sampling random endpoint pairs must
+// skip or resample coincident pairs.
 func (b *Builder) AddEdgeW(u, v NodeID, w int64) {
 	if u < 0 || u >= b.n || v < 0 || v >= b.n {
 		panic(fmt.Sprintf("graph: AddEdgeW endpoint out of range: (%d,%d), n=%d", u, v, b.n))
@@ -51,7 +57,7 @@ func (b *Builder) AddEdgeW(u, v NodeID, w int64) {
 		panic(fmt.Sprintf("graph: AddEdgeW non-positive weight %d", w))
 	}
 	if u == v {
-		return
+		panic(fmt.Sprintf("graph: AddEdgeW self-loop at node %d (self-loops are not representable; skip or resample)", u))
 	}
 	b.srcs = append(b.srcs, u)
 	b.dsts = append(b.dsts, v)

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -41,13 +43,65 @@ func TestBuilderMergesDuplicates(t *testing.T) {
 	}
 }
 
-func TestBuilderDropsSelfLoops(t *testing.T) {
+func TestBuilderRejectsSelfLoops(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("AddEdge(0, 0) did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "self-loop") {
+			t.Fatalf("panic message %v does not name the self-loop", r)
+		}
+	}()
 	b := NewBuilder(2)
-	b.AddEdge(0, 0)
 	b.AddEdge(0, 1)
+	b.AddEdge(0, 0)
+}
+
+// TestBuilderWeightedRoundTrip drives weighted edges and node weights
+// through Build and both I/O formats and checks they come back intact.
+func TestBuilderWeightedRoundTrip(t *testing.T) {
+	b := NewBuilder(4)
+	b.SetNodeWeight(0, 7)
+	b.SetNodeWeight(3, 2)
+	b.AddEdgeW(0, 1, 5)
+	b.AddEdgeW(1, 0, 3) // duplicate in the opposite direction: weights merge
+	b.AddEdgeW(1, 2, 4)
+	b.AddEdgeW(2, 3, 1)
 	g := b.Build()
-	if g.NumEdges() != 1 {
-		t.Fatalf("edges = %d, want 1", g.NumEdges())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.HasEdge(0, 1); !ok || w != 8 {
+		t.Fatalf("merged edge weight = %d, want 8", w)
+	}
+	if w, ok := g.HasEdge(1, 0); !ok || w != 8 {
+		t.Fatalf("reverse edge weight = %d, want 8", w)
+	}
+	if g.NW[0] != 7 || g.NW[1] != 1 || g.NW[3] != 2 {
+		t.Fatalf("node weights: %v", g.NW)
+	}
+
+	var metis bytes.Buffer
+	if err := WriteMetis(&metis, g); err != nil {
+		t.Fatal(err)
+	}
+	gm, err := ReadMetis(&metis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var binary bytes.Buffer
+	if err := WriteBinary(&binary, g); err != nil {
+		t.Fatal(err)
+	}
+	gb, err := ReadBinary(&binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]*Graph{"metis": gm, "binary": gb} {
+		if got.Fingerprint() != g.Fingerprint() {
+			t.Errorf("%s round trip changed the graph: %v vs %v", name, got, g)
+		}
 	}
 }
 

@@ -98,14 +98,24 @@ func (c *Config) normalize() {
 // Stats reports a baseline run.
 type Stats struct {
 	Levels    []int64 // global node count per level, fine to coarse
+	LevelsM   []int64 // global edge count per level, parallel to Levels
 	CoarsestN int64
 	CoarsestM int64
 	Stalled   bool // coarsening stopped by the stall detector
 	Cut       int64
 	Imbalance float64
-	Feasible  bool
-	TotalTime time.Duration
-	Comm      mpi.Stats // whole-world traffic (filled by Run)
+	// Lmax is the balance bound the run enforced; MaxBlockWeight the
+	// heaviest block of the result (Feasible iff MaxBlockWeight <= Lmax).
+	Lmax           int64
+	MaxBlockWeight int64
+	Feasible       bool
+	// Phase timings, mirroring core.Stats so baseline results compare
+	// apples-to-apples in benches.
+	CoarsenTime time.Duration
+	InitTime    time.Duration
+	RefineTime  time.Duration
+	TotalTime   time.Duration
+	Comm        mpi.Stats // whole-world traffic (filled by Run)
 }
 
 // parallelHeavyEdgeMatching computes a heavy-edge matching in two stages,
@@ -280,6 +290,8 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 	cur := d
 	var levels []levelRec
 	st.Levels = append(st.Levels, cur.GlobalN)
+	st.LevelsM = append(st.LevelsM, cur.GlobalM)
+	tCoarsen := time.Now()
 	for lvl := 0; lvl < cfg.MaxLevels && cur.GlobalN > coarsestLimit; lvl++ {
 		if err := ctx.Err(); err != nil {
 			return nil, st, err
@@ -296,7 +308,9 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 		levels = append(levels, levelRec{fine: cur, coarse: res.Coarse, fineToCoarse: res.FineToCoarse})
 		cur = res.Coarse
 		st.Levels = append(st.Levels, cur.GlobalN)
+		st.LevelsM = append(st.LevelsM, cur.GlobalM)
 	}
+	st.CoarsenTime = time.Since(tCoarsen)
 	st.CoarsestN = cur.GlobalN
 	st.CoarsestM = cur.GlobalM
 
@@ -311,6 +325,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 	if err := ctx.Err(); err != nil {
 		return nil, st, err
 	}
+	tInit := time.Now()
 	coarsest := cur.Gather()
 	// Initial partitioning: recursive bisection (PT-Scotch/ParMETIS style),
 	// identical on all ranks via the shared seed.
@@ -322,7 +337,9 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 	if err != nil {
 		return nil, st, err
 	}
+	st.InitTime = time.Since(tInit)
 
+	tRefine := time.Now()
 	curPart := make([]int64, cur.NTotal())
 	for v := int32(0); v < cur.NTotal(); v++ {
 		curPart[v] = int64(best[cur.ToGlobal(v)])
@@ -341,6 +358,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 		curPart = contract.ParProject(lv.fine, lv.coarse, lv.fineToCoarse, curPart)
 		refine(lv.fine, curPart)
 	}
+	st.RefineTime = time.Since(tRefine)
 
 	st.Cut = d.EdgeCut(curPart)
 	bw := d.BlockWeights(curPart, cfg.K)
@@ -355,6 +373,8 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 		}
 	}
 	st.Imbalance = float64(mx)/(float64(totalWeight)/float64(cfg.K)) - 1
+	st.Lmax = lmax
+	st.MaxBlockWeight = mx
 	st.TotalTime = time.Since(start)
 	return curPart, st, nil
 }

@@ -226,6 +226,13 @@ type ParRefineConfig struct {
 	PhasesPerRound int
 	// Seed drives traversal order and tie breaking per rank.
 	Seed uint64
+	// Prev, when non-nil (NTotal entries, this level's projection of the
+	// previous partition), makes refinement migration-aware: a node sitting
+	// on its previous block only leaves it for a strict connectivity gain,
+	// and among equally connected targets the previous block always wins
+	// the tie — so cut-neutral churn never migrates nodes. Nil leaves the
+	// behavior (including the RNG stream) exactly as before.
+	Prev []int64
 }
 
 // ParRefine improves the distributed partition part (NTotal entries, ghosts
@@ -302,7 +309,7 @@ func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 				}
 			}
 			for _, v := range phase {
-				if parRefineNode(d, v, part, blockWeight, localContrib, headroom, cfg.Lmax, conn, r) {
+				if parRefineNode(d, v, part, cfg.Prev, blockWeight, localContrib, headroom, cfg.Lmax, conn, r) {
 					movedLocal++
 					if d.IsInterface(v) {
 						changedSet.add(v)
@@ -434,7 +441,7 @@ func claimHeadroom(c *mpi.Comm, blockWeight, demand []int64, lmax int64, round i
 	}
 }
 
-func parRefineNode(d *dgraph.DGraph, v int32, part []int64,
+func parRefineNode(d *dgraph.DGraph, v int32, part, prev []int64,
 	blockWeight, localContrib, headroom []int64, lmax int64,
 	conn *hashtab.AccumulatorI64, r *rng.RNG) bool {
 
@@ -452,6 +459,15 @@ func parRefineNode(d *dgraph.DGraph, v int32, part []int64,
 	overloaded := blockWeight[cur] > lmax
 	curConn, _ := conn.Get(cur)
 
+	// prevB is the node's block in the previous partition (-1 when the run
+	// is not migration-aware). It wins connectivity ties and pins the node
+	// against cut-neutral moves; with prevB == -1 every branch below
+	// reduces to the original logic, including the RNG call sequence.
+	prevB := int64(-1)
+	if prev != nil {
+		prevB = prev[v]
+	}
+
 	eligible := func(b int64) bool {
 		return blockWeight[b]+nw <= lmax && headroom[b] >= nw
 	}
@@ -466,6 +482,13 @@ func parRefineNode(d *dgraph.DGraph, v int32, part []int64,
 		case c > bestConn:
 			best, bestConn, ties = label, c, 1
 		case c == bestConn:
+			if label == prevB {
+				best = label // the previous block wins every tie
+				return
+			}
+			if best == prevB {
+				return // ...and never loses one it already won
+			}
 			ties++
 			if r.Intn(ties) == 0 {
 				best = label
@@ -494,8 +517,13 @@ func parRefineNode(d *dgraph.DGraph, v int32, part []int64,
 		if bestConn < curConn {
 			return false
 		}
-		if bestConn == curConn && blockWeight[best]+nw >= blockWeight[cur] {
-			return false
+		if bestConn == curConn {
+			if cur == prevB {
+				return false // cut-neutral move off the previous block: never
+			}
+			if best != prevB && blockWeight[best]+nw >= blockWeight[cur] {
+				return false
+			}
 		}
 	}
 	blockWeight[cur] -= nw

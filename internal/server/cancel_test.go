@@ -26,13 +26,13 @@ func genBig() (*graph.Graph, []int32) {
 // (returning a real partition). calls counts invocations.
 func blockingPartitionFn(calls *atomic.Int64, release <-chan struct{}) PartitionFunc {
 	return func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options,
-		onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
+		prev *parhip.Partition, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
 		calls.Add(1)
 		select {
 		case <-ctx.Done():
 			return parhip.Result{}, ctx.Err()
 		case <-release:
-			return parhip.Partition(g, k, opt)
+			return parhip.PartitionGraph(g, k, opt)
 		}
 	}
 }
@@ -267,13 +267,13 @@ func TestCancelledRunNeverCached(t *testing.T) {
 	var calls atomic.Int64
 	cfg := Config{Workers: 1}
 	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options,
-		onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
+		prev *parhip.Partition, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
 		calls.Add(1)
 		if calls.Load() == 1 {
 			<-ctx.Done() // lose the race on purpose, then "finish" anyway
-			return parhip.Partition(g, k, opt)
+			return parhip.PartitionGraph(g, k, opt)
 		}
-		return parhip.Partition(g, k, opt)
+		return parhip.PartitionGraph(g, k, opt)
 	}
 	e := newEnv(t, cfg)
 	id := e.uploadMetis(testGraph(24))
@@ -303,13 +303,13 @@ func TestJobProgressExposed(t *testing.T) {
 	release := make(chan struct{})
 	cfg := Config{Workers: 1}
 	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options,
-		onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
+		prev *parhip.Partition, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
 		onProgress(parhip.ProgressEvent{Phase: "refine", Cycle: 1, Cycles: 2, Level: 3,
 			N: int64(g.NumNodes()), M: g.NumEdges(), Cut: 42, Imbalance: 0.01,
 			Elapsed: 5 * time.Millisecond})
 		close(emitted)
 		<-release
-		return parhip.Partition(g, k, opt)
+		return parhip.PartitionGraph(g, k, opt)
 	}
 	e := newEnv(t, cfg)
 	t.Cleanup(func() { close(release) })

@@ -30,12 +30,14 @@ const (
 )
 
 // PartitionFunc computes a partition; the production implementation wraps
-// a parhip.Partitioner session. It must honor ctx (return promptly with
-// ctx.Err() once cancelled) and may report live progress through
-// onProgress (never nil; called from the partitioner's coordinating rank).
-// Tests substitute counting/blocking wrappers.
+// a parhip.Partitioner session. prev, when non-nil, requests a
+// migration-aware repartitioning run seeded with that previous partition.
+// It must honor ctx (return promptly with ctx.Err() once cancelled) and
+// may report live progress through onProgress (never nil; called from the
+// partitioner's coordinating rank). Tests substitute counting/blocking
+// wrappers.
 type PartitionFunc func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options,
-	onProgress func(parhip.ProgressEvent)) (parhip.Result, error)
+	prev *parhip.Partition, onProgress func(parhip.ProgressEvent)) (parhip.Result, error)
 
 // job is the manager-internal record. Every field is guarded by the
 // manager's mutex — except ctx/cancel, which are set once at submission
@@ -48,6 +50,9 @@ type job struct {
 	k         int32
 	opts      parhip.Options
 	optsView  jobOptions
+	prev      *parhip.Partition // previous partition for repartition jobs
+	prevJobID string            // source job of prev ("" for inline/none)
+	repart    bool              // submitted with a previous partition
 	key       string
 	state     JobState
 	cached    bool
@@ -166,14 +171,23 @@ var (
 	errClosed    = fmt.Errorf("server shutting down")
 )
 
-// jobKey canonicalizes the (graph, options) pair into the cache key. The
-// options half lists every field that influences the result, with defaults
-// already applied (canonOptions), so e.g. eps=0 and eps=0.03 share a key.
-func jobKey(fingerprint string, k int32, o parhip.Options) string {
+// jobKey canonicalizes the (graph, previous partition, options) triple into
+// the cache key. The options half lists every field that influences the
+// result, with defaults already applied (canonOptions), so e.g. eps=0 and
+// eps=0.03 share a key. Repartition jobs carry the previous partition's
+// content checksum: the same graph repartitioned from two different
+// previous states is two different results.
+func jobKey(fingerprint string, k int32, prev *parhip.Partition, o parhip.Options) string {
 	var b strings.Builder
 	b.WriteString(fingerprint)
 	b.WriteString("|k=")
 	b.WriteString(strconv.FormatInt(int64(k), 10))
+	b.WriteString("|prev=")
+	if prev != nil {
+		b.WriteString(prev.Checksum())
+	} else {
+		b.WriteString("none")
+	}
 	fmt.Fprintf(&b, "|mode=%d|class=%d|eps=%.17g|seed=%d|pes=%d|obj=%d|budget=%d",
 		o.Mode, o.Class, o.Eps, o.Seed, o.PEs, o.Objective, o.EvoTimeBudget)
 	return b.String()
@@ -186,8 +200,9 @@ func jobKey(fingerprint string, k int32, o parhip.Options) string {
 // making the capacity check atomic with the closed check and with
 // registration (no partially registered jobs visible to concurrent
 // submissions).
-func (m *jobManager) submit(sg *storedGraph, k int32, opts parhip.Options, view jobOptions, timeoutMS int64) (*job, error) {
-	key := jobKey(sg.Fingerprint, k, opts)
+func (m *jobManager) submit(sg *storedGraph, k int32, opts parhip.Options, view jobOptions,
+	prev *parhip.Partition, prevJobID string, timeoutMS int64) (*job, error) {
+	key := jobKey(sg.Fingerprint, k, prev, opts)
 	now := time.Now()
 
 	m.mu.Lock()
@@ -203,6 +218,9 @@ func (m *jobManager) submit(sg *storedGraph, k int32, opts parhip.Options, view 
 		k:         k,
 		opts:      opts,
 		optsView:  view,
+		prev:      prev,
+		prevJobID: prevJobID,
+		repart:    prev != nil,
 		key:       key,
 		state:     StateQueued,
 		submitted: now,
@@ -311,6 +329,7 @@ func (m *jobManager) cancelLocked(j *job, msg string, now time.Time) {
 	}
 	j.finished = now
 	j.g = nil
+	j.prev = nil
 	if j.cancel != nil {
 		j.cancel() // release the timeout timer
 	}
@@ -366,7 +385,7 @@ func (m *jobManager) runJob(j *job) {
 		return
 	}
 	m.cacheMisses++
-	g, k, opts, ctx := j.g, j.k, j.opts, j.ctx
+	g, k, opts, prev, ctx := j.g, j.k, j.opts, j.prev, j.ctx
 	m.mu.Unlock()
 
 	onProgress := func(ev parhip.ProgressEvent) {
@@ -374,7 +393,7 @@ func (m *jobManager) runJob(j *job) {
 		j.progress = &ev
 		m.mu.Unlock()
 	}
-	res, err := m.partition(ctx, g, k, opts, onProgress)
+	res, err := m.partition(ctx, g, k, opts, prev, onProgress)
 	end := time.Now()
 
 	m.mu.Lock()
@@ -402,6 +421,7 @@ func (m *jobManager) runJob(j *job) {
 		j.errMsg = err.Error()
 		j.finished = end
 		j.g = nil
+		j.prev = nil
 		m.failed++
 		m.pushTimingLocked(j)
 		return
@@ -417,6 +437,7 @@ func (m *jobManager) runJob(j *job) {
 			res.Stats.MaxBlockWeight, res.Stats.Lmax, res.Stats.WorstOverload(), res.Imbalance)
 		j.finished = end
 		j.g = nil
+		j.prev = nil
 		m.failed++
 		m.infeasible++
 		m.pushTimingLocked(j)
@@ -441,6 +462,7 @@ func (m *jobManager) finishLocked(j *job, res *parhip.Result, cached bool, now t
 	j.cached = cached
 	j.result = res
 	j.g = nil
+	j.prev = nil
 	if j.cancel != nil {
 		j.cancel() // release the timeout timer
 	}
@@ -498,4 +520,19 @@ func (m *jobManager) get(id string) (*job, bool) {
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	return j, ok
+}
+
+// resultPartition returns the partition computed by a done job, for use as
+// the previous partition of a repartition submission.
+func (m *jobManager) resultPartition(id string) (*parhip.Partition, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("no job %q", id)
+	}
+	if j.state != StateDone || j.result == nil || j.result.Partition == nil {
+		return nil, fmt.Errorf("job %s is %s; only done jobs can seed a repartition", id, j.state)
+	}
+	return j.result.Partition, nil
 }

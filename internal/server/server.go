@@ -78,9 +78,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PartitionFn == nil {
 		c.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options,
-			onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
-			p, err := parhip.New(g, parhip.WithK(k), parhip.WithOptions(opt),
-				parhip.WithProgressFunc(onProgress))
+			prev *parhip.Partition, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
+			opts := []parhip.Option{parhip.WithK(k), parhip.WithOptions(opt),
+				parhip.WithProgressFunc(onProgress)}
+			if prev != nil {
+				opts = append(opts, parhip.WithPrevious(prev))
+			}
+			p, err := parhip.New(g, opts...)
 			if err != nil {
 				return parhip.Result{}, err
 			}
@@ -219,6 +223,15 @@ type jobRequest struct {
 	GraphID string     `json:"graph_id"`
 	K       int32      `json:"k"`
 	Options jobOptions `json:"options"`
+	// PrevJobID makes the job a migration-aware repartition run seeded
+	// with the partition computed by an earlier done job — the natural
+	// flow for a drifting graph: upload the new graph revision, then
+	// submit with prev_job_id of the previous revision's job. Mutually
+	// exclusive with Prev.
+	PrevJobID string `json:"prev_job_id,omitempty"`
+	// Prev inlines a previous partition (one block per node of the target
+	// graph) for clients that keep partitions outside the service.
+	Prev []int32 `json:"prev,omitempty"`
 	// TimeoutMS optionally bounds the job's total lifetime (queue + run);
 	// on expiry the job is cancelled. It is intentionally not part of the
 	// options: a timeout must not change the result cache key.
@@ -308,10 +321,14 @@ type progressView struct {
 
 // jobView is the wire form of a job's state.
 type jobView struct {
-	ID          string        `json:"id"`
-	GraphID     string        `json:"graph_id"`
-	K           int32         `json:"k"`
-	Options     jobOptions    `json:"options"`
+	ID      string     `json:"id"`
+	GraphID string     `json:"graph_id"`
+	K       int32      `json:"k"`
+	Options jobOptions `json:"options"`
+	// Repartition reports that the job was submitted with a previous
+	// partition (PrevJobID names its source job when it came from one).
+	Repartition bool          `json:"repartition,omitempty"`
+	PrevJobID   string        `json:"prev_job_id,omitempty"`
 	TimeoutMS   int64         `json:"timeout_ms,omitempty"`
 	State       JobState      `json:"state"`
 	Cached      bool          `json:"cached"`
@@ -332,6 +349,8 @@ func viewLocked(j *job) jobView {
 		GraphID:     j.graphID,
 		K:           j.k,
 		Options:     j.optsView,
+		Repartition: j.repart,
+		PrevJobID:   j.prevJobID,
 		TimeoutMS:   j.timeoutMS,
 		State:       j.state,
 		Cached:      j.cached,
@@ -397,7 +416,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
 		return
 	}
-	j, err := s.jobs.submit(sg, req.K, opts, view, req.TimeoutMS)
+	var prev *parhip.Partition
+	switch {
+	case req.PrevJobID != "" && req.Prev != nil:
+		writeError(w, http.StatusBadRequest, "prev_job_id and prev are mutually exclusive")
+		return
+	case req.PrevJobID != "":
+		prev, err = s.jobs.resultPartition(req.PrevJobID)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "prev_job_id: %v", err)
+			return
+		}
+	case req.Prev != nil:
+		prev, err = parhip.NewPartition(sg.g, req.Prev, req.K, opts.Eps)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "prev: %v", err)
+			return
+		}
+	}
+	if prev != nil {
+		// Repartitioning across graph revisions is the point, so the prev
+		// job may reference a different (older) graph — but the node set
+		// and block count must line up with this request.
+		if prev.NumNodes() != sg.N {
+			writeError(w, http.StatusBadRequest,
+				"previous partition has %d nodes, graph %s has %d", prev.NumNodes(), sg.ID, sg.N)
+			return
+		}
+		if prev.K() != req.K {
+			writeError(w, http.StatusBadRequest,
+				"previous partition has k=%d, job requests k=%d", prev.K(), req.K)
+			return
+		}
+	}
+	j, err := s.jobs.submit(sg, req.K, opts, view, prev, req.PrevJobID, req.TimeoutMS)
 	switch {
 	case errors.Is(err, errQueueFull):
 		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueSize)
@@ -470,16 +522,23 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, v)
 }
 
-// resultView is the wire form of a finished job's partition.
+// resultView is the wire form of a finished job's partition. Repartition
+// jobs additionally expose migration statistics against the previous
+// partition they were seeded with.
 type resultView struct {
-	JobID     string  `json:"job_id"`
-	GraphID   string  `json:"graph_id"`
-	K         int32   `json:"k"`
-	Cached    bool    `json:"cached"`
-	Cut       int64   `json:"cut"`
-	Imbalance float64 `json:"imbalance"`
-	Feasible  bool    `json:"feasible"`
-	Part      []int32 `json:"part"`
+	JobID       string  `json:"job_id"`
+	GraphID     string  `json:"graph_id"`
+	K           int32   `json:"k"`
+	Cached      bool    `json:"cached"`
+	Cut         int64   `json:"cut"`
+	Imbalance   float64 `json:"imbalance"`
+	Feasible    bool    `json:"feasible"`
+	Repartition bool    `json:"repartition,omitempty"`
+	// MigratedNodes/MigrationVolume report how many nodes a repartition
+	// result moved off their previous block and their total node weight.
+	MigratedNodes   int64   `json:"migrated_nodes,omitempty"`
+	MigrationVolume int64   `json:"migration_volume,omitempty"`
+	Part            []int32 `json:"part"`
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -489,7 +548,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.jobs.mu.Lock()
-	state, errMsg, cached, res := j.state, j.errMsg, j.cached, j.result
+	state, errMsg, cached, repart, res := j.state, j.errMsg, j.cached, j.repart, j.result
 	s.jobs.mu.Unlock()
 	switch state {
 	case StateFailed:
@@ -497,19 +556,36 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case StateCancelled:
 		writeError(w, http.StatusGone, "job cancelled: %s", errMsg)
 	case StateDone:
-		writeJSON(w, http.StatusOK, resultView{
-			JobID:     j.id,
-			GraphID:   j.graphID,
-			K:         j.k,
-			Cached:    cached,
-			Cut:       res.Cut,
-			Imbalance: res.Imbalance,
-			Feasible:  res.Feasible,
-			Part:      res.Part,
-		})
+		v := resultView{
+			JobID:       j.id,
+			GraphID:     j.graphID,
+			K:           j.k,
+			Cached:      cached,
+			Cut:         res.Cut,
+			Imbalance:   res.Imbalance,
+			Feasible:    res.Feasible,
+			Repartition: repart,
+			Part:        partSlice(res),
+		}
+		if repart {
+			v.MigratedNodes = res.Stats.MigratedNodes
+			v.MigrationVolume = res.Stats.MigrationVolume
+		}
+		writeJSON(w, http.StatusOK, v)
 	default:
 		writeError(w, http.StatusConflict, "job %s is %s; poll GET /v1/jobs/%s", j.id, state, j.id)
 	}
+}
+
+// partSlice is the wire-form assignment array of a result (the JSON API
+// speaks raw blocks). Result.Part aliases the Partition's storage, so this
+// is allocation-free per request — important for large graphs polled
+// repeatedly.
+func partSlice(res *parhip.Result) []int32 {
+	if res == nil {
+		return nil
+	}
+	return res.Part
 }
 
 // --- stats ------------------------------------------------------------

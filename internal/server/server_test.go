@@ -176,9 +176,9 @@ func TestUploadBinaryFormat(t *testing.T) {
 func TestCacheHitSkipsRecomputation(t *testing.T) {
 	var runs atomic.Int64
 	cfg := Config{Workers: 2}
-	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
+	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options, prev *parhip.Partition, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
 		runs.Add(1)
-		return parhip.Partition(g, k, opt)
+		return parhip.PartitionGraph(g, k, opt)
 	}
 	e := newEnv(t, cfg)
 	id := e.uploadMetis(testGraph(3))
@@ -291,9 +291,9 @@ func TestQueueFull(t *testing.T) {
 	block := make(chan struct{})
 	var once sync.Once
 	cfg := Config{Workers: 1, QueueSize: 1}
-	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
+	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options, prev *parhip.Partition, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
 		<-block
-		return parhip.Partition(g, k, opt)
+		return parhip.PartitionGraph(g, k, opt)
 	}
 	e := newEnv(t, cfg)
 	t.Cleanup(func() { once.Do(func() { close(block) }) })
@@ -362,9 +362,9 @@ func TestResultBeforeDone(t *testing.T) {
 	block := make(chan struct{})
 	var once sync.Once
 	cfg := Config{Workers: 1}
-	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
+	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options, prev *parhip.Partition, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
 		<-block
-		return parhip.Partition(g, k, opt)
+		return parhip.PartitionGraph(g, k, opt)
 	}
 	e := newEnv(t, cfg)
 	t.Cleanup(func() { once.Do(func() { close(block) }) })
@@ -454,7 +454,7 @@ func TestServerCloseDrainsQueue(t *testing.T) {
 func TestInfeasibleResultFailsJob(t *testing.T) {
 	var calls atomic.Int64
 	cfg := Config{Workers: 1}
-	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
+	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options, prev *parhip.Partition, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
 		calls.Add(1)
 		res := parhip.Result{
 			Part:      make([]int32, g.NumNodes()), // everything in block 0
@@ -514,5 +514,81 @@ func TestStatsInfeasibleCounterZeroOnHealthyRuns(t *testing.T) {
 	}
 	if st := e.srv.Stats(); st.Jobs.InfeasibleResults != 0 {
 		t.Fatalf("infeasible_results = %d, want 0", st.Jobs.InfeasibleResults)
+	}
+}
+
+// TestRepartitionJobs exercises the dynamic-graph flow end to end: partition
+// graph A, upload a churned revision B, repartition B seeded with A's job,
+// and check the migration stats, the prev-aware cache key and the
+// validation of bad prev references.
+func TestRepartitionJobs(t *testing.T) {
+	e := newEnv(t, Config{Workers: 2})
+	g := testGraph(3)
+	idA := e.uploadMetis(g)
+
+	cold, _ := e.submit(fmt.Sprintf(`{"graph_id":%q,"k":4,"options":{"mode":"minimal","pes":2}}`, idA))
+	if v := e.await(cold.ID); v.State != StateDone {
+		t.Fatalf("cold job: %+v", v)
+	}
+
+	idB := e.uploadMetis(gen.Perturb(g, 0.05, 9))
+	warm, _ := e.submit(fmt.Sprintf(`{"graph_id":%q,"k":4,"prev_job_id":%q,"options":{"mode":"minimal","pes":2}}`, idB, cold.ID))
+	wv := e.await(warm.ID)
+	if wv.State != StateDone {
+		t.Fatalf("warm job: %+v", wv)
+	}
+	if !wv.Repartition || wv.PrevJobID != cold.ID {
+		t.Errorf("warm job view lacks repartition marker: %+v", wv)
+	}
+
+	var res resultView
+	if code, raw := e.do("GET", "/v1/jobs/"+warm.ID+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("warm result: status %d: %s", code, raw)
+	}
+	if !res.Repartition {
+		t.Error("result body lacks repartition flag")
+	}
+	if res.MigratedNodes < 0 || res.MigratedNodes > int64(g.NumNodes()) {
+		t.Errorf("implausible migrated_nodes %d", res.MigratedNodes)
+	}
+	if res.MigrationVolume < res.MigratedNodes {
+		t.Errorf("migration_volume %d below migrated_nodes %d (unit weights)", res.MigrationVolume, res.MigratedNodes)
+	}
+	if len(res.Part) != int(g.NumNodes()) {
+		t.Errorf("result part has %d entries, want %d", len(res.Part), g.NumNodes())
+	}
+
+	// Identical repartition submission hits the cache; the same options
+	// WITHOUT prev must not (prev is part of the key).
+	warm2, code := e.submit(fmt.Sprintf(`{"graph_id":%q,"k":4,"prev_job_id":%q,"options":{"mode":"minimal","pes":2}}`, idB, cold.ID))
+	if code != http.StatusOK || !warm2.Cached {
+		t.Errorf("identical repartition submission not served from cache: code %d, %+v", code, warm2)
+	}
+	coldB, _ := e.submit(fmt.Sprintf(`{"graph_id":%q,"k":4,"options":{"mode":"minimal","pes":2}}`, idB))
+	if coldB.Cached {
+		t.Error("cold submission wrongly shared the repartition job's cache entry")
+	}
+	e.await(coldB.ID)
+
+	// Inline prev: take the cold result's assignment and submit it directly.
+	var coldRes resultView
+	e.do("GET", "/v1/jobs/"+cold.ID+"/result", nil, &coldRes)
+	prevJSON, _ := json.Marshal(coldRes.Part)
+	inline, _ := e.submit(fmt.Sprintf(`{"graph_id":%q,"k":4,"prev":%s,"options":{"mode":"minimal","pes":2}}`, idB, prevJSON))
+	if iv := e.await(inline.ID); iv.State != StateDone || !iv.Repartition {
+		t.Errorf("inline-prev job: %+v", iv)
+	}
+
+	// Validation failures.
+	for name, body := range map[string]string{
+		"unknown prev job": fmt.Sprintf(`{"graph_id":%q,"k":4,"prev_job_id":"j999"}`, idB),
+		"not-done prev":    fmt.Sprintf(`{"graph_id":%q,"k":4,"prev_job_id":%q,"prev":[0,1]}`, idB, cold.ID),
+		"wrong k":          fmt.Sprintf(`{"graph_id":%q,"k":8,"prev_job_id":%q}`, idB, cold.ID),
+		"bad inline len":   fmt.Sprintf(`{"graph_id":%q,"k":4,"prev":[0,1,2]}`, idB),
+	} {
+		var apiErr apiError
+		if code, raw := e.do("POST", "/v1/jobs", []byte(body), &apiErr); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, code, raw)
+		}
 	}
 }

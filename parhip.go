@@ -136,11 +136,23 @@ const (
 	// MinimizeMaxQuotientDegree minimizes the maximum number of
 	// neighbouring blocks.
 	MinimizeMaxQuotientDegree = evo.ObjectiveMaxQuotientDegree
+	// MinimizeMigration minimizes the number of nodes moved away from the
+	// previous partition, breaking ties by edge cut. It requires a session
+	// configured with WithPrevious (or Repartition); without a previous
+	// partition there is nothing to stay close to and New rejects it.
+	MinimizeMigration = evo.ObjectiveMigration
 )
 
 // Result of a partitioning run.
 type Result struct {
-	// Part assigns every node a block in [0, k).
+	// Partition is the computed partition as a first-class value: block
+	// assignment plus block weights, cut, feasibility and the graph
+	// fingerprint, with serialization and migration planning attached.
+	Partition *Partition
+	// Part assigns every node a block in [0, k). It aliases Partition's
+	// storage and must be treated as read-only.
+	//
+	// Deprecated: use Partition.
 	Part []int32
 	// Cut is the weight of edges between different blocks.
 	Cut int64
@@ -148,7 +160,8 @@ type Result struct {
 	Imbalance float64
 	// Feasible reports whether every block respects (1+eps)*ceil(W/k).
 	Feasible bool
-	// Stats carries detailed level/timing/communication data.
+	// Stats carries detailed level/timing/communication data; repartition
+	// runs additionally fill Stats.MigratedNodes and Stats.MigrationVolume.
 	Stats core.Stats
 }
 
@@ -185,15 +198,17 @@ func (o Options) pes() int {
 	return o.PEs
 }
 
-// Partition computes a k-way partition of g with the ParHIP algorithm.
-// It now applies the same strict option validation as New (invalid eps,
-// PEs, mode etc. are errors, no longer silently replaced by defaults).
+// PartitionGraph computes a k-way partition of g with the ParHIP
+// algorithm. It applies the same strict option validation as New (invalid
+// eps, PEs, mode etc. are errors, not silently replaced by defaults). In
+// earlier releases this function was named Partition; that name now
+// belongs to the first-class partition value type.
 //
 // Deprecated: use New + Run, which add cancellation and progress:
 //
 //	p, err := parhip.New(g, parhip.WithK(k), parhip.WithOptions(opt))
 //	res, err := p.Run(ctx)
-func Partition(g *Graph, k int32, opt Options) (Result, error) {
+func PartitionGraph(g *Graph, k int32, opt Options) (Result, error) {
 	p, err := New(g, WithK(k), WithOptions(opt))
 	if err != nil {
 		return Result{}, err
@@ -212,7 +227,10 @@ func PartitionBaseline(g *Graph, k int32, opt Options, memoryBudgetNodes int64) 
 
 // PartitionBaselineCtx is PartitionBaseline bound to a context: when ctx
 // is cancelled, the simulated ranks unwind cooperatively and it returns
-// ctx.Err(). It applies the same strict option validation as New.
+// ctx.Err(). It applies the same strict option validation as New, and its
+// Result carries the same Stats detail (hierarchy levels, phase timings,
+// balance bound, communication) as the main partitioner's, so bench
+// comparisons against the baseline are apples-to-apples.
 func PartitionBaselineCtx(ctx context.Context, g *Graph, k int32, opt Options, memoryBudgetNodes int64) (Result, error) {
 	if err := validateRun(g, k, opt); err != nil {
 		return Result{}, err
@@ -229,11 +247,34 @@ func PartitionBaselineCtx(ctx context.Context, g *Graph, k int32, opt Options, m
 	if err != nil {
 		return Result{}, err
 	}
+	st := res.Stats
+	levels := make([]core.LevelStat, len(st.Levels))
+	for i, n := range st.Levels {
+		levels[i] = core.LevelStat{N: n}
+		if i < len(st.LevelsM) {
+			levels[i].M = st.LevelsM[i]
+		}
+	}
+	pv := newPartitionFromRun(g, res.Part, k, cfg.Eps, st.Cut, st.Feasible)
 	return Result{
+		Partition: pv,
 		Part:      res.Part,
-		Cut:       res.Stats.Cut,
-		Imbalance: res.Stats.Imbalance,
-		Feasible:  res.Stats.Feasible,
+		Cut:       st.Cut,
+		Imbalance: st.Imbalance,
+		Feasible:  st.Feasible,
+		Stats: core.Stats{
+			Levels:         levels,
+			CoarsenTime:    st.CoarsenTime,
+			InitTime:       st.InitTime,
+			RefineTime:     st.RefineTime,
+			TotalTime:      st.TotalTime,
+			Cut:            st.Cut,
+			Imbalance:      st.Imbalance,
+			Lmax:           st.Lmax,
+			MaxBlockWeight: st.MaxBlockWeight,
+			Feasible:       st.Feasible,
+			Comm:           st.Comm,
+		},
 	}, nil
 }
 
@@ -245,32 +286,52 @@ func PartitionBaselineCtx(ctx context.Context, g *Graph, k int32, opt Options, m
 func Fingerprint(g *Graph) string { return g.Fingerprint() }
 
 // EdgeCut returns the weight of edges crossing between blocks of p.
+//
+// Deprecated: use Partition.Cut, which every Result carries precomputed.
 func EdgeCut(g *Graph, p []int32) int64 {
 	return partition.EdgeCut(g, p)
 }
 
 // Imbalance returns max block weight over average block weight, minus 1.
+//
+// Deprecated: use Partition.Imbalance.
 func Imbalance(g *Graph, p []int32, k int32) float64 {
 	return partition.Imbalance(g, p, k)
 }
 
 // CommunicationVolume returns the total communication volume of p — for
 // every node, the number of distinct foreign blocks among its neighbours.
+//
+// Deprecated: use Partition.CommunicationVolume.
 func CommunicationVolume(g *Graph, p []int32, k int32) int64 {
 	return partition.CommunicationVolume(g, p, k)
 }
 
 // IsFeasible reports whether p respects the balance bound
 // (1+eps)*ceil(W/k) for every block.
+//
+// Deprecated: use Partition.Feasible (or Validate after deserializing).
 func IsFeasible(g *Graph, p []int32, k int32, eps float64) bool {
 	return partition.IsFeasible(g, p, k, eps)
 }
+
+// CommunicationVolume returns the total communication volume of the
+// partition on g — for every node, the number of distinct foreign blocks
+// among its neighbours.
+func (p *Partition) CommunicationVolume(g *Graph) int64 {
+	return partition.CommunicationVolume(g, p.assign, p.k)
+}
+
+// Clustering assigns every node a cluster ID. Unlike a Partition there is
+// no block count or balance bound attached; cluster IDs are dense-ish but
+// arbitrary.
+type Clustering []int32
 
 // ClusterModularity computes a multilevel modularity clustering of g (the
 // §VI graph-clustering extension): no block count and no balance bound,
 // maximizing Newman's modularity instead. It returns the cluster of each
 // node and the achieved modularity.
-func ClusterModularity(g *Graph, seed uint64) ([]int32, float64) {
+func ClusterModularity(g *Graph, seed uint64) (Clustering, float64) {
 	cfg := modularity.DefaultConfig()
 	if seed != 0 {
 		cfg.Seed = seed
@@ -279,6 +340,6 @@ func ClusterModularity(g *Graph, seed uint64) ([]int32, float64) {
 }
 
 // Modularity returns Newman's modularity of a clustering of g.
-func Modularity(g *Graph, clusters []int32) float64 {
+func Modularity(g *Graph, clusters Clustering) float64 {
 	return modularity.Modularity(g, clusters)
 }

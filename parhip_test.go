@@ -9,7 +9,7 @@ import (
 
 func TestPartitionPublicAPI(t *testing.T) {
 	g, _ := gen.PlantedPartition(3000, 20, 10, 0.5, 1)
-	res, err := Partition(g, 4, Options{PEs: 2, Seed: 2})
+	res, err := PartitionGraph(g, 4, Options{PEs: 2, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestPartitionPublicAPI(t *testing.T) {
 func TestPartitionModes(t *testing.T) {
 	g, _ := gen.PlantedPartition(1500, 12, 9, 0.5, 2)
 	for _, m := range []Mode{Fast, Eco, Minimal} {
-		res, err := Partition(g, 2, Options{PEs: 2, Mode: m, Seed: 1})
+		res, err := PartitionGraph(g, 2, Options{PEs: 2, Mode: m, Seed: 1})
 		if err != nil {
 			t.Fatalf("mode %d: %v", m, err)
 		}
@@ -41,12 +41,12 @@ func TestPartitionModes(t *testing.T) {
 }
 
 func TestPartitionErrors(t *testing.T) {
-	if _, err := Partition(nil, 2, Options{}); err == nil {
+	if _, err := PartitionGraph(nil, 2, Options{}); err == nil {
 		t.Fatal("nil graph accepted")
 	}
 	g := NewBuilder(4)
 	g.AddEdge(0, 1)
-	if _, err := Partition(g.Build(), 0, Options{}); err == nil {
+	if _, err := PartitionGraph(g.Build(), 0, Options{}); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 	if _, err := PartitionBaseline(nil, 2, Options{}, 0); err == nil {
@@ -74,6 +74,42 @@ func TestBaselinePublicAPI(t *testing.T) {
 	}
 	if !res.Feasible {
 		t.Fatalf("baseline infeasible: %.4f", res.Imbalance)
+	}
+}
+
+// TestBaselineStatsDetail locks in that the baseline's Result carries the
+// same Stats detail as the main partitioner — hierarchy levels with node
+// AND edge counts, phase timings, the balance bound — so bench comparisons
+// are apples-to-apples (not just Cut/Imbalance/Feasible).
+func TestBaselineStatsDetail(t *testing.T) {
+	g := gen.DelaunayLike(3000, 5)
+	res, err := PartitionBaseline(g, 4, Options{PEs: 2, Class: Mesh, Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if len(st.Levels) < 2 {
+		t.Fatalf("baseline stats carry %d hierarchy levels, want >= 2", len(st.Levels))
+	}
+	if st.Levels[0].N != int64(g.NumNodes()) || st.Levels[0].M != g.NumEdges() {
+		t.Errorf("finest level = %+v, want n=%d m=%d", st.Levels[0], g.NumNodes(), g.NumEdges())
+	}
+	for i := 1; i < len(st.Levels); i++ {
+		if st.Levels[i].N >= st.Levels[i-1].N || st.Levels[i].M <= 0 {
+			t.Errorf("level %d not coarser or missing edges: %+v", i, st.Levels)
+		}
+	}
+	if st.TotalTime <= 0 || st.CoarsenTime <= 0 || st.InitTime <= 0 || st.RefineTime <= 0 {
+		t.Errorf("missing phase timings: %+v", st)
+	}
+	if st.Lmax <= 0 || st.MaxBlockWeight <= 0 || st.MaxBlockWeight > st.Lmax {
+		t.Errorf("balance bound fields inconsistent: Lmax=%d MaxBlockWeight=%d", st.Lmax, st.MaxBlockWeight)
+	}
+	if st.Cut != res.Cut {
+		t.Errorf("Stats.Cut %d != Result.Cut %d", st.Cut, res.Cut)
+	}
+	if res.Partition == nil || res.Partition.Cut() != res.Cut {
+		t.Error("baseline result lacks a consistent Partition value")
 	}
 }
 
@@ -112,7 +148,7 @@ func TestMetricsExports(t *testing.T) {
 
 func TestPartitionWithObjective(t *testing.T) {
 	g, _ := gen.PlantedPartition(1200, 10, 9, 0.5, 7)
-	res, err := Partition(g, 4, Options{PEs: 2, Seed: 3, Objective: MinimizeCommVolume})
+	res, err := PartitionGraph(g, 4, Options{PEs: 2, Seed: 3, Objective: MinimizeCommVolume})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,230 @@
+package parhip_test
+
+import (
+	"context"
+	"testing"
+
+	"repro"
+	"repro/internal/gen"
+)
+
+// TestRepartitionChurnAcceptance is the headline dynamic-graph scenario:
+// partition a community graph, churn 5% of its edges, then Repartition
+// with the previous partition. The warm run must stay cut-competitive with
+// a cold run on the perturbed graph (within 5%) while migrating fewer than
+// 30% of the nodes.
+func TestRepartitionChurnAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run acceptance test")
+	}
+	const (
+		pes = 8
+		k   = int32(16)
+	)
+	g, _ := gen.PlantedPartition(6000, 60, 10, 0.4, 1)
+	ctx := context.Background()
+
+	cold, err := run(ctx, t, g, k, pes)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	g2 := gen.Perturb(g, 0.05, 7)
+	cold2, err := run(ctx, t, g2, k, pes)
+	if err != nil {
+		t.Fatalf("cold run on perturbed graph: %v", err)
+	}
+
+	warm, err := parhip.Repartition(ctx, g2, cold.Partition, parhip.WithPEs(pes))
+	if err != nil {
+		t.Fatalf("Repartition: %v", err)
+	}
+	if !warm.Feasible {
+		t.Fatalf("repartition result infeasible: imbalance %.4f", warm.Imbalance)
+	}
+	if limit := cold2.Cut + cold2.Cut/20; warm.Cut > limit {
+		t.Errorf("warm cut %d more than 5%% above cold cut %d on the perturbed graph", warm.Cut, cold2.Cut)
+	}
+
+	plan, err := warm.Partition.MigrationPlan(cold.Partition)
+	if err != nil {
+		t.Fatalf("MigrationPlan: %v", err)
+	}
+	if frac := plan.MigratedFraction(); frac >= 0.30 {
+		t.Errorf("migrated %.1f%% of nodes, want < 30%%", 100*frac)
+	}
+	if plan.MigratedNodes != warm.Stats.MigratedNodes {
+		t.Errorf("MigrationPlan counts %d moves, Stats.MigratedNodes = %d",
+			plan.MigratedNodes, warm.Stats.MigratedNodes)
+	}
+	if plan.MigrationVolume != warm.Stats.MigrationVolume {
+		t.Errorf("MigrationPlan volume %d, Stats.MigrationVolume = %d",
+			plan.MigrationVolume, warm.Stats.MigrationVolume)
+	}
+	t.Logf("cold cut %d, perturbed cold cut %d, warm cut %d, migrated %d/%d nodes (%.1f%%)",
+		cold.Cut, cold2.Cut, warm.Cut, plan.MigratedNodes, plan.TotalNodes,
+		100*plan.MigratedFraction())
+}
+
+func run(ctx context.Context, t *testing.T, g *parhip.Graph, k int32, pes int) (parhip.Result, error) {
+	t.Helper()
+	p, err := parhip.New(g, parhip.WithK(k), parhip.WithPEs(pes))
+	if err != nil {
+		return parhip.Result{}, err
+	}
+	return p.Run(ctx)
+}
+
+// TestRepartitionNeverWorseOnUnchangedGraph repartitions the *same* graph:
+// the result must keep the previous cut or improve it, and migration must
+// be tiny (only strict improvements move nodes).
+func TestRepartitionNeverWorseOnUnchangedGraph(t *testing.T) {
+	g, _ := gen.PlantedPartition(3000, 30, 10, 0.5, 2)
+	ctx := context.Background()
+	cold, err := run(ctx, t, g, 8, 4)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	warm, err := parhip.Repartition(ctx, g, cold.Partition)
+	if err != nil {
+		t.Fatalf("Repartition: %v", err)
+	}
+	if warm.Cut > cold.Cut {
+		t.Errorf("repartitioning the unchanged graph worsened the cut: %d -> %d", cold.Cut, warm.Cut)
+	}
+	plan, err := warm.Partition.MigrationPlan(cold.Partition)
+	if err != nil {
+		t.Fatalf("MigrationPlan: %v", err)
+	}
+	if frac := plan.MigratedFraction(); frac > 0.15 {
+		t.Errorf("unchanged graph migrated %.1f%% of nodes", 100*frac)
+	}
+	t.Logf("cut %d -> %d, migrated %.2f%%", cold.Cut, warm.Cut, 100*plan.MigratedFraction())
+}
+
+// TestRepartitionValidation covers the WithPrevious session plumbing.
+func TestRepartitionValidation(t *testing.T) {
+	g, _ := gen.PlantedPartition(500, 10, 8, 0.5, 3)
+	ctx := context.Background()
+	res, err := run(ctx, t, g, 4, 2)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	// k and eps are inherited from prev when omitted.
+	p, err := parhip.New(g, parhip.WithPrevious(res.Partition))
+	if err != nil {
+		t.Fatalf("New with previous only: %v", err)
+	}
+	warm, err := p.Run(ctx)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if warm.Partition.K() != 4 {
+		t.Errorf("inherited k = %d, want 4", warm.Partition.K())
+	}
+
+	// Conflicting k is rejected.
+	if _, err := parhip.New(g, parhip.WithK(8), parhip.WithPrevious(res.Partition)); err == nil {
+		t.Error("New accepted k=8 with a k=4 previous partition")
+	}
+	// Node-count mismatch is rejected.
+	small := gen.DelaunayLike(100, 1)
+	if _, err := parhip.New(small, parhip.WithPrevious(res.Partition)); err == nil {
+		t.Error("New accepted a previous partition for a different node count")
+	}
+	// MinimizeMigration without a previous partition is rejected.
+	if _, err := parhip.New(g, parhip.WithK(4), parhip.WithObjective(parhip.MinimizeMigration)); err == nil {
+		t.Error("New accepted MinimizeMigration without WithPrevious")
+	}
+	// ...and accepted with one.
+	if _, err := parhip.New(g, parhip.WithPrevious(res.Partition), parhip.WithObjective(parhip.MinimizeMigration)); err != nil {
+		t.Errorf("New rejected MinimizeMigration with WithPrevious: %v", err)
+	}
+	// Nil prev on the one-call form.
+	if _, err := parhip.Repartition(ctx, g, nil); err == nil {
+		t.Error("Repartition accepted a nil previous partition")
+	}
+}
+
+// TestRepartitionMinimizeMigrationObjective checks the objective wiring:
+// under MinimizeMigration the warm run must migrate no more nodes than the
+// default-objective warm run on the same perturbed graph.
+func TestRepartitionMinimizeMigrationObjective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run test")
+	}
+	g, _ := gen.PlantedPartition(2000, 20, 10, 0.5, 4)
+	ctx := context.Background()
+	cold, err := run(ctx, t, g, 8, 4)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	g2 := gen.Perturb(g, 0.05, 5)
+	warmCut, err := parhip.Repartition(ctx, g2, cold.Partition)
+	if err != nil {
+		t.Fatalf("Repartition (cut objective): %v", err)
+	}
+	warmMig, err := parhip.Repartition(ctx, g2, cold.Partition,
+		parhip.WithObjective(parhip.MinimizeMigration))
+	if err != nil {
+		t.Fatalf("Repartition (migration objective): %v", err)
+	}
+	if warmMig.Stats.MigratedNodes > warmCut.Stats.MigratedNodes {
+		t.Errorf("MinimizeMigration migrated %d nodes, default objective %d",
+			warmMig.Stats.MigratedNodes, warmCut.Stats.MigratedNodes)
+	}
+	t.Logf("migrated: cut-objective %d, migration-objective %d (cuts %d vs %d)",
+		warmCut.Stats.MigratedNodes, warmMig.Stats.MigratedNodes, warmCut.Cut, warmMig.Cut)
+}
+
+// BenchmarkPartition is the cold baseline for BenchmarkRepartition: both
+// partition the same perturbed graph, one from scratch and one from the
+// pre-churn partition. CI's bench-smoke job runs the pair, and the ratio
+// of their "migrated_frac" / ns/op columns records the value of the warm
+// path across PRs.
+func BenchmarkPartition(b *testing.B) {
+	g, _ := gen.PlantedPartition(6000, 60, 10, 0.4, 1)
+	g2 := gen.Perturb(g, 0.05, 7)
+	var cut int64
+	for i := 0; i < b.N; i++ {
+		p, err := parhip.New(g2, parhip.WithK(16), parhip.WithPEs(8), parhip.WithSeed(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := p.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut = res.Cut
+	}
+	b.ReportMetric(float64(cut), "cut")
+}
+
+func BenchmarkRepartition(b *testing.B) {
+	g, _ := gen.PlantedPartition(6000, 60, 10, 0.4, 1)
+	prev, err := parhip.New(g, parhip.WithK(16), parhip.WithPEs(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prevRes, err := prev.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g2 := gen.Perturb(g, 0.05, 7)
+	b.ResetTimer()
+	var cut, migrated int64
+	var total int32
+	for i := 0; i < b.N; i++ {
+		res, err := parhip.Repartition(context.Background(), g2, prevRes.Partition,
+			parhip.WithPEs(8), parhip.WithSeed(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut = res.Cut
+		migrated = res.Stats.MigratedNodes
+		total = res.Partition.NumNodes()
+	}
+	b.ReportMetric(float64(cut), "cut")
+	b.ReportMetric(float64(migrated)/float64(total), "migrated_frac")
+}

@@ -56,6 +56,7 @@ type ProgressEvent struct {
 type settings struct {
 	k          int32
 	opts       Options
+	prev       *Partition // previous partition for migration-aware runs
 	epsSet     bool
 	seedSet    bool
 	pesSet     bool
@@ -108,7 +109,25 @@ func WithObjective(o Objective) Option { return func(s *settings) { s.opts.Objec
 
 // WithPrepartition feeds an existing k-way partition into the first
 // V-cycle; the result is never worse than the input.
+//
+// Deprecated: use WithPrevious, which additionally makes the run
+// migration-aware (refinement keeps nodes on their previous block when
+// cut-neutral and Stats reports the migration volume).
 func WithPrepartition(p []int32) Option { return func(s *settings) { s.opts.Prepartition = p } }
+
+// WithPrevious makes the session a repartitioning run: prev — typically
+// the result of an earlier run on an older version of the graph — seeds
+// the first V-cycle exactly like a prepartition, and the whole pipeline
+// becomes migration-aware: label propagation refinement keeps nodes on
+// their previous block when a move is cut-neutral, the coarsest-level
+// evolutionary selection breaks objective ties in favour of fewer moved
+// nodes, and Stats gains MigratedNodes/MigrationVolume. The previous
+// partition may come from a different (drifted) graph as long as the node
+// count matches; use Repartition for the one-call form.
+//
+// When WithK is omitted, the session inherits prev's block count; when no
+// eps is configured, it inherits prev's.
+func WithPrevious(prev *Partition) Option { return func(s *settings) { s.prev = prev } }
 
 // WithOptions applies a v1 Options struct wholesale — the bridge for
 // callers migrating incrementally. It replaces everything set by earlier
@@ -169,6 +188,27 @@ func New(g *Graph, opts ...Option) (*Partitioner, error) {
 	for _, o := range opts {
 		o(&s)
 	}
+	if s.prev != nil {
+		// A repartitioning session inherits k (and, unless set, eps) from
+		// the previous partition, then validates the pair.
+		if s.k == 0 {
+			s.k = s.prev.K()
+		}
+		if s.opts.Eps == 0 && !s.epsSet {
+			s.opts.Eps = s.prev.Eps()
+		}
+		if g != nil && s.prev.NumNodes() != g.NumNodes() {
+			return nil, fmt.Errorf("parhip: previous partition has %d nodes, graph has %d (repartitioning requires a matching node set)",
+				s.prev.NumNodes(), g.NumNodes())
+		}
+		if s.prev.K() != s.k {
+			return nil, fmt.Errorf("parhip: previous partition has k = %d, session configured k = %d",
+				s.prev.K(), s.k)
+		}
+	}
+	if s.opts.Objective == MinimizeMigration && s.prev == nil {
+		return nil, errors.New("parhip: MinimizeMigration requires a previous partition (WithPrevious or Repartition)")
+	}
 	if err := validateRun(g, s.k, s.opts); err != nil {
 		return nil, err
 	}
@@ -214,7 +254,7 @@ func validateRun(g *Graph, k int32, o Options) error {
 	if o.Class < Social || o.Class > Mesh {
 		return fmt.Errorf("parhip: unknown graph class %d", o.Class)
 	}
-	if o.Objective < MinimizeCut || o.Objective > MinimizeMaxQuotientDegree {
+	if o.Objective < MinimizeCut || o.Objective > MinimizeMigration {
 		return fmt.Errorf("parhip: unknown objective %d", o.Objective)
 	}
 	if o.EvoTimeBudget < 0 {
@@ -299,6 +339,13 @@ func (p *Partitioner) Run(ctx context.Context) (Result, error) {
 		ctx = context.Background()
 	}
 	cfg := p.s.opts.coreConfig(p.s.k)
+	if p.s.prev != nil {
+		// Repartitioning: the previous assignment both seeds the first
+		// V-cycle (prepartition semantics: never worse than the input) and
+		// acts as the migration reference the pipeline stays close to.
+		cfg.Prepartition = p.s.prev.assign
+		cfg.PrevPartition = p.s.prev.assign
+	}
 	if p.emitsProgress() {
 		cfg.OnProgress = func(cp core.Progress) {
 			p.emit(ProgressEvent{
@@ -320,11 +367,38 @@ func (p *Partitioner) Run(ctx context.Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	eps := cfg.Eps
+	if eps <= 0 {
+		eps = 0.03 // the core default, so the Partition records the bound actually enforced
+	}
+	pv := newPartitionFromRun(p.g, res.Part, p.s.k, eps, res.Stats.Cut, res.Stats.Feasible)
 	return Result{
+		Partition: pv,
 		Part:      res.Part,
 		Cut:       res.Stats.Cut,
 		Imbalance: res.Stats.Imbalance,
 		Feasible:  res.Stats.Feasible,
 		Stats:     res.Stats,
 	}, nil
+}
+
+// Repartition partitions g starting from a previous partition, minimizing
+// migration: the one-call form of New + WithPrevious(prev) + Run. It is
+// the intended entry point for dynamic graphs — partition once, let the
+// graph drift, then Repartition with the saved result to obtain a new
+// feasible partition whose cut is competitive with a cold run while moving
+// only a small fraction of the nodes. Diff the result against prev with
+// Partition.MigrationPlan; Stats reports MigratedNodes/MigrationVolume.
+//
+//	res, err := parhip.Repartition(ctx, g2, prevRes.Partition)
+//	plan, _ := res.Partition.MigrationPlan(prevRes.Partition)
+func Repartition(ctx context.Context, g *Graph, prev *Partition, opts ...Option) (Result, error) {
+	if prev == nil {
+		return Result{}, errors.New("parhip: Repartition: nil previous partition")
+	}
+	p, err := New(g, append([]Option{WithPrevious(prev)}, opts...)...)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Run(ctx)
 }

@@ -266,13 +266,13 @@ func TestNewValidation(t *testing.T) {
 // checks (it used to silently replace a negative eps by the default).
 func TestDeprecatedPartitionValidates(t *testing.T) {
 	g, _ := gen.PlantedPartition(100, 6, 6, 0.5, 1)
-	if _, err := Partition(g, 2, Options{Eps: -1}); err == nil {
+	if _, err := PartitionGraph(g, 2, Options{Eps: -1}); err == nil {
 		t.Fatal("negative eps accepted by Partition")
 	}
-	if _, err := Partition(g, 101, Options{}); err == nil {
+	if _, err := PartitionGraph(g, 101, Options{}); err == nil {
 		t.Fatal("k > n accepted by Partition")
 	}
-	if _, err := Partition(g, 2, Options{PEs: -4}); err == nil {
+	if _, err := PartitionGraph(g, 2, Options{PEs: -4}); err == nil {
 		t.Fatal("negative PEs accepted by Partition")
 	}
 	if _, err := PartitionBaseline(g, 2, Options{Eps: 1e9}, 0); err == nil {
