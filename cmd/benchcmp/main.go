@@ -1,0 +1,118 @@
+// Command benchcmp diffs two cmd/bench -json documents and gates on
+// regressions, comparing records matched by (experiment, graph, algo, k,
+// pes). Quality (cut) regressions beyond -cut-tol fail the run with exit
+// status 1 — as do records that flipped to failed/infeasible, and records
+// present in the baseline but missing from the current document. Timing
+// drift is reported but never fails the run: CI machines are too noisy for
+// wall-clock gates, while a cut is a deterministic function of (graph,
+// seed, algorithm) for fast/minimal and only budget-dependent for eco —
+// which is why the default tolerance is generous enough to absorb eco's
+// time-budget nondeterminism.
+//
+//	bench -table2 -json > current.json
+//	benchcmp -baseline BENCH_2026-08-07_table2.json -current current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline bench -json document (committed BENCH_*.json)")
+		currentPath  = flag.String("current", "", "current bench -json document to compare")
+		cutTol       = flag.Float64("cut-tol", 0.15, "relative cut increase tolerated before failing")
+		timeTol      = flag.Float64("time-tol", 0.50, "relative slowdown reported as a timing warning")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: need -baseline and -current")
+		os.Exit(2)
+	}
+
+	base, err := readReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := readReport(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	curByKey := make(map[string]exp.Record, len(cur.Records))
+	for _, r := range cur.Records {
+		curByKey[recordKey(r)] = r
+	}
+
+	var failures, warnings int
+	for _, b := range base.Records {
+		key := recordKey(b)
+		c, ok := curByKey[key]
+		if !ok {
+			fmt.Printf("FAIL %-40s missing from current document\n", key)
+			failures++
+			continue
+		}
+		if b.Failed {
+			// A record that was already failing in the baseline cannot
+			// regress; note a recovery, otherwise stay silent.
+			if !c.Failed {
+				fmt.Printf("GOOD %-40s recovered (was failing: %s)\n", key, b.Reason)
+			}
+			continue
+		}
+		if c.Failed {
+			fmt.Printf("FAIL %-40s now failing: %s\n", key, c.Reason)
+			failures++
+			continue
+		}
+		if b.Feasible && !c.Feasible {
+			fmt.Printf("FAIL %-40s result went infeasible (overload %d)\n", key, c.WorstOverload)
+			failures++
+			continue
+		}
+		if b.Cut > 0 && c.Cut > b.Cut*(1+*cutTol) {
+			fmt.Printf("FAIL %-40s cut %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)\n",
+				key, b.Cut, c.Cut, 100*(c.Cut/b.Cut-1), 100**cutTol)
+			failures++
+			continue
+		}
+		if b.Seconds > 0 && c.Seconds > b.Seconds*(1+*timeTol) {
+			fmt.Printf("warn %-40s time %.3fs -> %.3fs (+%.1f%%; timing is warn-only)\n",
+				key, b.Seconds, c.Seconds, 100*(c.Seconds/b.Seconds-1))
+			warnings++
+			continue
+		}
+		fmt.Printf("ok   %-40s cut %.0f -> %.0f, time %.3fs -> %.3fs\n",
+			key, b.Cut, c.Cut, b.Seconds, c.Seconds)
+	}
+
+	fmt.Printf("\n%d baseline records, %d failures, %d timing warnings\n",
+		len(base.Records), failures, warnings)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func recordKey(r exp.Record) string {
+	return fmt.Sprintf("%s/%s/%s/k=%d/p=%d", r.Experiment, r.Graph, r.Algo, r.K, r.PEs)
+}
+
+func readReport(path string) (exp.JSONReport, error) {
+	var rep exp.JSONReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return rep, nil
+}

@@ -181,6 +181,7 @@ func main() {
 		cancelled int
 		reparts   int
 		migrated  int64
+		errCounts = map[string]int{}
 	)
 	for o := range results {
 		if o.cancelled {
@@ -189,6 +190,7 @@ func main() {
 		}
 		if o.failed {
 			failed++
+			errCounts[o.err]++
 			fmt.Fprintf(os.Stderr, "job %+v failed: %s\n", o.spec, o.err)
 			continue
 		}
@@ -217,12 +219,32 @@ func main() {
 			i := int(p * float64(len(latencies)-1))
 			return latencies[i]
 		}
-		fmt.Printf("latency min/avg/p50/p95/max = %v / %v / %v / %v / %v\n",
+		// The P50/P95/P99 triple mirrors the server's own
+		// parhipd_job_run_seconds histogram quantiles, so the client-side
+		// view can be eyeballed against GET /metrics after a run.
+		fmt.Printf("latency min/avg/p50/p95/p99/max = %v / %v / %v / %v / %v / %v\n",
 			latencies[0].Round(time.Millisecond),
 			(sum / time.Duration(len(latencies))).Round(time.Millisecond),
 			pct(0.50).Round(time.Millisecond),
 			pct(0.95).Round(time.Millisecond),
+			pct(0.99).Round(time.Millisecond),
 			latencies[len(latencies)-1].Round(time.Millisecond))
+	}
+	if failed > 0 {
+		fmt.Printf("errors (%d total):\n", failed)
+		msgs := make([]string, 0, len(errCounts))
+		for msg := range errCounts {
+			msgs = append(msgs, msg)
+		}
+		sort.Slice(msgs, func(i, j int) bool {
+			if errCounts[msgs[i]] != errCounts[msgs[j]] {
+				return errCounts[msgs[i]] > errCounts[msgs[j]]
+			}
+			return msgs[i] < msgs[j]
+		})
+		for _, msg := range msgs {
+			fmt.Printf("  %4d x %s\n", errCounts[msg], msg)
+		}
 	}
 	printServerStats(*addr)
 	if failed > 0 {

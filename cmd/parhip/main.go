@@ -55,6 +55,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		prevFile  = flag.String("prev", "", "previous partition file: run a migration-aware repartition seeded with it")
 		out       = flag.String("out", "", "write the partition to this file (text format; binary when the name ends in .bpart)")
+		traceFile = flag.String("trace", "", "record per-rank spans and write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -67,6 +68,11 @@ func main() {
 		PEs:  *pes,
 		Eps:  *eps,
 		Seed: *seed,
+	}
+	var tracer *parhip.Tracer
+	if *traceFile != "" {
+		tracer = parhip.NewTracer(*pes)
+		opt.Trace = tracer
 	}
 	switch *mode {
 	case "fast":
@@ -184,6 +190,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "parhip: cancelled before the first checkpoint")
 			}
 			mu.Unlock()
+			writeTrace(*traceFile, tracer) // partial trace: spans completed before the abort
 			os.Exit(130)
 		}
 		fmt.Fprintln(os.Stderr, "parhip:", err)
@@ -220,6 +227,33 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+	writeTrace(*traceFile, tracer)
+}
+
+// writeTrace serializes the recorded spans as Chrome trace-event JSON.
+// No-op when tracing was not requested.
+func writeTrace(path string, tracer *parhip.Tracer) {
+	if path == "" || tracer == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parhip: trace:", err)
+		return
+	}
+	w := bufio.NewWriter(f)
+	err = tracer.WriteJSON(w)
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parhip: trace:", err)
+		return
+	}
+	fmt.Printf("wrote %s (%d spans; open in https://ui.perfetto.dev)\n", path, tracer.SpanCount())
 }
 
 func loadGraph(file, family string, n int32, seed uint64) (*parhip.Graph, parhip.GraphClass, error) {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/evo"
 	"repro/internal/graph"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/rng"
 	"repro/internal/sclp"
@@ -132,6 +133,12 @@ type Config struct {
 	// collectives, so a mixed configuration deadlocks. The callback runs on
 	// rank 0's goroutine and must not block for long.
 	OnProgress func(Progress)
+
+	// Tracer, when non-nil, records per-rank spans across the whole run:
+	// pipeline phases and levels here, sclp supersteps, and mpi exchanges
+	// (RunCtx attaches it to the world it creates). Nil — the default —
+	// disables tracing at zero cost. Must be identical on every rank.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) normalize() {
@@ -371,6 +378,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 			if err := ctx.Err(); err != nil {
 				return nil, st, err
 			}
+			spLvl := c.Tracer().Begin(c.Rank(), "core.coarsen_level")
 			labels := sclp.ParCluster(cur, sclp.ParClusterConfig{
 				U:              u,
 				Iterations:     cfg.CoarsenIters,
@@ -380,6 +388,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 				Seed:           shared.Uint64(),
 			})
 			res := contract.ParContract(cur, labels)
+			c.Tracer().End2(spLvl, "level", int64(len(levels)), "coarse_n", res.Coarse.GlobalN)
 			if res.Coarse.GlobalN >= cur.GlobalN*19/20 {
 				break // coarsening stalled
 			}
@@ -413,6 +422,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 
 		// --- Initial partitioning: replicate coarsest graph, run KaFFPaE ---
 		tInit := time.Now()
+		spInit := c.Tracer().Begin(c.Rank(), "core.initial_partition")
 		coarsest := cur.Gather()
 		var initial []int32
 		if constraint != nil {
@@ -452,6 +462,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 			// measure real movement, not label permutation.
 			remapBlocks(best, evoCfg.MigrationRef, cfg.K, coarsest.NW)
 		}
+		c.Tracer().End2(spInit, "cycle", int64(cycle), "coarsest_n", int64(coarsest.NumNodes()))
 		st.InitTime += time.Since(tInit)
 		if err := ctx.Err(); err != nil {
 			return nil, st, err
@@ -483,23 +494,27 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 			report(Progress{Phase: PhaseRefine, Cycle: cycle, Level: level,
 				N: dg.GlobalN, M: dg.GlobalM, Cut: cut, Imbalance: imbalanceOf(mx)})
 		}
+		spRef := c.Tracer().Begin(c.Rank(), "core.refine_level")
 		sclp.ParRefine(cur, curPart, sclp.ParRefineConfig{
 			K: cfg.K, Lmax: lmax, Iterations: cfg.RefineIters,
 			PhasesPerRound: cfg.PhasesPerRound, Seed: shared.Uint64(),
 			Prev: prevCur,
 		})
+		c.Tracer().End1(spRef, "level", int64(len(levels)))
 		reportRefine(cur, curPart, len(levels))
 		for i := len(levels) - 1; i >= 0; i-- {
 			if err := ctx.Err(); err != nil {
 				return nil, st, err
 			}
 			lv := levels[i]
+			spRef = c.Tracer().Begin(c.Rank(), "core.refine_level")
 			curPart = contract.ParProject(lv.fine, lv.coarse, lv.fineToCoarse, curPart)
 			sclp.ParRefine(lv.fine, curPart, sclp.ParRefineConfig{
 				K: cfg.K, Lmax: lmax, Iterations: cfg.RefineIters,
 				PhasesPerRound: cfg.PhasesPerRound, Seed: shared.Uint64(),
 				Prev: lv.prevFine,
 			})
+			c.Tracer().End1(spRef, "level", int64(i))
 			reportRefine(lv.fine, curPart, i)
 		}
 		st.RefineTime += time.Since(tRefine)
@@ -516,9 +531,11 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 	// (The check is rank-consistent: BlockWeights is an allreduce.)
 	if mx > lmax {
 		tReb := time.Now()
+		spReb := c.Tracer().Begin(c.Rank(), "core.rebalance")
 		st.RebalanceMoves, _ = sclp.ParRebalance(d, part, sclp.ParRebalanceConfig{
 			K: cfg.K, Lmax: lmax,
 		})
+		c.Tracer().End1(spReb, "moves", st.RebalanceMoves)
 		st.RebalanceTime = time.Since(tReb)
 		mx = maxBlock(d.BlockWeights(part, cfg.K))
 		report(Progress{Phase: PhaseRebalance, Cycle: cfg.VCycles - 1, Level: 0,
@@ -647,6 +664,7 @@ func RunCtx(ctx context.Context, P int, g *graph.Graph, cfg Config) (Result, err
 	var res Result
 	var runErr error
 	world := mpi.NewWorld(P)
+	world.SetTracer(cfg.Tracer)
 	stop := world.WatchContext(ctx)
 	defer stop()
 	world.Run(func(c *mpi.Comm) {

@@ -360,6 +360,7 @@ func (d *DGraph) LookupI64(vals []int64, queries []int64) []int64 {
 // The exchange follows the precomputed plan: values only (both sides know
 // the wire order), adjacent ranks only, staging buffers reused. Collective.
 func (d *DGraph) SyncGhosts(vals []int64) {
+	sp := d.Comm.Tracer().Begin(d.Comm.Rank(), "dgraph.sync_ghosts")
 	p := d.plan
 	for i := range p.nbrs {
 		buf := p.sendBuf[i][:0]
@@ -380,6 +381,7 @@ func (d *DGraph) SyncGhosts(vals []int64) {
 		}
 	})
 	p.resetStaging()
+	d.Comm.Tracer().End(sp)
 }
 
 // syncGhostsDense is the pre-plan implementation (point queries through the
@@ -410,6 +412,7 @@ func (d *DGraph) PushGhosts(vals []int64, changed []int32) {
 // out-of-range position — poisons the peers and panics loudly instead of
 // being silently truncated. Collective.
 func (d *DGraph) PushGhostsFunc(vals []int64, changed []int32, onUpdate func(ghost int32, old, new int64)) {
+	sp := d.Comm.Tracer().Begin(d.Comm.Rank(), "dgraph.push_ghosts")
 	p := d.plan
 	p.resetStaging()
 	for _, v := range changed {
@@ -444,6 +447,7 @@ func (d *DGraph) PushGhostsFunc(vals []int64, changed []int32, onUpdate func(gho
 		}
 	})
 	p.resetStaging()
+	d.Comm.Tracer().End1(sp, "changed", int64(len(changed)))
 }
 
 // pushGhostsDense is the pre-plan implementation ((globalID, value) pairs

@@ -171,8 +171,11 @@ func (p *ExchangePlan) AddToRank(r int32, vals ...int64) {
 // hands each neighbor's payload to recv (data is only valid during the
 // callback), then resets the staging for reuse. Collective (SPMD order).
 func (p *ExchangePlan) Exchange(recv func(src int32, data []int64)) {
+	c := p.topo.Comm()
+	sp := c.Tracer().Begin(c.Rank(), "dgraph.plan_exchange")
 	p.topo.NeighborAlltoallv(p.sendBuf, func(i int, data []int64) {
 		recv(p.nbrs[i], data)
 	})
 	p.resetStaging()
+	c.Tracer().End(sp)
 }

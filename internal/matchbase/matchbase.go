@@ -26,6 +26,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kaffpa"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/rng"
 	"repro/internal/sclp"
@@ -58,6 +59,9 @@ type Config struct {
 	RefineIters int
 	// Seed drives randomness.
 	Seed uint64
+	// Tracer, when non-nil, records per-rank spans (matching rounds,
+	// exchange supersteps) for the run. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the baseline defaults.
@@ -296,11 +300,13 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 		if err := ctx.Err(); err != nil {
 			return nil, st, err
 		}
+		sp := c.Tracer().Begin(c.Rank(), "matchbase.match_round")
 		labels := parallelHeavyEdgeMatching(cur, maxPair, local)
 		// Owners may have matched nodes other ranks hold as ghosts; bring
 		// the ghost labels in sync before contracting.
 		cur.SyncGhosts(labels)
 		res := contract.ParContract(cur, labels)
+		c.Tracer().End2(sp, "level", int64(lvl), "coarse_n", res.Coarse.GlobalN)
 		if float64(res.Coarse.GlobalN) >= cfg.StallFactor*float64(cur.GlobalN) {
 			st.Stalled = true
 			break
@@ -404,6 +410,7 @@ func RunCtx(ctx context.Context, P int, g *graph.Graph, cfg Config) (Result, err
 	var res Result
 	var runErr error
 	world := mpi.NewWorld(P)
+	world.SetTracer(cfg.Tracer)
 	stop := world.WatchContext(ctx)
 	defer stop()
 	world.Run(func(c *mpi.Comm) {

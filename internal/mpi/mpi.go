@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 type msgKind uint8
@@ -209,6 +211,10 @@ type World struct {
 	// plain Recv caller simply leaves the pool for good.
 	bufMu   sync.Mutex
 	bufFree [][]int64
+
+	// tracer records per-rank exchange spans; nil (the default) disables
+	// tracing at zero cost. Set before Run via SetTracer.
+	tracer *obs.Tracer
 }
 
 // maxPooledBuffers bounds the free list; maxPooledCap keeps pathologically
@@ -318,6 +324,16 @@ func (w *World) WatchContext(ctx context.Context) (stop func()) {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// SetTracer attaches a span tracer to the world. Pass nil to disable (the
+// default). Call before Run: the field is read without synchronization by
+// rank goroutines.
+func (w *World) SetTracer(t *obs.Tracer) { w.tracer = t }
+
+// Tracer returns the world's span tracer (nil when tracing is disabled).
+// Layers above the substrate use it to record their own spans on the same
+// per-rank tracks as the exchange spans.
+func (c *Comm) Tracer() *obs.Tracer { return c.world.tracer }
 
 // Run executes fn once per rank, each on its own goroutine, and returns
 // when all ranks have finished. A panic on any rank is re-raised on the
@@ -668,12 +684,15 @@ func (c *Comm) Alltoallv(out [][]int64) [][]int64 {
 	if len(out) != c.Size() {
 		panic(fmt.Sprintf("mpi: Alltoallv with %d buffers for %d ranks", len(out), c.Size()))
 	}
+	sp := c.world.tracer.Begin(c.rank, "mpi.alltoallv")
 	tag := c.nextSeq()
 	c.world.counters[c.rank].denseExch.Add(1)
+	var words int64
 	for r := 0; r < c.Size(); r++ {
 		if r == c.rank {
 			continue
 		}
+		words += int64(len(out[r]))
 		c.send(r, kindCollective, tag, out[r])
 	}
 	in := make([][]int64, c.Size())
@@ -686,6 +705,7 @@ func (c *Comm) Alltoallv(out [][]int64) [][]int64 {
 		}
 		in[r] = c.recv(r, kindCollective, tag)
 	}
+	c.world.tracer.End2(sp, "words_sent", words, "msgs", int64(c.Size()-1))
 	return in
 }
 
@@ -699,12 +719,15 @@ func (c *Comm) AlltoallvFunc(out [][]int64, recv func(src int, data []int64)) {
 	if len(out) != c.Size() {
 		panic(fmt.Sprintf("mpi: AlltoallvFunc with %d buffers for %d ranks", len(out), c.Size()))
 	}
+	sp := c.world.tracer.Begin(c.rank, "mpi.alltoallv")
 	tag := c.nextSeq()
 	c.world.counters[c.rank].denseExch.Add(1)
+	var words int64
 	for r := 0; r < c.Size(); r++ {
 		if r == c.rank {
 			continue
 		}
+		words += int64(len(out[r]))
 		c.send(r, kindCollective, tag, out[r])
 	}
 	for r := 0; r < c.Size(); r++ {
@@ -716,6 +739,7 @@ func (c *Comm) AlltoallvFunc(out [][]int64, recv func(src int, data []int64)) {
 		recv(r, data)
 		c.world.putBuf(data)
 	}
+	c.world.tracer.End2(sp, "words_sent", words, "msgs", int64(c.Size()-1))
 }
 
 // BcastI64 broadcasts a single value from root.

@@ -70,6 +70,9 @@ func (t *Topology) hasNeighbor(r int) bool {
 	return i < len(t.nbrs) && t.nbrs[i] == r
 }
 
+// Comm returns the rank endpoint the topology was built on.
+func (t *Topology) Comm() *Comm { return t.c }
+
 // Degree returns the number of adjacent ranks.
 func (t *Topology) Degree() int { return len(t.nbrs) }
 
@@ -91,9 +94,12 @@ func (t *Topology) NeighborAlltoallv(out [][]int64, recv func(i int, data []int6
 		panic(fmt.Sprintf("mpi: NeighborAlltoallv with %d buffers for %d neighbors",
 			len(out), len(t.nbrs)))
 	}
+	sp := c.world.tracer.Begin(c.rank, "mpi.neighbor_alltoallv")
 	tag := c.nextSeq()
 	c.world.counters[c.rank].nbrExch.Add(1)
+	var words int64
 	for i, r := range t.nbrs {
+		words += int64(len(out[i]))
 		c.sendClass(r, kindCollective, tag, out[i], classNbr)
 	}
 	for i, r := range t.nbrs {
@@ -101,6 +107,7 @@ func (t *Topology) NeighborAlltoallv(out [][]int64, recv func(i int, data []int6
 		recv(i, data)
 		c.world.putBuf(data)
 	}
+	c.world.tracer.End2(sp, "words_sent", words, "msgs", int64(len(t.nbrs)))
 }
 
 // Sharder groups values by destination rank and exchanges them in one dense

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTraceJSONWellFormed records spans on several ranks and checks the
+// serialized document parses as Chrome trace-event JSON with one metadata-
+// named track per rank and correct per-event fields.
+func TestTraceJSONWellFormed(t *testing.T) {
+	tr := NewTracer(3)
+	for rank := 0; rank < 3; rank++ {
+		sp := tr.Begin(rank, "sclp.superstep")
+		tr.End2(sp, "moves", int64(10*rank), "phase", 1)
+		sp2 := tr.Begin(rank, "mpi.alltoallv")
+		tr.End1(sp2, "words", 128)
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Name string          `json:"name"`
+			Ts   float64         `json:"ts"`
+			Dur  float64         `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	metaTracks := map[int]bool{}
+	spanTracks := map[int]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" {
+				t.Errorf("metadata event name = %q", ev.Name)
+			}
+			metaTracks[ev.Tid] = true
+		case "X":
+			spanTracks[ev.Tid]++
+			if ev.Dur < 0 {
+				t.Errorf("negative duration on %q", ev.Name)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	for rank := 0; rank < 3; rank++ {
+		if !metaTracks[rank] {
+			t.Errorf("rank %d missing thread_name metadata", rank)
+		}
+		if spanTracks[rank] != 2 {
+			t.Errorf("rank %d has %d spans, want 2", rank, spanTracks[rank])
+		}
+	}
+	if got := tr.SpanCount(); got != 6 {
+		t.Errorf("SpanCount = %d, want 6", got)
+	}
+	names := tr.SpanNames(1)
+	want := []string{"mpi.alltoallv", "sclp.superstep"}
+	if len(names) != len(want) || names[0] != want[0] || names[1] != want[1] {
+		t.Errorf("SpanNames(1) = %v, want %v", names, want)
+	}
+}
+
+// TestTracerArgsSerialized checks span args survive the JSON round trip.
+func TestTracerArgsSerialized(t *testing.T) {
+	tr := NewTracer(1)
+	sp := tr.Begin(0, "x")
+	tr.End3(sp, "a", 1, "b", 2, "c", 3)
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"args":{"a":1,"b":2,"c":3}`) {
+		t.Errorf("args not serialized: %s", sb.String())
+	}
+}
+
+// TestNilTracerSafe exercises every method on a nil tracer.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin(0, "x")
+	tr.End(sp)
+	tr.End1(sp, "k", 1)
+	tr.End2(sp, "k", 1, "k2", 2)
+	tr.End3(sp, "k", 1, "k2", 2, "k3", 3)
+	if tr.Ranks() != 0 || tr.SpanCount() != 0 || tr.SpanNames(0) != nil {
+		t.Error("nil tracer not inert")
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"traceEvents":[]`) {
+		t.Errorf("nil tracer JSON = %s", sb.String())
+	}
+}
+
+// TestOutOfRangeRankDropped checks spans against out-of-range ranks are
+// dropped rather than panicking.
+func TestOutOfRangeRankDropped(t *testing.T) {
+	tr := NewTracer(2)
+	tr.End(tr.Begin(5, "x"))
+	tr.End(tr.Begin(-1, "x"))
+	if tr.SpanCount() != 0 {
+		t.Errorf("out-of-range spans recorded: %d", tr.SpanCount())
+	}
+}
+
+// TestNilTracerZeroAllocs is the acceptance check that the disabled-tracer
+// path — exactly the Begin/End2 pattern used per sclp superstep — performs
+// zero allocations.
+func TestNilTracerZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	moves := int64(42)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin(3, "sclp.superstep")
+		tr.End2(sp, "moves", moves, "phase", 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestPrometheusExposition is a golden test for the text format: counter,
+// gauge, func collectors, and histogram with cumulative buckets, all
+// sorted by name.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("parhipd_jobs_submitted_total", "Jobs accepted.")
+	g := r.NewGauge("parhipd_queue_depth", "Jobs waiting to run.")
+	r.GaugeFunc("parhipd_workers_busy", "Workers currently running a job.", func() float64 { return 2 })
+	h := r.NewHistogram("parhipd_job_run_seconds", "Wall time of job execution.", []float64{0.1, 1, 10})
+	c.Add(5)
+	c.Inc()
+	g.Set(3)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.7)
+	h.Observe(42)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP parhipd_job_run_seconds Wall time of job execution.
+# TYPE parhipd_job_run_seconds histogram
+parhipd_job_run_seconds_bucket{le="0.1"} 1
+parhipd_job_run_seconds_bucket{le="1"} 3
+parhipd_job_run_seconds_bucket{le="10"} 3
+parhipd_job_run_seconds_bucket{le="+Inf"} 4
+parhipd_job_run_seconds_sum 43.25
+parhipd_job_run_seconds_count 4
+# HELP parhipd_jobs_submitted_total Jobs accepted.
+# TYPE parhipd_jobs_submitted_total counter
+parhipd_jobs_submitted_total 6
+# HELP parhipd_queue_depth Jobs waiting to run.
+# TYPE parhipd_queue_depth gauge
+parhipd_queue_depth 3
+# HELP parhipd_workers_busy Workers currently running a job.
+# TYPE parhipd_workers_busy gauge
+parhipd_workers_busy 2
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestHistogramQuantile checks quantile estimation against known bucket
+// placements.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h_seconds", "test", []float64{0.01, 0.1, 1, 10})
+	if _, ok := h.Quantile(0.5); ok {
+		t.Error("empty histogram reported a quantile")
+	}
+	// 90 fast observations, 9 medium, 1 slow.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05)
+	}
+	h.Observe(5)
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if v, ok := h.Quantile(0.5); !ok || v != 0.01 {
+		t.Errorf("P50 = %v (%v), want 0.01", v, ok)
+	}
+	if v, ok := h.Quantile(0.95); !ok || v != 0.1 {
+		t.Errorf("P95 = %v (%v), want 0.1", v, ok)
+	}
+	if v, ok := h.Quantile(0.99); !ok || v != 0.1 {
+		t.Errorf("P99 = %v (%v), want 0.1", v, ok)
+	}
+	if v, ok := h.Quantile(1); !ok || v != 10 {
+		t.Errorf("P100 = %v (%v), want 10", v, ok)
+	}
+}
+
+// TestHistogramOverflowQuantile checks the +Inf bucket reports the largest
+// finite bound rather than Inf.
+func TestHistogramOverflowQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h2_seconds", "test", []float64{1})
+	h.Observe(100)
+	if v, ok := h.Quantile(0.5); !ok || math.IsInf(v, 1) || v != 1 {
+		t.Errorf("overflow quantile = %v (%v), want 1", v, ok)
+	}
+}
+
+// TestDuplicateMetricPanics guards metric-name collisions at registration.
+func TestDuplicateMetricPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("dup_total", "y")
+}
+
+// BenchmarkDisabledTracerSuperstep measures the per-superstep cost of the
+// instrumentation with tracing off; the 0 allocs/op report is the
+// acceptance criterion.
+func BenchmarkDisabledTracerSuperstep(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(0, "sclp.superstep")
+		tr.End2(sp, "moves", int64(i), "phase", 1)
+	}
+}
+
+// BenchmarkEnabledTracerSuperstep is the enabled-path counterpart, for
+// eyeballing the cost when tracing is on.
+func BenchmarkEnabledTracerSuperstep(b *testing.B) {
+	tr := NewTracer(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(0, "sclp.superstep")
+		tr.End2(sp, "moves", int64(i), "phase", 1)
+	}
+}

@@ -152,6 +152,52 @@ func TestExchangeLabelsAllocRatio(t *testing.T) {
 	}
 }
 
+// BenchmarkSuperstepTracerDisabled measures one full label-exchange
+// superstep with the per-superstep tracer instrumentation on its disabled
+// (nil tracer) path — exactly what production runs without -trace execute.
+// Pair with BenchmarkExchangeLabels (which predates the instrumentation
+// hooks in the phase loop): allocs/op must be identical, i.e. the disabled
+// tracer adds zero allocations to the superstep hot path.
+func BenchmarkSuperstepTracerDisabled(b *testing.B) {
+	g := benchExchangeGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	mpi.NewWorld(4).Run(func(c *mpi.Comm) {
+		d := dgraph.FromGraph(c, g)
+		tracer := c.Tracer() // nil: no SetTracer call
+		labels := make([]int64, d.NTotal())
+		for v := int32(0); v < d.NTotal(); v++ {
+			labels[v] = d.ToGlobal(v)
+		}
+		iface := interfaceNodes(d)
+		ds := newDirtySet(d.NLocal())
+		for i := 0; i < b.N; i++ {
+			sp := tracer.Begin(c.Rank(), "sclp.cluster_superstep")
+			for _, v := range iface {
+				ds.add(v)
+			}
+			exchangeLabels(d, labels, nil, ds)
+			tracer.End2(sp, "moves", int64(len(iface)), "phase", int64(i))
+		}
+	})
+}
+
+// TestDisabledTracerZeroAllocOverhead is the acceptance criterion for the
+// observability PR: the instrumented superstep with a nil tracer must
+// allocate no more per op than the identical uninstrumented superstep.
+func TestDisabledTracerZeroAllocOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	plain := testing.Benchmark(BenchmarkExchangeLabels)
+	traced := testing.Benchmark(BenchmarkSuperstepTracerDisabled)
+	pa, ta := plain.AllocsPerOp(), traced.AllocsPerOp()
+	t.Logf("allocs/op: plain=%d traced(nil)=%d", pa, ta)
+	if ta > pa {
+		t.Errorf("disabled tracer adds allocations to the superstep: %d > %d allocs/op", ta, pa)
+	}
+}
+
 func BenchmarkParRefineP4(b *testing.B) {
 	g := gen.DelaunayLike(20000, 4)
 	lmax := partition.Lmax(g.TotalNodeWeight(), 4, 0.03)

@@ -59,6 +59,8 @@ func ParCluster(d *dgraph.DGraph, cfg ParClusterConfig) []int64 {
 
 	order := localOrder(d, cfg.DegreeOrder, r)
 	changedSet := newDirtySet(d.NLocal())
+	tracer := d.Comm.Tracer()
+	rank := d.Comm.Rank()
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		if iter > 0 {
@@ -72,6 +74,8 @@ func ParCluster(d *dgraph.DGraph, cfg ParClusterConfig) []int64 {
 			// Superstep boundary: a cancelled world unwinds here instead of
 			// computing another phase (see mpi.Comm.CheckAbort).
 			d.Comm.CheckAbort()
+			sp := tracer.Begin(rank, "sclp.cluster_superstep")
+			movedBefore := movedLocal
 			start := ph * len(order) / cfg.PhasesPerRound
 			end := (ph + 1) * len(order) / cfg.PhasesPerRound
 			for _, v := range order[start:end] {
@@ -83,6 +87,7 @@ func ParCluster(d *dgraph.DGraph, cfg ParClusterConfig) []int64 {
 				}
 			}
 			exchangeLabels(d, labels, weight, changedSet)
+			tracer.End2(sp, "moves", movedLocal-movedBefore, "phase", int64(iter*cfg.PhasesPerRound+ph))
 		}
 		if d.Comm.AllreduceSum1(movedLocal) == 0 {
 			break
@@ -266,6 +271,8 @@ func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 	conn := hashtab.NewAccumulatorI64(64)
 	order := localOrder(d, false, r)
 	changedSet := newDirtySet(nl)
+	tracer := d.Comm.Tracer()
+	rank := d.Comm.Rank()
 	var totalMoves int64
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
@@ -278,6 +285,8 @@ func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 		for ph := 0; ph < cfg.PhasesPerRound; ph++ {
 			// Superstep boundary: cancelled worlds unwind here.
 			d.Comm.CheckAbort()
+			sp := tracer.Begin(rank, "sclp.refine_superstep")
+			movedBefore := movedLocal
 			start := ph * len(order) / cfg.PhasesPerRound
 			end := (ph + 1) * len(order) / cfg.PhasesPerRound
 			phase := order[start:end]
@@ -319,6 +328,7 @@ func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 			exchangeLabels(d, part, nil, changedSet)
 			// Restore exact block weights (one allreduce per phase).
 			blockWeight = d.Comm.AllreduceSum(localContrib)
+			tracer.End2(sp, "moves", movedLocal-movedBefore, "phase", int64(iter*cfg.PhasesPerRound+ph))
 		}
 		moved := d.Comm.AllreduceSum1(movedLocal)
 		totalMoves += moved

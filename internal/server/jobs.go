@@ -12,6 +12,7 @@ import (
 	"repro"
 	"repro/internal/graph"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // JobState is the lifecycle of a partitioning job.
@@ -70,6 +71,11 @@ type job struct {
 	timeoutMS int64
 	cancelReq bool // DELETE seen (distinguishes cancel from timeout)
 	progress  *parhip.ProgressEvent
+
+	// tracer records per-rank spans when the job was submitted with
+	// "trace": true and actually ran the partitioner (never allocated for
+	// cache hits). Served by GET /v1/jobs/{id}/trace once terminal.
+	tracer *parhip.Tracer
 }
 
 // JobTiming is one completed job's timing record, exposed by /v1/stats.
@@ -133,16 +139,26 @@ type jobManager struct {
 	comm        mpi.Stats
 	cutSum      int64
 
+	// queueWait/runDur are the /metrics latency histograms, observed by
+	// runJob for every job that occupies a worker (cache hits at
+	// submission never queue and are excluded).
+	queueWait *obs.Histogram
+	runDur    *obs.Histogram
+
 	recent []JobTiming // ring, newest last
 }
 
-func newJobManager(workers, queueSize, cacheSize int, fn PartitionFunc) *jobManager {
+func newJobManager(workers, queueSize, cacheSize int, fn PartitionFunc, reg *obs.Registry) *jobManager {
 	m := &jobManager{
 		partition: fn,
 		queueCap:  queueSize,
 		cache:     newResultCache(cacheSize),
 		jobs:      make(map[string]*job),
 		workers:   workers,
+		queueWait: reg.NewHistogram("parhipd_job_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.", obs.DurationBuckets),
+		runDur: reg.NewHistogram("parhipd_job_run_seconds",
+			"Wall-clock partitioner run time per job (cache hits excluded).", obs.DurationBuckets),
 	}
 	m.qcond = sync.NewCond(&m.mu)
 	for i := 0; i < workers; i++ {
@@ -201,7 +217,7 @@ func jobKey(fingerprint string, k int32, prev *parhip.Partition, o parhip.Option
 // registration (no partially registered jobs visible to concurrent
 // submissions).
 func (m *jobManager) submit(sg *storedGraph, k int32, opts parhip.Options, view jobOptions,
-	prev *parhip.Partition, prevJobID string, timeoutMS int64) (*job, error) {
+	prev *parhip.Partition, prevJobID string, timeoutMS int64, trace bool) (*job, error) {
 	key := jobKey(sg.Fingerprint, k, prev, opts)
 	now := time.Now()
 
@@ -239,6 +255,16 @@ func (m *jobManager) submit(sg *storedGraph, k int32, opts parhip.Options, view 
 	if len(m.queue) >= m.queueCap {
 		m.nextID--
 		return nil, errQueueFull
+	}
+
+	// Like TimeoutMS, the trace flag is deliberately not part of the cache
+	// key: tracing must not change the result, so traced and untraced twins
+	// share an entry. The tracer is attached through Options.Trace, which
+	// jobKey never reads. Allocated only past the cache-hit fast path — a
+	// job answered from cache records no spans and has no trace.
+	if trace {
+		j.tracer = parhip.NewTracer(opts.PEs)
+		j.opts.Trace = j.tracer
 	}
 
 	// The per-job context is rooted in Background, not the submission
@@ -374,6 +400,7 @@ func (m *jobManager) runJob(j *job) {
 	j.state = StateRunning
 	j.started = start
 	m.running++
+	m.queueWait.Observe(start.Sub(j.submitted).Seconds())
 
 	// Re-check the cache: a twin job submitted while this one was queued
 	// may have populated it in the meantime.
@@ -399,6 +426,7 @@ func (m *jobManager) runJob(j *job) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.running--
+	m.runDur.Observe(end.Sub(start).Seconds())
 	// Cancellation and timeout are terminal "cancelled", not "failed" —
 	// and a result that limped in despite a cancelled context is treated
 	// as cancelled too: the cache must never hold output of a cut-short

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// metricsContentType is the Prometheus text exposition format version the
+// registry renders (obs.Registry.WritePrometheus).
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// buildMetrics registers the service's collectors on the registry created
+// in New. Gauges and counters are func collectors reading the jobManager's
+// counters under its mutex at scrape time — /metrics and /v1/stats are two
+// renderings of the same state, never two sets of books. The two
+// histograms (queue wait, run duration) are the only stateful collectors;
+// the manager observes them as jobs reach a terminal state.
+func (s *Server) buildMetrics(reg *obs.Registry) {
+	m := s.jobs
+
+	// lockedGauge reads one jobManager field under m.mu.
+	lockedGauge := func(read func() float64) func() float64 {
+		return func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return read()
+		}
+	}
+
+	reg.GaugeFunc("parhipd_queue_depth",
+		"Jobs waiting in the queue (not yet running).",
+		lockedGauge(func() float64 { return float64(len(m.queue)) }))
+	reg.GaugeFunc("parhipd_queue_capacity",
+		"Queue slots before submissions are rejected with 429.",
+		lockedGauge(func() float64 { return float64(m.queueCap) }))
+	reg.GaugeFunc("parhipd_workers",
+		"Worker pool size.",
+		lockedGauge(func() float64 { return float64(m.workers) }))
+	reg.GaugeFunc("parhipd_jobs_running",
+		"Jobs currently occupying a worker.",
+		lockedGauge(func() float64 { return float64(m.running) }))
+	reg.GaugeFunc("parhipd_worker_utilization",
+		"Fraction of the worker pool busy right now (running/workers).",
+		lockedGauge(func() float64 {
+			if m.workers == 0 {
+				return 0
+			}
+			return float64(m.running) / float64(m.workers)
+		}))
+
+	reg.CounterFunc("parhipd_jobs_submitted_total",
+		"Jobs accepted by POST /v1/jobs (including cache hits).",
+		lockedGauge(func() float64 { return float64(m.submitted) }))
+	reg.CounterFunc("parhipd_jobs_completed_total",
+		"Jobs that reached the done state (cache hits included).",
+		lockedGauge(func() float64 { return float64(m.completed) }))
+	reg.CounterFunc("parhipd_jobs_failed_total",
+		"Jobs that reached the failed state.",
+		lockedGauge(func() float64 { return float64(m.failed) }))
+	reg.CounterFunc("parhipd_jobs_cancelled_total",
+		"Jobs cancelled by DELETE /v1/jobs/{id} or an expired timeout_ms.",
+		lockedGauge(func() float64 { return float64(m.cancelled) }))
+	reg.CounterFunc("parhipd_jobs_infeasible_total",
+		"Jobs failed by the feasibility gate (result violated the balance bound).",
+		lockedGauge(func() float64 { return float64(m.infeasible) }))
+	reg.CounterFunc("parhipd_cache_hits_total",
+		"Result cache hits.",
+		lockedGauge(func() float64 { return float64(m.cacheHits) }))
+	reg.CounterFunc("parhipd_cache_misses_total",
+		"Result cache misses (jobs that ran the partitioner).",
+		lockedGauge(func() float64 { return float64(m.cacheMisses) }))
+	reg.CounterFunc("parhipd_core_runs_total",
+		"Partitioner invocations (cache hits excluded).",
+		lockedGauge(func() float64 { return float64(m.coreRuns) }))
+	reg.CounterFunc("parhipd_comm_messages_total",
+		"Messages sent across the simulated ranks of all core runs.",
+		lockedGauge(func() float64 { return float64(m.comm.MessagesSent) }))
+	reg.CounterFunc("parhipd_comm_bytes_total",
+		"Wire bytes sent across the simulated ranks of all core runs.",
+		lockedGauge(func() float64 { return float64(m.comm.BytesSent()) }))
+
+	reg.GaugeFunc("parhipd_cache_entries",
+		"Result cache occupancy.",
+		func() float64 { return float64(m.cache.len()) })
+	reg.GaugeFunc("parhipd_graphs",
+		"Graphs in the in-memory store.",
+		func() float64 { return float64(s.store.len()) })
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metricsContentType)
+	_ = s.reg.WritePrometheus(w)
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+// getRaw fetches path and returns status, Content-Type and body.
+func (e *testEnv) getRaw(path string) (int, string, string) {
+	e.t.Helper()
+	resp, err := e.ts.Client().Get(e.ts.URL + path)
+	if err != nil {
+		e.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+// TestMetricsExposition is the /metrics acceptance test: after one cold job
+// and one cache hit, the endpoint serves valid Prometheus text exposition
+// including the job-duration histogram buckets and the job/cache counters,
+// consistent with what /v1/stats reports.
+func TestMetricsExposition(t *testing.T) {
+	e := newEnv(t, Config{Workers: 2})
+	id := e.uploadMetis(testGraph(5))
+
+	body := fmt.Sprintf(`{"graph_id":%q,"k":2,"options":{"mode":"minimal","pes":2}}`, id)
+	v, _ := e.submit(body)
+	if v = e.await(v.ID); v.State != StateDone {
+		t.Fatalf("job finished %s: %s", v.State, v.Error)
+	}
+	if v2, code := e.submit(body); code != http.StatusOK || !v2.Cached {
+		t.Fatalf("second submit: status %d cached=%v, want cached 200", code, v2.Cached)
+	}
+
+	code, ctype, text := e.getRaw("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("GET /metrics Content-Type = %q, want Prometheus text exposition 0.0.4", ctype)
+	}
+
+	for _, want := range []string{
+		"# TYPE parhipd_job_run_seconds histogram",
+		"parhipd_job_run_seconds_bucket{le=\"+Inf\"} 1",
+		"parhipd_job_run_seconds_count 1",
+		"parhipd_job_run_seconds_sum ",
+		"# TYPE parhipd_job_queue_wait_seconds histogram",
+		"parhipd_job_queue_wait_seconds_count 1",
+		"# TYPE parhipd_jobs_submitted_total counter",
+		"parhipd_jobs_submitted_total 2",
+		"parhipd_jobs_completed_total 2",
+		"parhipd_jobs_failed_total 0",
+		"parhipd_cache_hits_total 1",
+		"parhipd_cache_misses_total 1",
+		"parhipd_core_runs_total 1",
+		"# TYPE parhipd_queue_depth gauge",
+		"parhipd_queue_depth 0",
+		"parhipd_worker_utilization 0",
+		"parhipd_graphs 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+
+	// Well-formedness: every non-comment line is "name[{labels}] value",
+	// every # line is HELP or TYPE.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("unexpected comment line %q", line)
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("sample line %q: want exactly 'name value'", line)
+		}
+	}
+}
+
+// TestJobTrace exercises the trace download path end to end: a job
+// submitted with "trace": true exposes the spans its partitioner recorded
+// through Options.Trace as Chrome trace-event JSON, an untraced job 404s,
+// and a traced resubmission answered from cache 409s (no run, no trace).
+func TestJobTrace(t *testing.T) {
+	cfg := Config{Workers: 2}
+	cfg.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options,
+		prev *parhip.Partition, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
+		// Record one span per simulated rank through the job's tracer, the
+		// way core.RunCtx does via the world. Nil-safe: untraced jobs pass
+		// opt.Trace == nil and this records nothing.
+		for r := 0; r < opt.PEs; r++ {
+			sp := opt.Trace.Begin(r, "test.partition")
+			opt.Trace.End1(sp, "k", int64(k))
+		}
+		return parhip.PartitionGraph(g, k, opt)
+	}
+	e := newEnv(t, cfg)
+	id := e.uploadMetis(testGraph(6))
+
+	traced := fmt.Sprintf(`{"graph_id":%q,"k":2,"options":{"mode":"minimal","pes":2},"trace":true}`, id)
+	v, _ := e.submit(traced)
+	if v = e.await(v.ID); v.State != StateDone {
+		t.Fatalf("traced job finished %s: %s", v.State, v.Error)
+	}
+
+	code, ctype, body := e.getRaw("/v1/jobs/" + v.ID + "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("GET trace: status %d: %s", code, body)
+	}
+	if ctype != "application/json" {
+		t.Errorf("trace Content-Type = %q, want application/json", ctype)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "test.partition" {
+			spans++
+		}
+	}
+	if spans != 2 {
+		t.Errorf("trace has %d test.partition spans, want one per rank (2)", spans)
+	}
+
+	// The trace flag must not split the cache: the traced twin of the same
+	// submission is answered from cache, and its trace download refuses
+	// cleanly instead of serving an empty recording.
+	v2, code2 := e.submit(traced)
+	if code2 != http.StatusOK || !v2.Cached {
+		t.Fatalf("traced resubmit: status %d cached=%v, want cached 200", code2, v2.Cached)
+	}
+	if code, _, body := e.getRaw("/v1/jobs/" + v2.ID + "/trace"); code != http.StatusConflict {
+		t.Errorf("trace of cached job: status %d (%s), want 409", code, body)
+	}
+
+	// A job never submitted with the flag has no trace at all.
+	plain := fmt.Sprintf(`{"graph_id":%q,"k":4,"options":{"mode":"minimal","pes":2}}`, id)
+	v3, _ := e.submit(plain)
+	if v3 = e.await(v3.ID); v3.State != StateDone {
+		t.Fatalf("plain job finished %s: %s", v3.State, v3.Error)
+	}
+	if code, _, _ := e.getRaw("/v1/jobs/" + v3.ID + "/trace"); code != http.StatusNotFound {
+		t.Errorf("trace of untraced job: status %d, want 404", code)
+	}
+}

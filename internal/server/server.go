@@ -21,8 +21,13 @@
 //	DELETE /v1/jobs/{id}         cancel a queued or running job (200/202;
 //	                             409 once done or failed)
 //	GET    /v1/jobs/{id}/result  fetch the partition vector and metrics
+//	GET    /v1/jobs/{id}/trace   download the Chrome trace-event JSON of a
+//	                             job submitted with "trace": true (opens
+//	                             in Perfetto with one track per rank)
 //	GET    /v1/stats             queue depth, cache hit rate, per-job
 //	                             timings, cumulative core statistics
+//	GET    /metrics              Prometheus text exposition (counters,
+//	                             gauges, latency histograms; non-JSON)
 //	GET    /healthz              liveness probe
 package server
 
@@ -38,6 +43,7 @@ import (
 
 	"repro"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // maxUploadBytes bounds an uploaded graph body (64 MiB covers every graph
@@ -101,19 +107,23 @@ type Server struct {
 	store *graphStore
 	jobs  *jobManager
 	mux   *http.ServeMux
+	reg   *obs.Registry
 	start time.Time
 }
 
 // New builds a Server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:   cfg,
 		store: newGraphStore(cfg.MaxGraphs),
-		jobs:  newJobManager(cfg.Workers, cfg.QueueSize, cfg.CacheSize, cfg.PartitionFn),
+		jobs:  newJobManager(cfg.Workers, cfg.QueueSize, cfg.CacheSize, cfg.PartitionFn, reg),
 		mux:   http.NewServeMux(),
+		reg:   reg,
 		start: time.Now(),
 	}
+	s.buildMetrics(reg)
 	s.mux.HandleFunc("POST /v1/graphs", s.handleUpload)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
@@ -123,7 +133,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -236,6 +248,12 @@ type jobRequest struct {
 	// on expiry the job is cancelled. It is intentionally not part of the
 	// options: a timeout must not change the result cache key.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace records per-rank spans during the run, downloadable as Chrome
+	// trace-event JSON from GET /v1/jobs/{id}/trace once the job is
+	// terminal. Like TimeoutMS it is not part of the options: tracing must
+	// not change the result cache key, so a traced job can still be
+	// answered from cache (in which case no trace exists).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // canonOptions maps the wire options onto parhip.Options with every default
@@ -449,7 +467,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	j, err := s.jobs.submit(sg, req.K, opts, view, prev, req.PrevJobID, req.TimeoutMS)
+	j, err := s.jobs.submit(sg, req.K, opts, view, prev, req.PrevJobID, req.TimeoutMS, req.Trace)
 	switch {
 	case errors.Is(err, errQueueFull):
 		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueSize)
@@ -575,6 +593,55 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusConflict, "job %s is %s; poll GET /v1/jobs/%s", j.id, state, j.id)
 	}
+}
+
+// handleTrace serves the recorded span trace of a job submitted with
+// "trace": true as Chrome trace-event JSON (one track per simulated rank;
+// open in Perfetto or chrome://tracing). 404 when the job is unknown or
+// was not submitted with the trace flag, 409 while it is still queued or
+// running (the trace is complete only once the job is terminal), and 409
+// when the job was answered from the result cache — a cache hit never ran
+// the partitioner, so there is nothing to download.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	s.jobs.mu.Lock()
+	state, cached, tracer := j.state, j.cached, j.tracer
+	s.jobs.mu.Unlock()
+	if tracer == nil {
+		if cached {
+			writeError(w, http.StatusConflict,
+				"job %s was answered from cache; no trace was recorded", j.id)
+			return
+		}
+		writeError(w, http.StatusNotFound,
+			"job %s was not submitted with \"trace\": true", j.id)
+		return
+	}
+	switch state {
+	case StateDone, StateFailed, StateCancelled:
+		// Terminal: the simulated ranks have unwound, the span set is
+		// final. A failed or cancelled job still serves its partial trace —
+		// often exactly the spans needed to see where it died.
+	default:
+		writeError(w, http.StatusConflict,
+			"job %s is %s; the trace is available once the job is terminal", j.id, state)
+		return
+	}
+	if cached {
+		// Raced a twin: this job queued, but the worker-side cache re-check
+		// answered it before the partitioner ran. The tracer exists but is
+		// empty, which would mislead more than a clean refusal.
+		writeError(w, http.StatusConflict,
+			"job %s was answered from cache; no trace was recorded", j.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.id+"-trace.json"))
+	_ = tracer.WriteJSON(w)
 }
 
 // partSlice is the wire-form assignment array of a result (the JSON API

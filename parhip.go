@@ -41,6 +41,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matchbase"
 	"repro/internal/modularity"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -118,7 +119,24 @@ type Options struct {
 	// geographic or hash placement, §VI) that is fed into the first
 	// V-cycle and improved; the result is never worse than the input.
 	Prepartition []int32
+	// Trace, when non-nil, records per-rank spans of the run (pipeline
+	// phases, sclp supersteps, mpi exchanges); serialize the tracer with
+	// Tracer.WriteJSON afterwards to obtain a Chrome trace-event file.
+	// Nil (the default) disables tracing at zero cost.
+	Trace *Tracer
 }
+
+// Tracer records per-rank spans of a partitioning run and serializes them
+// as Chrome trace-event JSON (WriteJSON), openable in Perfetto or
+// chrome://tracing with one track per simulated rank. Create one with
+// NewTracer and attach it via WithTracer (or Options.Trace); a nil *Tracer
+// is a valid, disabled tracer.
+type Tracer = obs.Tracer
+
+// NewTracer returns an enabled tracer with one track per rank. Size it to
+// the session's PE count (tracks beyond it stay empty; spans from ranks
+// outside the range are dropped).
+func NewTracer(ranks int) *Tracer { return obs.NewTracer(ranks) }
 
 // Objective selects the optimization target of the coarsest-level
 // evolutionary search (§VI extension).
@@ -188,6 +206,7 @@ func (o Options) coreConfig(k int32) core.Config {
 	cfg.EvoTimeBudget = o.EvoTimeBudget
 	cfg.Objective = o.Objective
 	cfg.Prepartition = o.Prepartition
+	cfg.Tracer = o.Trace
 	return cfg
 }
 
@@ -243,6 +262,7 @@ func PartitionBaselineCtx(ctx context.Context, g *Graph, k int32, opt Options, m
 		cfg.Seed = opt.Seed
 	}
 	cfg.MemoryBudgetNodes = memoryBudgetNodes
+	cfg.Tracer = opt.Trace
 	res, err := matchbase.RunCtx(ctx, opt.pes(), g, cfg)
 	if err != nil {
 		return Result{}, err

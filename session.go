@@ -142,6 +142,14 @@ func WithOptions(o Options) Option {
 	}
 }
 
+// WithTracer attaches a span tracer to the session: the run records
+// per-rank spans (pipeline phases and levels, sclp supersteps with move
+// counts, mpi exchange supersteps with word counts) into t, and
+// t.WriteJSON afterwards yields a Chrome trace-event file openable in
+// Perfetto with one track per rank. A nil t leaves tracing disabled (the
+// default, zero cost).
+func WithTracer(t *Tracer) Option { return func(s *settings) { s.opts.Trace = t } }
+
 // WithProgressFunc registers a callback invoked synchronously for every
 // progress event (on the coordinating rank's goroutine — it must not block
 // for long). Unlike the Progress channel, callbacks never drop events. A
