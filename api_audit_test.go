@@ -5,139 +5,33 @@ package parhip
 // []int32 partition. Partitions cross the API boundary as *Partition
 // values; the raw-slice forms survive only behind "Deprecated:" markers
 // (v1 compatibility) and the explicitly allowlisted boundary adapter.
+//
+// The rule itself lives in internal/analysis (the apiaudit analyzer, which
+// generalizes the original AST walk from this file to every package and
+// runs module-wide in CI via cmd/parhiplint); this test keeps the root
+// package enforced by a plain `go test .` with no extra tooling.
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
-// rawSliceAllowlist names the sanctioned raw-assignment adapters.
-var rawSliceAllowlist = map[string]bool{
-	// NewPartition is the single entry point that wraps a raw assignment
-	// into the value type (file parsers and wire handlers need it).
-	"NewPartition": true,
-}
-
 func TestNoBareInt32PartitionsInExportedAPI(t *testing.T) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ParseComments)
+	mod, err := analysis.LoadModule(".")
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("loading module: %v", err)
 	}
-	pkg, ok := pkgs["parhip"]
-	if !ok {
-		t.Fatalf("package parhip not found (got %v)", pkgs)
-	}
-	for name, file := range pkg.Files {
-		if strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		for _, decl := range file.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				auditFunc(t, fset, d)
-			case *ast.GenDecl:
-				auditGen(t, fset, d)
-			}
+	// Only the root package is this test's contract; the module-wide sweep
+	// is parhiplint's job (mirrored by analysis.TestModuleIsLintClean).
+	for _, pkg := range mod.Packages {
+		if pkg.Path == "repro" {
+			mod.Packages = []*analysis.Package{pkg}
+			break
 		}
 	}
-}
-
-func deprecated(groups ...*ast.CommentGroup) bool {
-	for _, g := range groups {
-		if g == nil {
-			continue
-		}
-		for _, c := range g.List {
-			if strings.Contains(c.Text, "Deprecated:") {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// hasBareInt32Slice reports whether the type expression contains a literal
-// []int32. Named types with an int32-slice underlying (e.g. Clustering)
-// pass: the point is that partitions travel under a documented name, not
-// as anonymous slices.
-func hasBareInt32Slice(expr ast.Expr) bool {
-	found := false
-	ast.Inspect(expr, func(n ast.Node) bool {
-		arr, ok := n.(*ast.ArrayType)
-		if !ok || arr.Len != nil {
-			return true
-		}
-		if id, ok := arr.Elt.(*ast.Ident); ok && id.Name == "int32" {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found
-}
-
-func fieldsHaveBareInt32(fl *ast.FieldList) bool {
-	if fl == nil {
-		return false
-	}
-	for _, f := range fl.List {
-		if hasBareInt32Slice(f.Type) {
-			return true
-		}
-	}
-	return false
-}
-
-func auditFunc(t *testing.T, fset *token.FileSet, d *ast.FuncDecl) {
-	if !d.Name.IsExported() || deprecated(d.Doc) || rawSliceAllowlist[d.Name.Name] {
-		return
-	}
-	if fieldsHaveBareInt32(d.Type.Params) || fieldsHaveBareInt32(d.Type.Results) {
-		t.Errorf("%s: exported non-deprecated %s has a bare []int32 in its signature; use *Partition (or deprecate it)",
-			fset.Position(d.Pos()), d.Name.Name)
-	}
-}
-
-func auditGen(t *testing.T, fset *token.FileSet, d *ast.GenDecl) {
-	if d.Tok != token.TYPE && d.Tok != token.VAR {
-		return
-	}
-	for _, spec := range d.Specs {
-		ts, ok := spec.(*ast.TypeSpec)
-		if !ok || !ts.Name.IsExported() || deprecated(d.Doc, ts.Doc, ts.Comment) {
-			continue
-		}
-		st, ok := ts.Type.(*ast.StructType)
-		if !ok {
-			// Non-struct named types (e.g. Clustering, func types) are the
-			// documented wrappers the rule asks for — but a func type with a
-			// bare []int32 partition parameter still counts.
-			if ft, isFunc := ts.Type.(*ast.FuncType); isFunc {
-				if fieldsHaveBareInt32(ft.Params) || fieldsHaveBareInt32(ft.Results) {
-					t.Errorf("%s: exported func type %s has a bare []int32",
-						fset.Position(ts.Pos()), ts.Name.Name)
-				}
-			}
-			continue
-		}
-		for _, f := range st.Fields.List {
-			if deprecated(f.Doc, f.Comment) || !hasBareInt32Slice(f.Type) {
-				continue
-			}
-			exported := false
-			for _, n := range f.Names {
-				if n.IsExported() {
-					exported = true
-				}
-			}
-			if exported {
-				t.Errorf("%s: exported field %s.%v carries a bare []int32; use *Partition (or deprecate it)",
-					fset.Position(f.Pos()), ts.Name.Name, f.Names)
-			}
-		}
+	diags := analysis.RunAnalyzers(mod, []*analysis.Analyzer{analysis.APIAuditAnalyzer})
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }

@@ -1,0 +1,126 @@
+// Command parhiplint runs the project-invariant analyzers over the module:
+// SPMD collective discipline, documented mutex guards, determinism of the
+// decision packages, hot-path allocation rules, and the bare-[]int32 API
+// audit. It is the CI lint gate; run it locally with
+//
+//	go run ./cmd/parhiplint ./...
+//
+// Findings print as file:line: analyzer: message (or structured records
+// with -json) and any finding sets the exit status to 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as JSON records")
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: parhiplint [-json] [-only a,b] [./...]\n\n"+
+			"Runs the project's invariant analyzers over the whole module.\n"+
+			"The package pattern argument is accepted for familiarity; the\n"+
+			"module containing the working directory is always analyzed.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "parhiplint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parhiplint: %v\n", err)
+		os.Exit(2)
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parhiplint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.RunAnalyzers(mod, analyzers)
+
+	if *jsonOut {
+		type record struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			rel := d.Pos.Filename
+			if r, err := filepath.Rel(root, rel); err == nil {
+				rel = r
+			}
+			if err := enc.Encode(record{
+				File: rel, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "parhiplint: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "parhiplint: %d finding(s) across %d package(s)\n",
+			len(diags), len(mod.Packages))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

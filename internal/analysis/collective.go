@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CollectiveAnalyzer flags mpi collective calls that are only reachable on
+// a subset of ranks. The SPMD execution model (DESIGN.md §7) requires every
+// rank of a world to issue the same collectives in the same order; a
+// collective lexically inside a branch whose condition derives from
+// comm.Rank() — or following a rank-dependent early return — deadlocks the
+// ranks that skip it. Escape hatch: //lint:collective-ok <reason> on the
+// call (or the line above it) for deliberately symmetric constructs.
+var CollectiveAnalyzer = &Analyzer{
+	Name: "collective",
+	Doc:  "flags mpi collectives reachable only on a subset of ranks (SPMD divergence)",
+	Run:  runCollective,
+}
+
+func runCollective(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &collectiveScan{pass: p, tainted: map[types.Object]bool{}}
+			c.taint(fd.Body)
+			c.scanStmts(fd.Body.List, false)
+			// Function literals are scanned as functions in their own
+			// right (SPMD rank bodies live in world.Run closures). Taint
+			// is shared: closures capture the enclosing variables.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					c.scanStmts(fl.Body.List, false)
+				}
+				return true
+			})
+		}
+	}
+}
+
+type collectiveScan struct {
+	pass    *Pass
+	tainted map[types.Object]bool // variables carrying rank-derived values
+}
+
+// taint records, to a fixpoint, every variable assigned (directly or
+// transitively) from a Rank() call anywhere in the function body. The
+// analysis is flow-insensitive: order of assignment does not matter.
+func (c *collectiveScan) taint(body *ast.BlockStmt) {
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.pass.Info.Defs[id]
+				if obj == nil {
+					obj = c.pass.Info.Uses[id]
+				}
+				if obj == nil || c.tainted[obj] {
+					continue
+				}
+				if c.rankDependent(as.Rhs[i]) {
+					c.tainted[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return
+		}
+	}
+}
+
+// rankDependent reports whether expr mentions comm.Rank() or a tainted
+// variable. Calls to collective functions sanitize: their results are
+// replicated across ranks by the SPMD contract (an Allreduce of a
+// rank-local value is globally identical), so branching on them cannot
+// diverge — without this, a rank-seeded RNG would taint every multilevel
+// loop downstream of the first contraction.
+func (c *collectiveScan) rankDependent(expr ast.Expr) bool {
+	dep := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Rank" {
+				dep = true
+				return false
+			}
+			if fn := calleeFunc(c.pass.Info, n); fn != nil && c.pass.IsCollective(fn) {
+				return false
+			}
+		case *ast.Ident:
+			if obj := c.pass.Info.Uses[n]; obj != nil && c.tainted[obj] {
+				dep = true
+				return false
+			}
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return dep
+}
+
+// scanStmts walks a statement list. rankCtx means control flow reaching
+// these statements already diverged across ranks — every collective call is
+// then a finding. A rank-dependent branch that terminates (return/break/
+// continue) flips rankCtx for the remainder of the enclosing list: the
+// classic `if rank != 0 { return }; Barrier()` divergence.
+func (c *collectiveScan) scanStmts(stmts []ast.Stmt, rankCtx bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			dep := rankCtx || c.rankDependent(s.Cond)
+			c.reportStmt(s.Init, rankCtx)
+			c.scanStmts(s.Body.List, dep)
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				c.scanStmts(e.List, dep)
+			case *ast.IfStmt:
+				c.scanStmts([]ast.Stmt{e}, dep)
+			}
+			if dep && !rankCtx && (terminates(s.Body) || elseTerminates(s.Else)) {
+				rankCtx = true
+			}
+		case *ast.SwitchStmt:
+			dep := rankCtx || (s.Tag != nil && c.rankDependent(s.Tag))
+			for _, cc := range s.Body.List {
+				clause := cc.(*ast.CaseClause)
+				cdep := dep
+				for _, e := range clause.List {
+					if c.rankDependent(e) {
+						cdep = true
+					}
+				}
+				c.scanStmts(clause.Body, cdep)
+			}
+		case *ast.ForStmt:
+			dep := rankCtx || (s.Cond != nil && c.rankDependent(s.Cond))
+			c.scanStmts(s.Body.List, dep)
+		case *ast.RangeStmt:
+			c.scanStmts(s.Body.List, rankCtx)
+		case *ast.BlockStmt:
+			c.scanStmts(s.List, rankCtx)
+		case *ast.LabeledStmt:
+			c.scanStmts([]ast.Stmt{s.Stmt}, rankCtx)
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				c.scanStmts(cc.(*ast.CommClause).Body, rankCtx)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cc := range s.Body.List {
+				c.scanStmts(cc.(*ast.CaseClause).Body, rankCtx)
+			}
+		default:
+			c.reportStmt(stmt, rankCtx)
+		}
+	}
+}
+
+// reportStmt flags every collective call inside stmt when rankCtx holds.
+// Function literals are skipped: defining a closure issues no collective;
+// its body is analyzed when scanning the enclosing function finds calls.
+func (c *collectiveScan) reportStmt(stmt ast.Stmt, rankCtx bool) {
+	if stmt == nil || !rankCtx {
+		return
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(c.pass.Info, call)
+		if fn == nil || !c.pass.IsCollective(fn) {
+			return true
+		}
+		if c.pass.lintOK("collective", call.Pos()) {
+			return true
+		}
+		c.pass.Reportf(call.Pos(),
+			"collective %s called in a rank-dependent branch: ranks that skip it deadlock the others; hoist it out or annotate //lint:collective-ok <reason>",
+			fn.Name())
+		return true
+	})
+}
+
+// calleeFunc resolves the called function object, when statically known.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// terminates reports whether a block's statement list always leaves the
+// enclosing list early (lexical approximation: any top-level return or
+// branch statement). panic deliberately does not count: a panicking rank
+// takes the whole process down, so validation guards like
+// `if rankDependent { panic(...) }` cannot strand peers in a collective.
+func terminates(b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		switch s.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return true
+		}
+	}
+	return false
+}
+
+func elseTerminates(e ast.Stmt) bool {
+	switch e := e.(type) {
+	case *ast.BlockStmt:
+		return terminates(e)
+	case *ast.IfStmt:
+		return terminates(e.Body) || elseTerminates(e.Else)
+	}
+	return false
+}

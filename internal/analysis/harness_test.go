@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"regexp"
+	"testing"
+)
+
+// wantRe extracts a fixture expectation from a comment: the first
+// backquoted regexp after the word "want". The form is a trailing or
+// standalone comment on the line the diagnostic is expected at:
+//
+//	c.Barrier() // want `collective Barrier called in a rank-dependent branch`
+//
+// The pattern may share the comment with other prose (mutexguard fixtures
+// combine it with the "guarded by" annotation under test).
+var wantRe = regexp.MustCompile("want `([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// runFixture loads the given import paths from testdata/src, runs the
+// analyzers over everything loaded (dependencies included, so a finding in
+// a stub package fails the test too), and compares the diagnostics against
+// the fixtures' want comments by (file, line, message-regexp).
+func runFixture(t *testing.T, analyzers []*Analyzer, importPaths ...string) {
+	t.Helper()
+	mod, err := LoadPackages("testdata/src", importPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", importPaths, err)
+	}
+	requested := make(map[string]bool, len(importPaths))
+	for _, p := range importPaths {
+		requested[p] = true
+	}
+	var wants []*expectation
+	for _, pkg := range mod.Packages {
+		if !requested[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v",
+							mod.Fset.Position(c.Pos()), m[1], err)
+					}
+					pos := mod.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	diags := RunAnalyzers(mod, analyzers)
+outer:
+	for _, d := range diags {
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected finding: %s", d)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MutexGuardAnalyzer enforces documented mutex guards: a struct field whose
+// doc or line comment says "guarded by <mu>" may only be accessed inside
+// functions that visibly hold that mutex — a <recv>.<mu>.Lock()/RLock()
+// call in the same function (closures included), or a //parhip:holds <mu>
+// directive in the function's doc for the *Locked helper convention where
+// the caller holds the lock. The check is deliberately flow-insensitive:
+// it proves the discipline is written down and locally plausible, not that
+// every interleaving is safe (-race covers that). Escape hatch:
+// //lint:mutexguard-ok <reason> on the function doc (e.g. constructors
+// publishing the value after setup).
+var MutexGuardAnalyzer = &Analyzer{
+	Name: "mutexguard",
+	Doc:  "accesses to fields documented 'guarded by <mu>' must hold that mutex",
+	Run:  runMutexGuard,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func runMutexGuard(p *Pass) {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(p, fd, guards)
+		}
+	}
+}
+
+// collectGuards maps each annotated field object to the name of its
+// guarding mutex, validating that the mutex is a sibling field.
+func collectGuards(p *Pass) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			names := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					names[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardName(fld.Doc, fld.Comment)
+				if mu == "" {
+					continue
+				}
+				if !names[mu] {
+					p.Reportf(fld.Pos(), "field documented as guarded by %q, but the struct has no such field", mu)
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardName(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(g.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkGuardedAccesses reports guarded-field accesses in fd made without
+// the required mutex held.
+func checkGuardedAccesses(p *Pass, fd *ast.FuncDecl, guards map[*types.Var]string) {
+	if docHas(fd.Doc, "//lint:mutexguard-ok") {
+		return
+	}
+	held := heldMutexes(p, fd)
+	reported := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := p.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		mu, guarded := guards[v]
+		if !guarded || held[mu] {
+			return true
+		}
+		if p.lintOK("mutexguard", sel.Pos()) {
+			return true
+		}
+		// One report per (function, field) keeps a missing lock from
+		// flooding the output.
+		key := fd.Name.Name + "." + v.Name()
+		if reported[key] {
+			return true
+		}
+		reported[key] = true
+		p.Reportf(sel.Pos(),
+			"%s accesses %s (guarded by %s) without holding %s: lock it, or annotate the function //parhip:holds %s if callers hold it",
+			fd.Name.Name, v.Name(), mu, mu, mu)
+		return true
+	})
+}
+
+// heldMutexes returns the set of mutex field names fd visibly holds:
+// declared via //parhip:holds <mu>, or locked anywhere in the body
+// (x.<mu>.Lock / x.<mu>.RLock, closures included — flow-insensitive).
+func heldMutexes(p *Pass, fd *ast.FuncDecl) map[string]bool {
+	held := map[string]bool{}
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if rest, ok := strings.CutPrefix(c.Text, "//parhip:holds "); ok {
+				for _, mu := range strings.Fields(rest) {
+					held[mu] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if muSel, ok := sel.X.(*ast.SelectorExpr); ok {
+			held[muSel.Sel.Name] = true
+		} else if id, ok := sel.X.(*ast.Ident); ok {
+			held[id.Name] = true
+		}
+		return true
+	})
+	return held
+}

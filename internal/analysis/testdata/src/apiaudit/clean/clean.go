@@ -1,0 +1,27 @@
+// Package clean holds the sanctioned API shapes: documented wrapper types,
+// the NewPartition adapter, deprecations and annotated escapes.
+package clean
+
+// Partition is the documented wrapper: a named int32-slice type passes.
+type Partition []int32
+
+// Assign returns the wrapper.
+func Assign(n int) Partition { return make(Partition, n) }
+
+// NewPartition is the sanctioned raw-slice boundary adapter.
+func NewPartition(raw []int32) Partition { return Partition(raw) }
+
+// Legacy returns a raw slice for v1 compatibility.
+//
+// Deprecated: use Assign.
+func Legacy(n int) []int32 { return make([]int32, n) }
+
+// Ranks returns PE ranks, not a partition; the escape documents that.
+//
+//lint:rawslice-ok rank list, not a partition
+func Ranks() []int32 { return nil }
+
+// unexported declarations are outside the audit.
+func unexported() []int32 { return nil }
+
+var _ = unexported

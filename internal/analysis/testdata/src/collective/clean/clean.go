@@ -1,0 +1,33 @@
+// Package clean holds SPMD shapes the collective analyzer must accept.
+package clean
+
+import "mpi"
+
+// Symmetric issues the same collectives on every rank; the rank-dependent
+// branch does only local work.
+func Symmetric(c *mpi.Comm) int64 {
+	var local int64
+	if c.Rank() == 0 {
+		local = 1
+	}
+	c.Barrier()
+	return c.AllreduceSum1(local)
+}
+
+// Replicated branches on an allreduced value: collective results are
+// identical on every rank by the SPMD contract, so the barrier cannot
+// diverge even though the reduced value derives from the rank.
+func Replicated(c *mpi.Comm) {
+	n := c.AllreduceSum1(int64(c.Rank()))
+	if n > 0 {
+		c.Barrier()
+	}
+}
+
+// Annotated documents a reviewed exception with the escape hatch.
+func Annotated(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		//lint:collective-ok fixture: reviewed exception
+		c.Barrier()
+	}
+}

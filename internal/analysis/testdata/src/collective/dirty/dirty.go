@@ -1,0 +1,55 @@
+// Package dirty seeds every shape of SPMD collective divergence the
+// analyzer must catch.
+package dirty
+
+import "mpi"
+
+// Leader gathers only on rank zero: the other ranks never enter the
+// collective and deadlock.
+func Leader(c *mpi.Comm) []int64 {
+	if c.Rank() == 0 {
+		return c.Allgatherv(nil) // want `collective Allgatherv called in a rank-dependent branch`
+	}
+	return nil
+}
+
+// EarlyReturn diverges via the classic guard-return shape.
+func EarlyReturn(c *mpi.Comm) {
+	if c.Rank() != 0 {
+		return
+	}
+	c.Barrier() // want `collective Barrier called in a rank-dependent branch`
+}
+
+// Tainted branches on a variable derived from the rank.
+func Tainted(c *mpi.Comm) {
+	leader := c.Rank() == 0
+	if leader {
+		c.Barrier() // want `collective Barrier called in a rank-dependent branch`
+	}
+}
+
+// Broadcast is a module-level collective: calls to it are checked like the
+// mpi primitives.
+//
+//parhip:collective
+func Broadcast(c *mpi.Comm) {
+	c.Bcast(nil)
+}
+
+// Indirect diverges through the annotated module collective.
+func Indirect(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		Broadcast(c) // want `collective Broadcast called in a rank-dependent branch`
+	}
+}
+
+// InClosure diverges inside a world.Run body: function literals are scanned
+// as functions in their own right.
+func InClosure(w *mpi.World) {
+	w.Run(func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.Barrier() // want `collective Barrier called in a rank-dependent branch`
+		}
+	})
+}

@@ -1,0 +1,33 @@
+// Package core sits in the determinism scope (import-path base "core") and
+// seeds every forbidden nondeterminism source.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter leaks wall-clock into a decision value.
+func Jitter() int64 {
+	t := time.Now() // want `time.Now in a determinism-scoped package`
+	return t.Unix()
+}
+
+// Elapsed leaks a wall-clock interval.
+func Elapsed(start time.Time) bool {
+	return time.Since(start) > time.Second // want `time.Since in a determinism-scoped package`
+}
+
+// Shuffle uses the unseeded global math/rand stream.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand`
+}
+
+// Collect leaks map iteration order into a slice.
+func Collect(m map[int64]int64) []int64 {
+	var out []int64
+	for k := range m { // want `map iteration order is randomized`
+		out = append(out, k)
+	}
+	return out
+}

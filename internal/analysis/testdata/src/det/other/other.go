@@ -1,0 +1,10 @@
+// Package other is outside the determinism scope: wall-clock use here is
+// legitimate (servers time things) and must not be flagged.
+package other
+
+import "time"
+
+// Uptime may read the clock: "other" is not a decision package.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

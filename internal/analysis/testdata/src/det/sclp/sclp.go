@@ -1,0 +1,38 @@
+// Package sclp sits in the determinism scope and holds the shapes the
+// analyzer must accept: annotated Stats timing, commutative accumulation,
+// and sorted-key iteration.
+package sclp
+
+import "sort"
+
+// Sum is commutative integer accumulation: iteration order cannot leak.
+func Sum(m map[int64]int64) int64 {
+	var s int64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// CountBig mixes guarded commutative accumulation; still order-free.
+func CountBig(m map[int64]int64, cut int64) int64 {
+	var n int64
+	for _, v := range m {
+		if v > cut {
+			n++
+		}
+	}
+	return n
+}
+
+// SortedKeys iterates deterministically; collecting the keys is annotated
+// because the subsequent sort removes the order dependence.
+func SortedKeys(m map[int64]int64) []int64 {
+	keys := make([]int64, 0, len(m))
+	//lint:determinism-ok keys are sorted before any use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,41 @@
+// Package clean holds hot-path shapes the analyzer must accept.
+package clean
+
+// Grow uses builtin append: a compiler intrinsic whose variadic signature
+// never materializes an argument slice.
+//
+//parhip:hotpath
+func Grow(xs []int64, x int64) []int64 {
+	xs = append(xs, x)
+	if len(xs) > 4 {
+		xs = xs[:4]
+	}
+	return xs
+}
+
+// Each takes a callback; calling through a func parameter is not boxing.
+//
+//parhip:hotpath
+func Each(xs []int64, f func(int64)) {
+	for _, x := range xs {
+		f(x)
+	}
+}
+
+// SumEach passes a literal directly as a call argument: those are commonly
+// inlined and deliberately not flagged.
+//
+//parhip:hotpath
+func SumEach(xs []int64) int64 {
+	var s int64
+	Each(xs, func(x int64) { s += x })
+	return s
+}
+
+// Logged documents a benchmark-verified exception with the escape hatch.
+//
+//parhip:hotpath
+func Logged(log func(args ...interface{}), n int64) {
+	//lint:hotpath-ok fixture: verified allocation-free by benchmark
+	log("n", n)
+}

@@ -1,0 +1,38 @@
+// Package dirty seeds every allocation pattern the hotpath analyzer
+// forbids inside //parhip:hotpath functions.
+package dirty
+
+import "fmt"
+
+func sum(xs ...int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func sink(v interface{}) {}
+
+func helper() {}
+
+// Hot violates every hot-path rule.
+//
+//parhip:hotpath
+func Hot(a, b int64) string {
+	s := sum(a, b)              // want `variadic call in a hot path`
+	msg := fmt.Sprintf("%d", s) // want `fmt.Sprintf in a hot path`
+	sink(s)                     // want `basic value boxed into interface`
+	var v interface{}
+	v = s // want `basic value boxed into interface`
+	_ = v
+	f := func() int64 { return s } // want `closure stored in a hot path`
+	_ = f
+	go helper() // want `go statement in a hot path`
+	return msg
+}
+
+// Cold is unannotated: the same patterns pass without comment.
+func Cold(a, b int64) string {
+	return fmt.Sprintf("%d", sum(a, b))
+}

@@ -1,0 +1,38 @@
+// Package mpi is a fixture stub of the project's communicator. The
+// collective analyzer keys on the package *name* and the primitive method
+// names, so this stub exercises the same code paths as the real
+// internal/mpi without dragging the full transport into fixture loads.
+package mpi
+
+// Comm is the per-rank handle.
+type Comm struct {
+	rank, size int
+}
+
+// Rank returns this rank's index.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.size }
+
+// Barrier blocks until every rank arrives.
+func (c *Comm) Barrier() {}
+
+// Bcast broadcasts from rank 0.
+func (c *Comm) Bcast(xs []int64) {}
+
+// Allgatherv concatenates every rank's contribution.
+func (c *Comm) Allgatherv(xs []int64) []int64 { return xs }
+
+// AllreduceSum1 sums a scalar across ranks.
+func (c *Comm) AllreduceSum1(x int64) int64 { return x }
+
+// World runs an SPMD body on every rank.
+type World struct{ comms []*Comm }
+
+// Run invokes f once per rank.
+func (w *World) Run(f func(c *Comm)) {
+	for _, c := range w.comms {
+		f(c)
+	}
+}

@@ -1,0 +1,54 @@
+// Package clean holds the sanctioned mutex-guard shapes.
+package clean
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// newCounter touches the field before the value is published; the escape
+// hatch documents why no lock is needed.
+//
+//lint:mutexguard-ok construction: the counter is not yet shared
+func newCounter(seed int) *counter {
+	c := &counter{}
+	c.n = seed
+	return c
+}
+
+// Add holds the documented mutex for the access.
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// Snapshot locks inside a closure; the check is flow-insensitive and
+// accepts a lock anywhere in the function body.
+func (c *counter) Snapshot() int {
+	var n int
+	func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n = c.n
+	}()
+	return n
+}
+
+// addLocked follows the *Locked convention: the caller holds mu.
+//
+//parhip:holds mu
+func (c *counter) addLocked(d int) {
+	c.n += d
+}
+
+// Double uses the caller-holds helper under the lock.
+func (c *counter) Double() {
+	c.mu.Lock()
+	c.addLocked(c.n)
+	c.mu.Unlock()
+}
+
+var _ = newCounter

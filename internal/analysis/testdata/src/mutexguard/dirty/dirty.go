@@ -1,0 +1,23 @@
+// Package dirty seeds mutex-guard violations.
+package dirty
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int // guarded by mu
+	misc int // guarded by lock; want `guarded by "lock", but the struct has no such field`
+}
+
+// Add locks the documented mutex before touching the field.
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	c.n += d
+	c.misc++
+	c.mu.Unlock()
+}
+
+// Peek reads the guarded field without the lock.
+func (c *counter) Peek() int {
+	return c.n // want `Peek accesses n \(guarded by mu\) without holding mu`
+}

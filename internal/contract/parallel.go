@@ -34,6 +34,8 @@ type ParResult struct {
 //  5. Owners aggregate and assemble the coarse distributed graph.
 //
 // Collective.
+//
+//parhip:collective
 func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
 	c := fine.Comm
 	size := c.Size()
@@ -221,6 +223,8 @@ func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
 // (C(v), block(v)) pairs to the coarse owners, which adopt the (consistent)
 // value. The returned slice has coarse.NTotal() entries with ghosts synced.
 // Collective.
+//
+//parhip:collective
 func ParLift(fine *dgraph.DGraph, coarse *dgraph.DGraph, fineToCoarse []int64, finePart []int64) []int64 {
 	c := fine.Comm
 	sh := mpi.NewSharder(c)
@@ -254,6 +258,8 @@ func ParLift(fine *dgraph.DGraph, coarse *dgraph.DGraph, fineToCoarse []int64, f
 // for that node's block (§IV-C, uncoarsening), and ghost entries of the
 // result are synchronized. coarsePart must hold one value per coarse-local
 // node (extra ghost entries are ignored). Collective.
+//
+//parhip:collective
 func ParProject(fine *dgraph.DGraph, coarse *dgraph.DGraph, fineToCoarse []int64, coarsePart []int64) []int64 {
 	finePart := make([]int64, fine.NTotal())
 	answers := coarse.LookupI64(coarsePart[:coarse.NLocal()], fineToCoarse)

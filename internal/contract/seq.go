@@ -19,6 +19,8 @@ import (
 // graph and the fine-to-coarse node map. Coarse IDs are assigned in order
 // of the smallest fine node ID in each cluster, making the result
 // deterministic.
+//
+//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 func Contract(g *graph.Graph, labels []int32) (*graph.Graph, []int32) {
 	n := g.NumNodes()
 	// Assign contiguous coarse IDs by first occurrence.
@@ -55,6 +57,8 @@ func Contract(g *graph.Graph, labels []int32) (*graph.Graph, []int32) {
 
 // Project transfers a coarse partition to the fine level: fine node v is
 // assigned the block of its coarse representative.
+//
+//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 func Project(coarsePart []int32, fineToCoarse []int32) []int32 {
 	fine := make([]int32, len(fineToCoarse))
 	for v, c := range fineToCoarse {

@@ -110,6 +110,7 @@ type Config struct {
 	// with it, so the result is never worse (§VI: "This prepartition could
 	// be directly fed into the first V-cycle and consecutively be
 	// improved"). It must be a feasible k-way partition.
+	//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 	Prepartition []int32
 
 	// PrevPartition, when non-nil (one block per global node), is the
@@ -121,6 +122,7 @@ type Config struct {
 	// favour of fewer moves, and Stats reports MigratedNodes and
 	// MigrationVolume against it. Callers normally set it to the same
 	// slice as Prepartition.
+	//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 	PrevPartition []int32
 
 	// Seed drives all randomness (identical value on every rank).
@@ -269,7 +271,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 	}
 	cfg.normalize()
 	c := d.Comm
-	startAll := time.Now()
+	startAll := time.Now() //lint:determinism-ok stats timing, never partition state
 	// report emits a progress checkpoint on rank 0. Callers must compute
 	// any collective quantities (cut, block weights) on every rank before
 	// calling it.
@@ -278,7 +280,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 			return
 		}
 		p.Cycles = cfg.VCycles
-		p.Elapsed = time.Since(startAll)
+		p.Elapsed = time.Since(startAll) //lint:determinism-ok stats timing, never partition state
 		// WorldStats reads atomics only — no collective, safe on rank 0 alone.
 		ws := c.WorldStats()
 		p.CommMsgs = ws.MessagesSent
@@ -291,7 +293,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 		st.Feasible = true
 		st.MaxBlockWeight = d.GlobalNodeWeight()
 		st.Lmax = partition.Lmax(st.MaxBlockWeight, 1, cfg.Eps)
-		st.TotalTime = time.Since(startAll)
+		st.TotalTime = time.Since(startAll) //lint:determinism-ok stats timing, never partition state
 		return part, st, nil
 	}
 	// Shared stream: identical on every rank, used for cross-rank-consistent
@@ -358,7 +360,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 		}
 
 		// --- Parallel coarsening ---
-		tCoarsen := time.Now()
+		tCoarsen := time.Now() //lint:determinism-ok stats timing, never partition state
 		cur := d
 		var constraint []int64
 		if part != nil {
@@ -415,13 +417,13 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 			report(Progress{Phase: PhaseCoarsen, Cycle: cycle, Level: len(levels),
 				N: cur.GlobalN, M: cur.GlobalM, Cut: -1, Imbalance: -1})
 		}
-		st.CoarsenTime += time.Since(tCoarsen)
+		st.CoarsenTime += time.Since(tCoarsen) //lint:determinism-ok stats timing, never partition state
 		if err := ctx.Err(); err != nil {
 			return nil, st, err
 		}
 
 		// --- Initial partitioning: replicate coarsest graph, run KaFFPaE ---
-		tInit := time.Now()
+		tInit := time.Now() //lint:determinism-ok stats timing, never partition state
 		spInit := c.Tracer().Begin(c.Rank(), "core.initial_partition")
 		coarsest := cur.Gather()
 		var initial []int32
@@ -463,7 +465,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 			remapBlocks(best, evoCfg.MigrationRef, cfg.K, coarsest.NW)
 		}
 		c.Tracer().End2(spInit, "cycle", int64(cycle), "coarsest_n", int64(coarsest.NumNodes()))
-		st.InitTime += time.Since(tInit)
+		st.InitTime += time.Since(tInit) //lint:determinism-ok stats timing, never partition state
 		if err := ctx.Err(); err != nil {
 			return nil, st, err
 		}
@@ -477,7 +479,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 		}
 
 		// --- Parallel uncoarsening with label propagation local search ---
-		tRefine := time.Now()
+		tRefine := time.Now() //lint:determinism-ok stats timing, never partition state
 		curPart := make([]int64, cur.NTotal())
 		for v := int32(0); v < cur.NTotal(); v++ {
 			curPart[v] = int64(best[cur.ToGlobal(v)])
@@ -517,7 +519,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 			c.Tracer().End1(spRef, "level", int64(i))
 			reportRefine(lv.fine, curPart, i)
 		}
-		st.RefineTime += time.Since(tRefine)
+		st.RefineTime += time.Since(tRefine) //lint:determinism-ok stats timing, never partition state
 		part = curPart
 	}
 	if err := ctx.Err(); err != nil {
@@ -530,13 +532,13 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 	// block over Lmax, run the dedicated distributed rebalancing stage.
 	// (The check is rank-consistent: BlockWeights is an allreduce.)
 	if mx > lmax {
-		tReb := time.Now()
+		tReb := time.Now() //lint:determinism-ok stats timing, never partition state
 		spReb := c.Tracer().Begin(c.Rank(), "core.rebalance")
 		st.RebalanceMoves, _ = sclp.ParRebalance(d, part, sclp.ParRebalanceConfig{
 			K: cfg.K, Lmax: lmax,
 		})
 		c.Tracer().End1(spReb, "moves", st.RebalanceMoves)
-		st.RebalanceTime = time.Since(tReb)
+		st.RebalanceTime = time.Since(tReb) //lint:determinism-ok stats timing, never partition state
 		mx = maxBlock(d.BlockWeights(part, cfg.K))
 		report(Progress{Phase: PhaseRebalance, Cycle: cfg.VCycles - 1, Level: 0,
 			N: d.GlobalN, M: d.GlobalM, Cut: -1, Imbalance: imbalanceOf(mx)})
@@ -558,7 +560,7 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 		st.MigratedNodes = d.Comm.AllreduceSum1(movedN)
 		st.MigrationVolume = d.Comm.AllreduceSum1(movedW)
 	}
-	st.TotalTime = time.Since(startAll)
+	st.TotalTime = time.Since(startAll) //lint:determinism-ok stats timing, never partition state
 	report(Progress{Phase: PhaseDone, Cycle: cfg.VCycles - 1, Level: 0,
 		N: d.GlobalN, M: d.GlobalM, Cut: st.Cut, Imbalance: st.Imbalance})
 	return part, st, nil
@@ -623,6 +625,8 @@ func remapBlocks(p, ref []int32, k int32, nw []int64) {
 
 // gatherPart assembles the full global partition (one entry per global
 // node) from a distributed NTotal-length assignment. Collective.
+//
+//parhip:collective
 func gatherPart(d *dgraph.DGraph, part []int64) []int32 {
 	parts := d.Comm.Allgatherv(part[:d.NLocal()])
 	out := make([]int32, d.GlobalN)

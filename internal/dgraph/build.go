@@ -14,6 +14,8 @@ import (
 // weights are fetched from the owners, and the global edge count is
 // computed collectively. The parallel contraction algorithm uses this to
 // assemble each coarse level. Collective.
+//
+//parhip:collective
 func Build(c *mpi.Comm, vtxdist []int64, nw []int64, xadj []int64, adjGlobal []int64, adjw []int64) *DGraph {
 	if len(vtxdist) != c.Size()+1 {
 		panic(fmt.Sprintf("dgraph: vtxdist has %d entries for %d ranks", len(vtxdist), c.Size()))

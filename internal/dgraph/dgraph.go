@@ -34,6 +34,7 @@ type DGraph struct {
 	// CSR over local nodes. Adj holds local IDs: values below NLocal()
 	// are local nodes, values >= NLocal() index ghosts.
 	XAdj []int64
+	//lint:rawslice-ok CSR adjacency in local-index space, not a partition
 	Adj  []int32
 	AdjW []int64
 
@@ -193,6 +194,8 @@ func (d *DGraph) IsInterface(v int32) bool {
 
 // AdjacentRanks returns the ranks owning ghost neighbours of local node v
 // (empty for interior nodes). The slice must not be modified.
+//
+//lint:rawslice-ok list of PE ranks, not a partition
 func (d *DGraph) AdjacentRanks(v int32) []int32 {
 	return d.adjRankDat[d.adjRankOff[v]:d.adjRankOff[v+1]]
 }
@@ -239,6 +242,8 @@ func (d *DGraph) Degree(v int32) int32 { return int32(d.XAdj[v+1] - d.XAdj[v]) }
 
 // Neighbors returns the local-ID neighbour list of local node v; entries
 // >= NLocal() are ghosts. The slice aliases internal storage.
+//
+//lint:rawslice-ok local node IDs in CSR order, not a partition
 func (d *DGraph) Neighbors(v int32) []int32 { return d.Adj[d.XAdj[v]:d.XAdj[v+1]] }
 
 // EdgeWeights returns edge weights parallel to Neighbors(v).
@@ -359,6 +364,8 @@ func (d *DGraph) LookupI64(vals []int64, queries []int64) []int64 {
 // with the owners' current local values. vals must have NTotal() entries.
 // The exchange follows the precomputed plan: values only (both sides know
 // the wire order), adjacent ranks only, staging buffers reused. Collective.
+//
+//parhip:collective
 func (d *DGraph) SyncGhosts(vals []int64) {
 	sp := d.Comm.Tracer().Begin(d.Comm.Rank(), "dgraph.sync_ghosts")
 	p := d.plan
@@ -397,6 +404,9 @@ func (d *DGraph) syncGhostsDense(vals []int64) {
 // place. Nodes in changed that are not interface nodes are skipped. This is
 // the update-exchange from §IV-A, realized as one sparse neighborhood
 // exchange per phase. Collective.
+//
+//parhip:collective
+//lint:rawslice-ok changed is a list of local node IDs, not a partition
 func (d *DGraph) PushGhosts(vals []int64, changed []int32) {
 	d.PushGhostsFunc(vals, changed, nil)
 }
@@ -411,6 +421,9 @@ func (d *DGraph) PushGhosts(vals []int64, changed []int32) {
 // list, vals[v]). A malformed incoming buffer — odd length or an
 // out-of-range position — poisons the peers and panics loudly instead of
 // being silently truncated. Collective.
+//
+//parhip:collective
+//lint:rawslice-ok changed is a list of local node IDs, not a partition
 func (d *DGraph) PushGhostsFunc(vals []int64, changed []int32, onUpdate func(ghost int32, old, new int64)) {
 	sp := d.Comm.Tracer().Begin(d.Comm.Rank(), "dgraph.push_ghosts")
 	p := d.plan
@@ -475,6 +488,8 @@ func (d *DGraph) pushGhostsDense(vals []int64, changed []int32) {
 // uses this on the coarsest graph before running the evolutionary
 // partitioner ("the distributed coarse graph is then collected on each
 // PE"). Collective.
+//
+//parhip:collective
 func (d *DGraph) Gather() *graph.Graph {
 	// Serialize local part: [nLocal, then per node: weight, degree,
 	// (globalNbr, w)*].
@@ -520,6 +535,8 @@ func (d *DGraph) Gather() *graph.Graph {
 // EdgeCut computes the global weight of edges crossing between different
 // values of part, where part has NTotal() entries (ghost entries must be in
 // sync). Collective.
+//
+//parhip:collective
 func (d *DGraph) EdgeCut(part []int64) int64 {
 	var local int64
 	for v := int32(0); v < d.nLocal; v++ {
@@ -537,6 +554,8 @@ func (d *DGraph) EdgeCut(part []int64) int64 {
 
 // BlockWeights returns the global node weight of blocks 0..k-1 under part
 // (NTotal() entries; only local entries are read). Collective.
+//
+//parhip:collective
 func (d *DGraph) BlockWeights(part []int64, k int32) []int64 {
 	local := make([]int64, k)
 	for v := int32(0); v < d.nLocal; v++ {
@@ -548,6 +567,8 @@ func (d *DGraph) BlockWeights(part []int64, k int32) []int64 {
 // GhostFraction returns the fraction of adjacency entries referring to
 // ghosts, the locality measure the paper reports for del vs rgg graphs
 // (§V-B). Collective.
+//
+//parhip:collective
 func (d *DGraph) GhostFraction() float64 {
 	var ghost int64
 	for _, u := range d.Adj {

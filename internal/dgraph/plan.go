@@ -140,10 +140,14 @@ func (p *ExchangePlan) Topology() *mpi.Topology { return p.topo }
 
 // NeighborRanks returns the adjacent ranks in ascending order. The slice
 // must not be modified.
+//
+//lint:rawslice-ok list of PE ranks, not a partition
 func (p *ExchangePlan) NeighborRanks() []int32 { return p.nbrs }
 
 // SendList returns the interface vertices shipped to the i-th neighbor on a
 // full sync, in wire order. The slice must not be modified.
+//
+//lint:rawslice-ok plan send list of local node IDs, not a partition
 func (p *ExchangePlan) SendList(i int) []int32 {
 	return p.sendVtx[p.sendOff[i]:p.sendOff[i+1]]
 }

@@ -89,6 +89,7 @@ type Config struct {
 	// Initial optionally seeds the population with a known partition
 	// (V-cycles inject the projected previous solution, ensuring the
 	// result is at least as good).
+	//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 	Initial []int32
 	// Objective is the fitness to minimize (default: edge cut). Combine
 	// operators still optimize the cut internally (their no-worsening
@@ -99,6 +100,7 @@ type Config struct {
 	// nodes win objective ties (the MinimizeMigration "component" of the
 	// repartitioning path). Under ObjectiveMigration the divergence from
 	// the reference is the primary fitness and the cut breaks ties.
+	//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 	MigrationRef []int32
 }
 
@@ -178,6 +180,9 @@ func evaluate(g *graph.Graph, p []int32, cfg Config) individual {
 // WatchContext, as core.RunCtx arranges), the selection collectives unwind
 // instead of completing — ctx alone degrades gracefully, ctx + abort
 // cancels hard.
+//
+//parhip:collective
+//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 func Evolve(ctx context.Context, c *mpi.Comm, g *graph.Graph, cfg Config) []int32 {
 	if ctx == nil {
 		ctx = context.Background()
@@ -238,14 +243,14 @@ func Evolve(ctx context.Context, c *mpi.Comm, g *graph.Graph, cfg Config) []int3
 		}
 	}
 
-	start := time.Now()
+	start := time.Now() //lint:determinism-ok wall-clock search budget is part of the Evolve contract
 	step := 0
 	for {
 		if ctx.Err() != nil {
 			break // deadline/cancel: select among what we have
 		}
 		if cfg.TimeBudget > 0 {
-			if time.Since(start) >= cfg.TimeBudget {
+			if time.Since(start) >= cfg.TimeBudget { //lint:determinism-ok wall-clock search budget is part of the Evolve contract; selection stays collective
 				break
 			}
 		} else if step >= cfg.Rounds {

@@ -26,6 +26,8 @@ type RefineConfig struct {
 // corridors around the boundaries of adjacent block pairs. It never
 // increases the edge cut and never breaks a satisfied balance bound.
 // It returns the total cut improvement.
+//
+//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 func Refine(g *graph.Graph, p []int32, cfg RefineConfig) int64 {
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 1
@@ -227,6 +229,8 @@ func localCut(g *graph.Graph, p []int32, nodes []int32, inCorridor map[int32]int
 }
 
 // Evaluate is a convenience wrapper for tests: total cut of p.
+//
+//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 func Evaluate(g *graph.Graph, p []int32) int64 {
 	return partition.EdgeCut(g, p)
 }

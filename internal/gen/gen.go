@@ -216,6 +216,8 @@ func BarabasiAlbert(n int32, mAttach int, seed uint64) *graph.Graph {
 // external degree degOut per node). It also returns the ground-truth
 // community of each node. This family stands in for the paper's web graphs
 // whose community structure is what cluster contraction exploits.
+//
+//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 func PlantedPartition(n int32, communities int32, degIn, degOut float64, seed uint64) (*graph.Graph, []int32) {
 	if communities < 1 {
 		communities = 1

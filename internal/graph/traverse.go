@@ -3,6 +3,8 @@ package graph
 // BFS performs a breadth-first search from source and returns the order in
 // which nodes were discovered together with a distance array (-1 for
 // unreachable nodes).
+//
+//lint:rawslice-ok BFS distance vector, not a partition
 func BFS(g *Graph, source NodeID) (order []NodeID, dist []int32) {
 	n := g.NumNodes()
 	dist = make([]int32, n)
@@ -29,6 +31,8 @@ func BFS(g *Graph, source NodeID) (order []NodeID, dist []int32) {
 
 // ConnectedComponents labels every node with a component ID in [0, count)
 // and returns the labels and the component count.
+//
+//lint:rawslice-ok component IDs are cluster labels local to traversal, not a partition
 func ConnectedComponents(g *Graph) (comp []int32, count int32) {
 	n := g.NumNodes()
 	comp = make([]int32, n)

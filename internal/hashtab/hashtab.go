@@ -48,6 +48,8 @@ func hash64(x int64) uint64 {
 
 // Add accumulates delta into the value for key, inserting the key with value
 // delta if absent.
+//
+//parhip:hotpath
 func (t *AccumulatorI64) Add(key, delta int64) {
 	if 2*(t.size+1) > len(t.keys) {
 		t.grow()
@@ -71,6 +73,8 @@ func (t *AccumulatorI64) Add(key, delta int64) {
 }
 
 // Get returns the accumulated value for key and whether the key is present.
+//
+//parhip:hotpath
 func (t *AccumulatorI64) Get(key int64) (int64, bool) {
 	i := hash64(key) & t.mask
 	for t.used[i] {
@@ -145,6 +149,8 @@ func NewMapI64(capacity int) *MapI64 {
 }
 
 // Put sets the value for key, overwriting any previous value.
+//
+//parhip:hotpath
 func (m *MapI64) Put(key, val int64) {
 	if 2*(m.size+1) > len(m.keys) {
 		m.grow()
@@ -168,6 +174,8 @@ func (m *MapI64) Put(key, val int64) {
 
 // PutIfAbsent inserts (key, val) if key is not present and returns the value
 // now stored for key together with whether an insert happened.
+//
+//parhip:hotpath
 func (m *MapI64) PutIfAbsent(key, val int64) (int64, bool) {
 	if 2*(m.size+1) > len(m.keys) {
 		m.grow()
@@ -189,6 +197,8 @@ func (m *MapI64) PutIfAbsent(key, val int64) (int64, bool) {
 }
 
 // Get returns the value stored for key and whether the key is present.
+//
+//parhip:hotpath
 func (m *MapI64) Get(key int64) (int64, bool) {
 	i := hash64(key) & m.mask
 	for m.used[i] {

@@ -51,11 +51,13 @@ type Config struct {
 	// every cluster stays inside one constraint class, so edges between
 	// classes survive to the coarsest level. The combine operator passes
 	// the composite labels of two parent partitions here (§II-C).
+	//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 	Constraint []int32
 	// InitialPartition, when non-nil, is applied at the coarsest level
 	// instead of running initial partitioning. It must be constant on each
 	// constraint class (callers pass a parent partition together with a
 	// Constraint that refines it).
+	//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 	InitialPartition []int32
 }
 
@@ -112,6 +114,8 @@ type level struct {
 // invalid configurations; the partition is feasible whenever a feasible
 // partition is reachable by the refinement moves (on pathological inputs
 // with giant node weights the bound may be unattainable).
+//
+//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 func Partition(g *graph.Graph, cfg Config) ([]int32, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("kaffpa: k = %d", cfg.K)
@@ -208,6 +212,8 @@ func projectDown(labels []int32, fineToCoarse []int32, coarseN int32) []int32 {
 // CompositeConstraint builds the constraint labels for a combine operation:
 // nodes get equal labels iff they share a block in both parents, so no cut
 // edge of either parent can be contracted (§II-C).
+//
+//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 func CompositeConstraint(p1, p2 []int32, k int32) []int32 {
 	out := make([]int32, len(p1))
 	for v := range p1 {

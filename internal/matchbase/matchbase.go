@@ -261,6 +261,8 @@ type proposal struct{ proposer, target int64 }
 // ctx is honored with the same contract as core.PartitionDistributed:
 // checked between levels, backed by the world's cooperative abort inside
 // them.
+//
+//parhip:collective
 func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]int64, Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -416,14 +418,19 @@ func RunCtx(ctx context.Context, P int, g *graph.Graph, cfg Config) (Result, err
 	world.Run(func(c *mpi.Comm) {
 		d := dgraph.FromGraph(c, g)
 		part, st, err := PartitionDistributed(ctx, d, cfg)
-		if c.Rank() == 0 {
-			if err != nil {
+		if err != nil {
+			if c.Rank() == 0 {
 				runErr = err
 				res.Stats = st
-				return
 			}
+			return
+		}
+		// The gather is issued on every rank before any rank-dependent
+		// branching: a collective inside the rank-0 arm would deadlock the
+		// other ranks (caught by parhiplint's collective analyzer).
+		parts := d.Comm.Allgatherv(part[:d.NLocal()])
+		if c.Rank() == 0 {
 			full := make(partition.Partition, d.GlobalN)
-			parts := d.Comm.Allgatherv(part[:d.NLocal()])
 			var gv int64
 			for _, p := range parts {
 				for _, b := range p {
@@ -433,8 +440,6 @@ func RunCtx(ctx context.Context, P int, g *graph.Graph, cfg Config) (Result, err
 			}
 			st.Comm = world.TotalStats()
 			res = Result{Part: full, Stats: st}
-		} else if err == nil {
-			d.Comm.Allgatherv(part[:d.NLocal()])
 		}
 	})
 	if runErr == nil && res.Part == nil {

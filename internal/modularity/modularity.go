@@ -22,6 +22,8 @@ import (
 // Q = sum_c [ in_c/(2m) - (tot_c/(2m))^2 ], with in_c twice the weight of
 // intra-cluster edges and tot_c the total weighted degree of cluster c.
 // The empty graph has modularity 0.
+//
+//lint:rawslice-ok clustering labels consumed via the public Clustering wrapper
 func Modularity(g *graph.Graph, clusters []int32) float64 {
 	n := g.NumNodes()
 	// Remap cluster IDs to dense indices in first-occurrence order so the
@@ -82,6 +84,8 @@ func DefaultConfig() Config {
 
 // Cluster computes a modularity clustering of g. It returns the cluster
 // assignment and its modularity.
+//
+//lint:rawslice-ok clustering labels consumed via the public Clustering wrapper
 func Cluster(g *graph.Graph, cfg Config) ([]int32, float64) {
 	if cfg.Levels <= 0 {
 		cfg.Levels = 10

@@ -30,6 +30,8 @@ func DefaultParConfig() ParConfig {
 // propagation with modularity gain, parallel cluster contraction). It
 // returns one cluster ID per local node (cluster IDs are global and dense
 // in [0, #clusters)). Collective.
+//
+//parhip:collective
 func ParCluster(d *dgraph.DGraph, cfg ParConfig) []int64 {
 	if cfg.Levels <= 0 {
 		cfg.Levels = 10
@@ -84,6 +86,8 @@ func ParCluster(d *dgraph.DGraph, cfg ParConfig) []int64 {
 // liftSelfWeights computes, for each coarse-local node, the total internal
 // weight of its cluster: member self weights plus intra-cluster fine edges.
 // Collective.
+//
+//parhip:collective
 func liftSelfWeights(fine *dgraph.DGraph, res *contract.ParResult, labels []int64, self []int64) []int64 {
 	c := fine.Comm
 	size := c.Size()
@@ -129,6 +133,8 @@ func liftSelfWeights(fine *dgraph.DGraph, res *contract.ParResult, labels []int6
 
 // parSweep runs modularity-gain label propagation on one level and returns
 // labels (NTotal, ghosts synced) and the global move count. Collective.
+//
+//parhip:collective
 func parSweep(d *dgraph.DGraph, self []int64, cfg ParConfig, seed uint64) ([]int64, int64) {
 	nt := d.NTotal()
 	labels := make([]int64, nt)
@@ -247,6 +253,8 @@ func parModMove(d *dgraph.DGraph, v int32, labels, deg []int64,
 
 // exchangeModLabels propagates changed interface labels and keeps the local
 // cluster-degree totals consistent for ghost moves. Collective.
+//
+//parhip:collective
 func exchangeModLabels(d *dgraph.DGraph, labels, deg []int64, tot *hashtab.MapI64, changed map[int32]bool) {
 	size := d.Comm.Size()
 	out := make([][]int64, size)

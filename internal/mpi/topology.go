@@ -27,6 +27,8 @@ type Topology struct {
 // (rank a lists b iff b lists a); NewTopology verifies this with one dense
 // exchange — construction is per level, not per superstep, so the cost is
 // paid once — and poisons the world on violation. Collective.
+//
+//parhip:collective
 func NewTopology(c *Comm, neighbors []int) *Topology {
 	for i, r := range neighbors {
 		if r < 0 || r >= c.Size() {
@@ -140,6 +142,8 @@ func (s *Sharder) Pending(dst int) []int64 { return s.out[dst] }
 
 // Exchange performs the all-to-all (see AlltoallvFunc for the callback
 // contract) and resets the staged buffers for reuse. Collective.
+//
+//parhip:collective
 func (s *Sharder) Exchange(recv func(src int, data []int64)) {
 	s.c.AlltoallvFunc(s.out, recv)
 	for i := range s.out {

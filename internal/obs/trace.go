@@ -88,6 +88,8 @@ type Span struct {
 
 // Begin opens a span named name on the given rank's track. On a nil tracer
 // it returns the inert zero Span without reading the clock.
+//
+//parhip:hotpath
 func (t *Tracer) Begin(rank int, name string) Span {
 	if t == nil || rank < 0 || rank >= len(t.tracks) {
 		return Span{}
@@ -96,6 +98,8 @@ func (t *Tracer) Begin(rank int, name string) Span {
 }
 
 // record closes sp with the given args copied into the event buffer.
+//
+//parhip:hotpath
 func (t *Tracer) record(sp Span, a0, a1, a2 Arg, nargs int) {
 	end := int64(time.Since(t.epoch))
 	tr := &t.tracks[sp.rank]
@@ -111,6 +115,8 @@ func (t *Tracer) record(sp Span, a0, a1, a2 Arg, nargs int) {
 }
 
 // End closes the span with no annotations. Inert on the zero Span.
+//
+//parhip:hotpath
 func (t *Tracer) End(sp Span) {
 	if sp.t == nil {
 		return
@@ -122,6 +128,8 @@ func (t *Tracer) End(sp Span) {
 // exist instead of a variadic signature so that disabled-path callers never
 // construct an argument slice — escape analysis would otherwise heap-
 // allocate it even when the tracer is nil.
+//
+//parhip:hotpath
 func (t *Tracer) End1(sp Span, k string, v int64) {
 	if sp.t == nil {
 		return
@@ -130,6 +138,8 @@ func (t *Tracer) End1(sp Span, k string, v int64) {
 }
 
 // End2 closes the span with two annotations.
+//
+//parhip:hotpath
 func (t *Tracer) End2(sp Span, k1 string, v1 int64, k2 string, v2 int64) {
 	if sp.t == nil {
 		return
@@ -138,6 +148,8 @@ func (t *Tracer) End2(sp Span, k1 string, v1 int64, k2 string, v2 int64) {
 }
 
 // End3 closes the span with three annotations.
+//
+//parhip:hotpath
 func (t *Tracer) End3(sp Span, k1 string, v1 int64, k2 string, v2 int64, k3 string, v3 int64) {
 	if sp.t == nil {
 		return

@@ -127,6 +127,8 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 }
 
 // Perm returns a pseudo-random permutation of [0, n) as int32 values.
+//
+//lint:rawslice-ok generic index permutation, not a partition
 func (r *RNG) Perm(n int) []int32 {
 	p := make([]int32, n)
 	for i := range p {

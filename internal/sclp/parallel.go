@@ -39,6 +39,8 @@ type ParClusterConfig struct {
 // distributed graph and returns a label per local+ghost node (ghost entries
 // synchronized). Labels are global node IDs of cluster representatives.
 // Collective.
+//
+//parhip:collective
 func ParCluster(d *dgraph.DGraph, cfg ParClusterConfig) []int64 {
 	if cfg.PhasesPerRound < 1 {
 		cfg.PhasesPerRound = 8
@@ -119,6 +121,8 @@ func localOrder(d *dgraph.DGraph, degreeOrder bool, r *rng.RNG) []int32 {
 
 // parMoveNode is the parallel counterpart of moveNode: cluster weights come
 // from the locally maintained map.
+//
+//parhip:hotpath
 func parMoveNode(d *dgraph.DGraph, v int32, labels []int64, weight *hashtab.MapI64,
 	constraint []int64, u int64, conn *hashtab.AccumulatorI64, r *rng.RNG) bool {
 
@@ -182,6 +186,7 @@ func newDirtySet(n int32) *dirtySet {
 	return &dirtySet{bits: make([]uint64, (int(n)+63)/64)}
 }
 
+//parhip:hotpath
 func (s *dirtySet) add(v int32) {
 	w, b := v>>6, uint64(1)<<(uint(v)&63)
 	if s.bits[w]&b == 0 {
@@ -202,6 +207,8 @@ func (s *dirtySet) reset() {
 // incoming updates, moving each reassigned ghost's weight between the
 // locally tracked clusters when weight is non-nil. The dirty set is drained
 // for the next phase. Collective.
+//
+//parhip:collective
 func exchangeLabels(d *dgraph.DGraph, labels []int64, weight *hashtab.MapI64, changed *dirtySet) {
 	var onUpdate func(ghost int32, old, new int64)
 	if weight != nil {
@@ -247,6 +254,8 @@ type ParRefineConfig struct {
 // block's remaining headroom; shares are demand-proportional (see
 // claimHeadroom), so with exact weights at phase starts blocks never exceed
 // Lmax and positive headroom is always usable by some rank. Collective.
+//
+//parhip:collective
 func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 	if cfg.PhasesPerRound < 1 {
 		cfg.PhasesPerRound = 8
@@ -389,6 +398,8 @@ func refineDemand(d *dgraph.DGraph, phase []int32, part []int64,
 // rebalancer's escape hatch when proportional shares all land below a
 // heavy node's weight. All inputs are rank-consistent, so every rank
 // computes the identical allocation. Collective.
+//
+//parhip:collective
 func claimHeadroom(c *mpi.Comm, blockWeight, demand []int64, lmax int64, round int,
 	concentrate bool, out []int64) {
 
@@ -451,6 +462,7 @@ func claimHeadroom(c *mpi.Comm, blockWeight, demand []int64, lmax int64, round i
 	}
 }
 
+//parhip:hotpath
 func parRefineNode(d *dgraph.DGraph, v int32, part, prev []int64,
 	blockWeight, localContrib, headroom []int64, lmax int64,
 	conn *hashtab.AccumulatorI64, r *rng.RNG) bool {
@@ -478,6 +490,7 @@ func parRefineNode(d *dgraph.DGraph, v int32, part, prev []int64,
 		prevB = prev[v]
 	}
 
+	//lint:hotpath-ok never escapes the frame: only called here and captured by ForEach, which does not retain its callback
 	eligible := func(b int64) bool {
 		return blockWeight[b]+nw <= lmax && headroom[b] >= nw
 	}

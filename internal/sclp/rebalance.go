@@ -29,6 +29,8 @@ type ParRebalanceConfig struct {
 // Lmax >= ceil(c(V)/k) is always at least the total overload, unit-weight
 // (and generally max-node-weight <= Lmax - min-block-weight) instances
 // always end feasible. Collective.
+//
+//parhip:collective
 func ParRebalance(d *dgraph.DGraph, part []int64, cfg ParRebalanceConfig) (int64, bool) {
 	k := cfg.K
 	if k < 1 {

@@ -30,6 +30,7 @@ type ClusterConfig struct {
 	// members share its constraint label. This realizes the V-cycle rule
 	// that "each cluster of the computed clustering is a subset of a block
 	// of the input partition" (§IV-D), which keeps cut edges uncontracted.
+	//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 	Constraint []int32
 	// Seed drives traversal order and tie breaking.
 	Seed uint64
@@ -38,6 +39,8 @@ type ClusterConfig struct {
 // Cluster runs size-constrained label propagation and returns a cluster
 // label per node. Labels are drawn from the node ID space (a cluster's
 // label is the ID of one of its members); they are not contiguous.
+//
+//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 func Cluster(g *graph.Graph, cfg ClusterConfig) []int32 {
 	n := g.NumNodes()
 	labels := make([]int32, n)
@@ -145,6 +148,8 @@ type RefineConfig struct {
 // increases); a node of an overloaded block moves to its strongest eligible
 // other block regardless, trading cut for balance. Returns the number of
 // moves performed.
+//
+//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 func Refine(g *graph.Graph, p []int32, cfg RefineConfig) int {
 	n := g.NumNodes()
 	if n == 0 || cfg.Iterations <= 0 {

@@ -114,30 +114,30 @@ type jobManager struct {
 
 	mu       sync.Mutex
 	qcond    *sync.Cond // signalled on enqueue and close
-	queue    []*job     // pending jobs, FIFO
+	queue    []*job     // pending jobs, FIFO; guarded by mu
 	queueCap int
-	closed   bool
-	nextID   int64
-	jobs     map[string]*job
-	order    []string // submission order, for listing
+	closed   bool            // guarded by mu
+	nextID   int64           // guarded by mu
+	jobs     map[string]*job // guarded by mu
+	order    []string        // submission order, for listing; guarded by mu
 	workers  int
-	running  int
+	running  int // guarded by mu
 
-	submitted   int64
-	completed   int64
-	failed      int64
-	cancelled   int64
-	infeasible  int64
-	cacheHits   int64
-	cacheMisses int64
+	submitted   int64 // guarded by mu
+	completed   int64 // guarded by mu
+	failed      int64 // guarded by mu
+	cancelled   int64 // guarded by mu
+	infeasible  int64 // guarded by mu
+	cacheHits   int64 // guarded by mu
+	cacheMisses int64 // guarded by mu
 
-	coreRuns    int64
-	coarsenTime time.Duration
-	initTime    time.Duration
-	refineTime  time.Duration
-	totalTime   time.Duration
-	comm        mpi.Stats
-	cutSum      int64
+	coreRuns    int64         // guarded by mu
+	coarsenTime time.Duration // guarded by mu
+	initTime    time.Duration // guarded by mu
+	refineTime  time.Duration // guarded by mu
+	totalTime   time.Duration // guarded by mu
+	comm        mpi.Stats     // guarded by mu
+	cutSum      int64         // guarded by mu
 
 	// queueWait/runDur are the /metrics latency histograms, observed by
 	// runJob for every job that occupies a worker (cache hits at
@@ -145,7 +145,7 @@ type jobManager struct {
 	queueWait *obs.Histogram
 	runDur    *obs.Histogram
 
-	recent []JobTiming // ring, newest last
+	recent []JobTiming // ring, newest last; guarded by mu
 }
 
 func newJobManager(workers, queueSize, cacheSize int, fn PartitionFunc, reg *obs.Registry) *jobManager {
@@ -347,6 +347,8 @@ func (m *jobManager) cancelJob(id string) (*job, bool, error) {
 }
 
 // cancelLocked moves j to the cancelled terminal state. Callers hold m.mu.
+//
+//parhip:holds mu
 func (m *jobManager) cancelLocked(j *job, msg string, now time.Time) {
 	j.state = StateCancelled
 	j.errMsg = msg
@@ -485,6 +487,8 @@ func (m *jobManager) runJob(j *job) {
 // finishLocked marks j done with res. The graph reference is dropped so a
 // finished job no longer pins its (possibly deleted) graph in memory.
 // Callers hold m.mu.
+//
+//parhip:holds mu
 func (m *jobManager) finishLocked(j *job, res *parhip.Result, cached bool, now time.Time) {
 	j.state = StateDone
 	j.cached = cached
@@ -502,6 +506,7 @@ func (m *jobManager) finishLocked(j *job, res *parhip.Result, cached bool, now t
 	m.pushTimingLocked(j)
 }
 
+//parhip:holds mu
 func (m *jobManager) pushTimingLocked(j *job) {
 	t := JobTiming{
 		ID:        j.id,
@@ -525,6 +530,8 @@ func (m *jobManager) pushTimingLocked(j *job) {
 
 // evictFinishedLocked drops the oldest finished jobs once the retained set
 // exceeds maxRetainedJobs. Callers hold m.mu.
+//
+//parhip:holds mu
 func (m *jobManager) evictFinishedLocked() {
 	excess := len(m.jobs) - maxRetainedJobs
 	if excess <= 0 {
