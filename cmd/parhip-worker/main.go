@@ -1,0 +1,176 @@
+// Command parhip-worker joins one rank of a multi-process ParHIP world
+// over TCP. Launch one worker per rank — on one machine or many — with an
+// identical graph specification, seed, mode and rank-ordered peer table;
+// the workers rendezvous, partition cooperatively, and the rank-0 worker
+// prints the result (bit-identical to an in-process run with the same
+// seed and configuration). A worker that dies aborts the whole world
+// within the heartbeat timeout instead of hanging it.
+//
+// Example (3 ranks on localhost):
+//
+//	peers=127.0.0.1:7701,127.0.0.1:7702,127.0.0.1:7703
+//	parhip-worker -rank 0 -peers $peers -family web -n 20000 -k 8 &
+//	parhip-worker -rank 1 -peers $peers -family web -n 20000 -k 8 &
+//	parhip-worker -rank 2 -peers $peers -family web -n 20000 -k 8
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		rank      = flag.Int("rank", -1, "rank this worker hosts (0-based; rank 0 reports the result)")
+		peersList = flag.String("peers", "", "rank-ordered comma-separated listen addresses (host:port,...)")
+		graphFile = flag.String("graph", "", "METIS (or .bgf/.bin binary) graph file, identical on every worker")
+		family    = flag.String("family", "", "generated family: rgg, delaunay, rmat, ba, web, mesh3d, grid")
+		n         = flag.Int("n", 10000, "node count for generated graphs")
+		seed      = flag.Uint64("seed", 1, "random seed (identical on every worker)")
+		k         = flag.Int("k", 2, "number of blocks")
+		mode      = flag.String("mode", "fast", "fast, eco or minimal")
+		class     = flag.String("class", "auto", "graph class: social, mesh or auto")
+		eps       = flag.Float64("eps", 0.03, "allowed imbalance")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+		hbTimeout = flag.Duration("hb-timeout", 0, "declare a silent peer dead after this long (default 5s)")
+		bootWait  = flag.Duration("bootstrap-timeout", 0, "give up the rendezvous after this long (default 30s)")
+		out       = flag.String("out", "", "rank 0: write the block assignment to this file (one block per line)")
+		verbose   = flag.Bool("v", false, "log transport lifecycle events to stderr")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "parhip-worker:", err)
+		os.Exit(1)
+	}
+	peers, err := cluster.ParsePeers(*peersList)
+	if err != nil {
+		fail(err)
+	}
+	if *rank < 0 || *rank >= len(peers) {
+		fail(fmt.Errorf("-rank %d outside the %d-entry peer table", *rank, len(peers)))
+	}
+	g, cls, err := loadGraph(*graphFile, *family, int32(*n), *seed)
+	if err != nil {
+		fail(err)
+	}
+	if *class == "auto" {
+		*class = cls
+	}
+	coreCfg, err := cluster.CoreConfig(*mode, *class, int32(*k), *eps, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := cluster.Config{
+		Rank:             *rank,
+		Peers:            peers,
+		Graph:            g,
+		Core:             coreCfg,
+		HeartbeatTimeout: *hbTimeout,
+		BootstrapTimeout: *bootWait,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	fmt.Fprintf(os.Stderr, "parhip-worker: rank %d/%d joining %s (n=%d m=%d k=%d mode=%s)\n",
+		*rank, len(peers), peers[*rank], g.NumNodes(), g.NumEdges(), *k, *mode)
+	start := time.Now()
+	rep, err := cluster.Run(ctx, cfg)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "parhip-worker: rank %d cancelled after %.3fs\n",
+				*rank, time.Since(start).Seconds())
+			os.Exit(130)
+		}
+		fail(err)
+	}
+	ts := rep.Transport
+	fmt.Fprintf(os.Stderr, "parhip-worker: rank %d done in %.3fs (%d frames / %d bytes sent, %d reconnects)\n",
+		*rank, time.Since(start).Seconds(), ts.FramesSent, ts.BytesSent, ts.Reconnects)
+	if !rep.IsRoot {
+		return
+	}
+	st := rep.Result.Stats
+	fmt.Printf("cut=%d  imbalance=%.4f  feasible=%v  time=%.3fs\n",
+		st.Cut, st.Imbalance, st.Feasible, time.Since(start).Seconds())
+	if *out != "" {
+		if err := writeAssignment(*out, rep.Result.Part); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// loadGraph mirrors cmd/parhip's input handling: a graph file or a
+// deterministic generated family (identical across workers for a given
+// seed). The second result is the auto-detected class name.
+func loadGraph(file, family string, n int32, seed uint64) (*graph.Graph, string, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		var g *graph.Graph
+		if strings.HasSuffix(file, ".bgf") || strings.HasSuffix(file, ".bin") {
+			g, err = graph.ReadBinary(f)
+		} else {
+			g, err = graph.ReadMetis(f)
+		}
+		return g, "social", err
+	}
+	if family == "" {
+		return nil, "", fmt.Errorf("need -graph or -family")
+	}
+	g, err := gen.ByFamily(gen.Family(family), n, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	cls := "social"
+	switch gen.Family(family) {
+	case gen.FamilyRGG, gen.FamilyDelaunay, gen.FamilyMesh3D, gen.FamilyGrid:
+		cls = "mesh"
+	}
+	return g, cls, nil
+}
+
+// writeAssignment saves the raw block-per-line assignment (the legacy
+// interchange format every partition tool reads).
+func writeAssignment(path string, part []int32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, b := range part {
+		if _, err := fmt.Fprintln(w, b); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

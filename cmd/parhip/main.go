@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -56,6 +57,9 @@ func main() {
 		prevFile  = flag.String("prev", "", "previous partition file: run a migration-aware repartition seeded with it")
 		out       = flag.String("out", "", "write the partition to this file (text format; binary when the name ends in .bpart)")
 		traceFile = flag.String("trace", "", "record per-rank spans and write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
+		backend   = flag.String("transport", "inproc", "rank communication: inproc (all ranks in this process) or tcp (this process hosts one rank of a multi-process world)")
+		rank      = flag.Int("rank", 0, "tcp: rank this process hosts, in [0, world size)")
+		peersList = flag.String("peers", "", "tcp: rank-ordered comma-separated host:port list; its length is the world size")
 	)
 	flag.Parse()
 
@@ -94,6 +98,21 @@ func main() {
 		opt.Class = cls
 	default:
 		fmt.Fprintf(os.Stderr, "parhip: unknown class %q\n", *class)
+		os.Exit(1)
+	}
+
+	switch *backend {
+	case "inproc":
+		if *peersList != "" {
+			fmt.Fprintln(os.Stderr, "parhip: -peers requires -transport tcp")
+			os.Exit(1)
+		}
+	case "tcp":
+		runTCP(g, opt, *rank, *peersList, *mode, int32(*k), *timeout, *out,
+			*baseline || *prevFile != "" || *traceFile != "" || *progress)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "parhip: unknown transport %q (want inproc or tcp)\n", *backend)
 		os.Exit(1)
 	}
 
@@ -228,6 +247,84 @@ func main() {
 		fmt.Printf("wrote %s\n", *out)
 	}
 	writeTrace(*traceFile, tracer)
+}
+
+// runTCP is the multi-process launcher path: this process hosts exactly
+// one rank of a real networked world instead of simulating every PE
+// in-process. Every process of the run must be started with identical
+// graph, seed, k, mode and peer-table arguments; the result — printed
+// and written only by the rank-0 process — is bit-identical to the
+// in-process run with the same seed and configuration.
+func runTCP(g *parhip.Graph, opt parhip.Options, rank int, peersList, mode string,
+	k int32, timeout time.Duration, out string, unsupported bool) {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "parhip:", err)
+		os.Exit(1)
+	}
+	if unsupported {
+		fail(errors.New("-baseline, -prev, -trace and -progress are not supported with -transport tcp (use the inproc transport, or parhip-worker -v for transport logs)"))
+	}
+	peers, err := cluster.ParsePeers(peersList)
+	if err != nil {
+		fail(err)
+	}
+	clsName := "social"
+	if opt.Class == parhip.Mesh {
+		clsName = "mesh"
+	}
+	coreCfg, err := cluster.CoreConfig(mode, clsName, k, opt.Eps, opt.Seed)
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	fmt.Printf("graph: n=%d m=%d   k=%d  rank=%d/%d  mode=%s  transport=tcp\n",
+		g.NumNodes(), g.NumEdges(), k, rank, len(peers), mode)
+	start := time.Now()
+	rep, err := cluster.Run(ctx, cluster.Config{
+		Rank:  rank,
+		Peers: peers,
+		Graph: g,
+		Core:  coreCfg,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "parhip: run cancelled after %.3fs (%v)\n",
+				time.Since(start).Seconds(), err)
+			os.Exit(130)
+		}
+		fail(err)
+	}
+	elapsed := time.Since(start)
+	if !rep.IsRoot {
+		fmt.Printf("rank %d done in %.3fs (result reported by rank 0)\n", rank, elapsed.Seconds())
+		return
+	}
+	// Rebuild the first-class Partition value so the report line carries
+	// the same fields (including commvol) as the in-process path.
+	p, err := parhip.NewPartition(g, rep.Result.Part, k, coreCfg.Eps)
+	if err != nil {
+		fail(err)
+	}
+	st := rep.Result.Stats
+	fmt.Printf("cut=%d  imbalance=%.4f  feasible=%v  commvol=%d  time=%.3fs\n",
+		st.Cut, st.Imbalance, st.Feasible, p.CommunicationVolume(g), elapsed.Seconds())
+	ts := rep.Transport
+	fmt.Printf("transport: %d frames / %d bytes sent, %d reconnects, %d heartbeat misses\n",
+		ts.FramesSent, ts.BytesSent, ts.Reconnects, ts.HeartbeatMisses)
+	if out != "" {
+		if err := writePartition(out, p); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
 }
 
 // writeTrace serializes the recorded spans as Chrome trace-event JSON.

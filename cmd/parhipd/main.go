@@ -44,6 +44,7 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM, wait this long for accepted jobs before cancelling them")
 	)
 	flag.Parse()
 
@@ -65,7 +66,6 @@ func main() {
 		CacheSize: *cacheSize,
 		MaxGraphs: *maxGraphs,
 	})
-	defer srv.Close()
 
 	handler := srv.Handler()
 	if !*quiet {
@@ -81,11 +81,17 @@ func main() {
 		go serveDebug(logger, *debugAddr)
 	}
 
+	// Graceful shutdown: SIGINT/SIGTERM first stops the listener (new
+	// connections refused, in-flight requests finish), then drains the job
+	// queue with the -drain-timeout deadline — past it the remaining jobs
+	// are cancelled cooperatively. Either way the daemon exits 0: a drained
+	// or deadline-cut shutdown is an orderly one.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		logger.Info("shutdown signal received; stopping listener")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
@@ -93,10 +99,20 @@ func main() {
 	logger.Info("parhipd listening",
 		"addr", *addr, "workers", *workers, "cache", *cacheSize, "graph_store", *maxGraphs)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		srv.Close()
 		logger.Error("parhipd exiting", "err", err)
 		os.Exit(1)
 	}
-	logger.Info("parhipd draining jobs and shutting down")
+
+	logger.Info("draining jobs", "timeout", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Warn("drain deadline exceeded; remaining jobs cancelled")
+	} else {
+		logger.Info("all accepted jobs finished")
+	}
+	logger.Info("parhipd stopped")
 }
 
 // serveDebug mounts the pprof handlers on their own mux and listener. A

@@ -24,6 +24,17 @@ func Replicated(c *mpi.Comm) {
 	}
 }
 
+// TransportSymmetric drains the transport error identically on every rank
+// (the abort broadcast replicates the failure world-wide), so the early
+// return ahead of the heartbeat barrier cannot diverge: no rank-derived
+// value feeds the condition.
+func TransportSymmetric(c *mpi.Comm) {
+	if c.Err() != nil {
+		return
+	}
+	c.Barrier()
+}
+
 // Annotated documents a reviewed exception with the escape hatch.
 func Annotated(c *mpi.Comm) {
 	if c.Rank() == 0 {

@@ -44,6 +44,17 @@ func Indirect(c *mpi.Comm) {
 	}
 }
 
+// TransportDrain mishandles a transport error path: only rank 0 checks the
+// transport error and bails out before the world-wide heartbeat barrier,
+// leaving every other rank parked in it until the liveness timeout fires.
+// The rank taint must survive the compound condition.
+func TransportDrain(c *mpi.Comm) {
+	if c.Rank() == 0 && c.Err() != nil {
+		return
+	}
+	c.Barrier() // want `collective Barrier called in a rank-dependent branch`
+}
+
 // InClosure diverges inside a world.Run body: function literals are scanned
 // as functions in their own right.
 func InClosure(w *mpi.World) {

@@ -18,6 +18,10 @@ func (c *Comm) Size() int { return c.size }
 // Barrier blocks until every rank arrives.
 func (c *Comm) Barrier() {}
 
+// Err reports the first transport failure observed by this process's
+// world (nil while healthy). Not a collective: it reads local state.
+func (c *Comm) Err() error { return nil }
+
 // Bcast broadcasts from rank 0.
 func (c *Comm) Bcast(xs []int64) {}
 

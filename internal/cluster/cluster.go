@@ -1,0 +1,153 @@
+// Package cluster joins one OS process to a multi-process ParHIP world
+// over the TCP transport. It is the shared logic behind the
+// `parhip -transport tcp -rank i -peers ...` launcher path and the
+// cmd/parhip-worker binary: every process loads the same (replicated)
+// input graph, joins the rendezvous mesh as one rank, runs the identical
+// SPMD partition pipeline, and the process hosting rank 0 receives the
+// assembled result. The partition is bit-identical to an in-process run
+// with the same seed and configuration.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/mpi/transport"
+)
+
+// Config describes one process's share of a cluster run. Graph, Core and
+// the peer table must be identical on every process (the graph is
+// replicated, as in the paper's replicated-input experiments); Rank must
+// be unique.
+type Config struct {
+	// Rank is the rank this process hosts, in [0, len(Peers)).
+	Rank int
+	// Peers is the rank-ordered table of listen addresses (host:port).
+	// Its length is the world size.
+	Peers []string
+	// Graph is the replicated input graph.
+	Graph *graph.Graph
+	// Core is the partition configuration; identical on every process.
+	Core core.Config
+
+	// HeartbeatInterval / HeartbeatTimeout override the transport liveness
+	// parameters when positive (defaults: 250ms / 5s).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// BootstrapTimeout bounds the rendezvous wait for slow-starting peers
+	// (default 30s).
+	BootstrapTimeout time.Duration
+	// Logf, when non-nil, receives transport lifecycle debug lines.
+	Logf func(format string, args ...any)
+}
+
+// Report is what one process's run produced.
+type Report struct {
+	Rank      int
+	WorldSize int
+	// IsRoot is true in the process hosting rank 0 — the only one whose
+	// Result is populated.
+	IsRoot bool
+	// Result is the assembled partition and statistics (root only).
+	Result core.Result
+	// Transport is this process's transport counter snapshot.
+	Transport transport.Stats
+}
+
+// ParsePeers splits a comma-separated rank-ordered address list
+// ("host0:port0,host1:port1,...").
+func ParsePeers(list string) ([]string, error) {
+	parts := strings.Split(list, ",")
+	peers := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, ":") {
+			return nil, fmt.Errorf("cluster: peer %q has no port", p)
+		}
+		peers = append(peers, p)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return peers, nil
+}
+
+// CoreConfig maps the CLI mode/class vocabulary onto a core.Config, the
+// same way the public parhip.Options mapping does. Every process of one
+// run must be given identical arguments.
+func CoreConfig(mode, class string, k int32, eps float64, seed uint64) (core.Config, error) {
+	var cls core.GraphClass
+	switch class {
+	case "social":
+		cls = core.ClassSocial
+	case "mesh":
+		cls = core.ClassMesh
+	default:
+		return core.Config{}, fmt.Errorf("cluster: unknown graph class %q (want social or mesh)", class)
+	}
+	var cfg core.Config
+	switch mode {
+	case "fast":
+		cfg = core.FastConfig(k, cls)
+	case "eco":
+		cfg = core.EcoConfig(k, cls)
+	case "minimal":
+		cfg = core.MinimalConfig(k, cls)
+	default:
+		return core.Config{}, fmt.Errorf("cluster: unknown mode %q (want fast, eco or minimal)", mode)
+	}
+	if eps > 0 {
+		cfg.Eps = eps
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	return cfg, nil
+}
+
+// Run joins the mesh as cfg.Rank, partitions, and returns this process's
+// report. It blocks in the rendezvous until every peer process is up
+// (bounded by BootstrapTimeout), and returns an error if a peer dies
+// mid-run — the whole world aborts rather than hanging. Cancelling ctx
+// aborts the world cooperatively across all processes.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	rep := Report{Rank: cfg.Rank, WorldSize: len(cfg.Peers), IsRoot: cfg.Rank == 0}
+	if cfg.Graph == nil {
+		return rep, fmt.Errorf("cluster: nil graph")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= len(cfg.Peers) {
+		return rep, fmt.Errorf("cluster: rank %d outside peer table of size %d", cfg.Rank, len(cfg.Peers))
+	}
+	tcp, err := transport.NewTCP(transport.TCPConfig{
+		Self:              cfg.Rank,
+		Addrs:             cfg.Peers,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		HeartbeatTimeout:  cfg.HeartbeatTimeout,
+		BootstrapTimeout:  cfg.BootstrapTimeout,
+		Logf:              cfg.Logf,
+	})
+	if err != nil {
+		return rep, err
+	}
+	world, err := mpi.NewWorldOn(tcp)
+	if err != nil {
+		tcp.Close()
+		return rep, fmt.Errorf("cluster: rendezvous failed: %w", err)
+	}
+	defer world.Close()
+	res, err := core.RunOn(ctx, world, cfg.Graph, cfg.Core)
+	rep.Transport = world.TransportStats()
+	if err != nil {
+		return rep, err
+	}
+	rep.Result = res
+	return rep, nil
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/evo"
 	"repro/internal/graph"
 	"repro/internal/mpi"
+	"repro/internal/mpi/transport"
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/rng"
@@ -52,6 +53,12 @@ type Progress struct {
 	// so live observers can watch communication volume grow phase by phase.
 	CommMsgs  int64
 	CommBytes int64
+	// TransportFrames and TransportBytes are the transport-level view of
+	// the same traffic (frames sent by the ranks hosted in this process);
+	// on a networked backend they include wire framing overhead and track
+	// only this process's share of the world.
+	TransportFrames int64
+	TransportBytes  int64
 }
 
 // GraphClass selects the coarsening size-constraint factor f (§V-A: 14 on
@@ -226,6 +233,11 @@ type Stats struct {
 	MigrationVolume int64
 	Feasible        bool
 	Comm            mpi.Stats // whole-world traffic (filled by Run)
+	// Transport is the transport-level counter snapshot of this process's
+	// world (filled by Run alongside Comm). On the in-process backend it
+	// mirrors Comm; on TCP it additionally reports reconnects and
+	// heartbeat misses.
+	Transport transport.Stats
 }
 
 // WorstOverload returns by how much the heaviest block exceeds Lmax
@@ -285,6 +297,9 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 		ws := c.WorldStats()
 		p.CommMsgs = ws.MessagesSent
 		p.CommBytes = ws.BytesSent()
+		ts := c.TransportStats()
+		p.TransportFrames = ts.FramesSent
+		p.TransportBytes = ts.BytesSent
 		cfg.OnProgress(p)
 	}
 	var st Stats
@@ -659,6 +674,18 @@ func Run(P int, g *graph.Graph, cfg Config) (Result, error) {
 // the call) and RunCtx returns ctx.Err(). A run that completed before the
 // cancellation was observed still returns its result.
 func RunCtx(ctx context.Context, P int, g *graph.Graph, cfg Config) (Result, error) {
+	return RunOn(ctx, mpi.NewWorld(P), g, cfg)
+}
+
+// RunOn is RunCtx over a caller-provided world — the multi-process entry
+// point. With a networked transport the world hosts a subset of the ranks
+// (for TCP, one per process); every process calls RunOn with the same
+// graph and config, and only the process hosting rank 0 receives the
+// populated Result (the others get a zero Result and a nil error). A
+// transport failure — a peer process dying mid-run — aborts the world
+// and surfaces as an error on every surviving process. The caller keeps
+// ownership of the world and closes it after RunOn returns.
+func RunOn(ctx context.Context, world *mpi.World, g *graph.Graph, cfg Config) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -667,7 +694,6 @@ func RunCtx(ctx context.Context, P int, g *graph.Graph, cfg Config) (Result, err
 	}
 	var res Result
 	var runErr error
-	world := mpi.NewWorld(P)
 	world.SetTracer(cfg.Tracer)
 	stop := world.WatchContext(ctx)
 	defer stop()
@@ -685,6 +711,7 @@ func RunCtx(ctx context.Context, P int, g *graph.Graph, cfg Config) (Result, err
 		full := gatherPart(d, part)
 		if c.Rank() == 0 {
 			st.Comm = world.TotalStats()
+			st.Transport = world.TransportStats()
 			res = Result{Part: full, Stats: st}
 		}
 	})
@@ -692,8 +719,12 @@ func RunCtx(ctx context.Context, P int, g *graph.Graph, cfg Config) (Result, err
 		return Result{}, runErr
 	}
 	// Ranks cut short inside a collective unwind via the abort panic
-	// without setting runErr; surface the cancellation explicitly. A fully
-	// assembled result beats a late cancellation, though.
+	// without setting runErr; surface the transport failure or the
+	// cancellation explicitly. A fully assembled result beats a late
+	// cancellation, though.
+	if err := world.Err(); err != nil && res.Part == nil {
+		return Result{}, err
+	}
 	if err := ctx.Err(); err != nil && res.Part == nil {
 		return Result{}, err
 	}

@@ -24,6 +24,15 @@
 // received buffers back into it, keeping steady-state exchanges
 // allocation-free. Per-rank counters record message and word volume by
 // traffic class so experiments can report communication cost.
+//
+// How frames move between ranks is delegated to internal/mpi/transport:
+// NewWorld hosts all ranks in-process (the zero-cost default), while
+// NewWorldOn accepts any Transport — with the TCP backend a world hosts
+// only the ranks local to this OS process and the same SPMD code runs
+// across machines. A transport-reported peer failure (heartbeat timeout,
+// exhausted reconnect) is mapped onto the cooperative world abort, so a
+// dead rank aborts the whole world instead of hanging it; Err reports the
+// failure after the fact.
 package mpi
 
 import (
@@ -32,6 +41,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/mpi/transport"
 	"repro/internal/obs"
 )
 
@@ -197,13 +207,21 @@ type rankCounters struct {
 	nbrExch   atomic.Int64
 }
 
-// World owns the mailboxes and statistics for a set of ranks.
+// World owns the mailboxes and statistics for the ranks hosted in this
+// process. With the in-process transport that is every rank; with a
+// networked transport each process's world hosts a subset (for TCP,
+// exactly one) and boxes rows of remote ranks stay nil.
 type World struct {
 	size     int
-	boxes    [][]*mailbox // boxes[dst][src]
+	tr       transport.Transport
+	local    []int        // global ranks hosted here, ascending
+	boxes    [][]*mailbox // boxes[dst][src]; nil row when dst is remote
 	counters []rankCounters
 	pairMsgs []atomic.Int64 // messages sent src->dst, at [src*size+dst]
 	aborted  atomic.Bool
+
+	errMu sync.Mutex
+	err   error // first transport failure; guarded by errMu
 
 	// bufMu/bufFree is a free list of payload buffers. Sends draw staging
 	// copies from it; only the pooled receive paths (AlltoallvFunc,
@@ -252,26 +270,103 @@ func (w *World) putBuf(b []int64) {
 	w.bufMu.Unlock()
 }
 
-// NewWorld creates a world with the given number of ranks. It panics if
-// size < 1.
+// NewWorld creates an in-process world with the given number of ranks
+// (all local, frames delivered synchronously). It panics if size < 1.
 func NewWorld(size int) *World {
 	if size < 1 {
 		panic(fmt.Sprintf("mpi: world size %d < 1", size))
 	}
+	w, err := NewWorldOn(transport.NewInproc(size))
+	if err != nil {
+		// Inproc Start cannot fail with wired handlers.
+		panic("mpi: inproc world: " + err.Error())
+	}
+	return w
+}
+
+// NewWorldOn creates a world over an arbitrary transport and starts it
+// (for networked backends this blocks in the bootstrap until every peer
+// process is up — their NewWorldOn calls must overlap; see JoinWorlds for
+// the in-process case). The world hosts tr.LocalRanks(); Run executes the
+// SPMD function for those ranks only. Callers own the transport's
+// lifetime through World.Close.
+func NewWorldOn(tr transport.Transport) (*World, error) {
+	size := tr.Size()
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: transport world size %d < 1", size)
+	}
 	w := &World{
 		size:     size,
+		tr:       tr,
+		local:    tr.LocalRanks(),
 		boxes:    make([][]*mailbox, size),
 		counters: make([]rankCounters, size),
 		pairMsgs: make([]atomic.Int64, size*size),
 	}
-	for d := range w.boxes {
-		w.boxes[d] = make([]*mailbox, size)
-		for s := range w.boxes[d] {
-			w.boxes[d][s] = newMailbox(&w.aborted)
+	for _, d := range w.local {
+		row := make([]*mailbox, size)
+		for s := range row {
+			row[s] = newMailbox(&w.aborted)
 		}
+		w.boxes[d] = row
 	}
-	return w
+	if err := tr.Start(transport.Handlers{
+		Deliver: w.deliver,
+		Down:    w.peerDown,
+		Acquire: w.getBuf,
+		Release: w.putBuf,
+	}); err != nil {
+		return nil, err
+	}
+	return w, nil
 }
+
+// deliver routes an inbound frame into the destination rank's mailbox.
+// Invoked by the transport — synchronously on the sender's goroutine
+// (inproc) or from a connection reader (tcp).
+func (w *World) deliver(f transport.Frame) {
+	row := w.boxes[f.Dst]
+	if row == nil {
+		// Misrouted frame for a rank this process does not host; a correct
+		// transport never does this, and dropping beats crashing a reader.
+		w.putBuf(f.Payload)
+		return
+	}
+	row[f.Src].push(msgKind(f.Kind), int(f.Tag), f.Payload)
+}
+
+// peerDown is the transport's failure callback: communication with a rank
+// is permanently broken, so the whole world aborts (a dead rank must not
+// hang the others). The first failure is retained for Err.
+func (w *World) peerDown(rank int, err error) {
+	w.errMu.Lock()
+	if w.err == nil {
+		w.err = fmt.Errorf("mpi: rank %d unreachable: %w", rank, err)
+	}
+	w.errMu.Unlock()
+	w.Abort()
+}
+
+// Err returns the first transport failure that aborted the world, or nil.
+// A world aborted by a remote rank's cooperative abort reports an error
+// wrapping transport.ErrPeerAborted.
+func (w *World) Err() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.err
+}
+
+// Close tears down the world's transport (connections and internal
+// goroutines). Call after Run has returned on every hosted rank.
+func (w *World) Close() error { return w.tr.Close() }
+
+// LocalRanks returns the global ranks hosted by this world, ascending.
+// The returned slice is shared: callers must not modify it.
+func (w *World) LocalRanks() []int { return w.local }
+
+// TransportStats returns a snapshot of the transport-level counters
+// (frames, bytes, reconnects, heartbeat misses, peer failures).
+func (w *World) TransportStats() transport.Stats { return w.tr.Stats() }
 
 // PairMessages returns the number of messages sent from src to dst so far.
 // Tests use it to assert sparse collectives keep non-adjacent rank pairs
@@ -290,7 +385,13 @@ func (w *World) Abort() {
 	if w.aborted.Swap(true) {
 		return
 	}
+	// Propagate to remote peers first (best-effort), then wake the local
+	// mailboxes so blocked receivers unwind.
+	w.tr.Abort()
 	for _, row := range w.boxes {
+		if row == nil {
+			continue
+		}
 		for _, mb := range row {
 			mb.mu.Lock()
 			mb.cond.Broadcast()
@@ -343,28 +444,28 @@ func (c *Comm) Tracer() *obs.Tracer { return c.world.tracer }
 // are not crashes and are swallowed; callers detect them via Aborted().
 func (w *World) Run(fn func(c *Comm)) {
 	var wg sync.WaitGroup
-	panics := make([]any, w.size)
-	for r := 0; r < w.size; r++ {
+	panics := make([]any, len(w.local))
+	for i, r := range w.local {
 		wg.Add(1)
-		go func(rank int) {
+		go func(i, rank int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics[rank] = p
+					panics[i] = p
 				}
 			}()
 			fn(&Comm{rank: rank, world: w})
-		}(r)
+		}(i, r)
 	}
 	wg.Wait()
-	for r, p := range panics {
+	for i, p := range panics {
 		if p == nil {
 			continue
 		}
 		if _, ok := p.(abortSignal); ok {
 			continue
 		}
-		panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		panic(fmt.Sprintf("mpi: rank %d panicked: %v", w.local[i], p))
 	}
 }
 
@@ -426,11 +527,15 @@ func (c *Comm) Size() int { return c.world.size }
 // Stats returns the traffic counters for this rank.
 func (c *Comm) Stats() Stats { return c.world.statsOf(c.rank) }
 
-// WorldStats sums the traffic counters of every rank in the world. Unlike a
-// collective it reads atomics only, so any rank (or an outside observer
-// goroutine) may call it at any time; the snapshot is monotone but not a
-// consistent cut.
+// WorldStats sums the traffic counters of every rank hosted in this
+// process (all ranks on the in-process transport). Unlike a collective it
+// reads atomics only, so any rank (or an outside observer goroutine) may
+// call it at any time; the snapshot is monotone but not a consistent cut.
 func (c *Comm) WorldStats() Stats { return c.world.TotalStats() }
+
+// TransportStats returns the world's transport-level counters (frames,
+// bytes, reconnects, heartbeat misses). Atomics only, like WorldStats.
+func (c *Comm) TransportStats() transport.Stats { return c.world.tr.Stats() }
 
 func (c *Comm) sendClass(dst int, kind msgKind, tag int, data []int64, class commClass) {
 	if dst < 0 || dst >= c.world.size {
@@ -442,7 +547,11 @@ func (c *Comm) sendClass(dst int, kind msgKind, tag int, data []int64, class com
 	ctr.msgs[class].Add(1)
 	ctr.words[class].Add(int64(len(data)))
 	c.world.pairMsgs[c.rank*c.world.size+dst].Add(1)
-	c.world.boxes[dst][c.rank].push(kind, tag, cp)
+	c.world.tr.Send(transport.Frame{
+		Src: c.rank, Dst: dst,
+		Kind: uint8(kind), Tag: int32(tag),
+		Payload: cp,
+	})
 }
 
 func (c *Comm) send(dst int, kind msgKind, tag int, data []int64) {
@@ -599,11 +708,14 @@ func opMin(a, b []int64) {
 // PoisonPeers notifies every other rank of a fatal local error so that
 // ranks blocked in Recv or collectives panic instead of hanging. It is
 // called before panicking on protocol violations; tests injecting faults
-// can call it directly.
+// can call it directly. Poison travels as ordinary transport frames, so
+// it reaches remote ranks too.
 func (c *Comm) PoisonPeers() {
 	for r := 0; r < c.world.size; r++ {
 		if r != c.rank {
-			c.world.boxes[r][c.rank].push(kindPoison, 0, nil)
+			c.world.tr.Send(transport.Frame{
+				Src: c.rank, Dst: r, Kind: uint8(kindPoison),
+			})
 		}
 	}
 }

@@ -1,0 +1,70 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mpi/transport"
+)
+
+// JoinWorlds creates one World per transport, starting all of them
+// concurrently. Networked transports need this: their bootstrap
+// handshakes complete only when every side is starting, so sequential
+// NewWorldOn calls would deadlock. Production clusters get the
+// concurrency for free (one process per world); in-process tests over
+// transport.Loopback use JoinWorlds. On any failure the already-started
+// worlds are closed and the first error returned.
+func JoinWorlds(trs ...transport.Transport) ([]*World, error) {
+	ws := make([]*World, len(trs))
+	errs := make([]error, len(trs))
+	var wg sync.WaitGroup
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, tr transport.Transport) {
+			defer wg.Done()
+			ws[i], errs[i] = NewWorldOn(tr)
+		}(i, tr)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		for _, w := range ws {
+			if w != nil {
+				w.Close()
+			}
+		}
+		return nil, fmt.Errorf("mpi: world %d: %w", i, err)
+	}
+	return ws, nil
+}
+
+// RunAll executes fn as one SPMD program spanning several worlds (each
+// hosting a disjoint subset of the same logical world's ranks), running
+// every world's Run concurrently and joining them all. The first rank
+// panic is re-raised after every world has finished, like World.Run.
+// Tests use it with JoinWorlds to exercise a real networked world inside
+// one process.
+func RunAll(ws []*World, fn func(c *Comm)) {
+	panics := make([]any, len(ws))
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w *World) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[i] = p
+				}
+			}()
+			w.Run(fn)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTransport records sends and severs for chaos wrapper tests.
+type fakeTransport struct {
+	size int
+	mu   sync.Mutex
+	sent []Frame
+	sev  []int
+}
+
+func (f *fakeTransport) Size() int            { return f.size }
+func (f *fakeTransport) LocalRanks() []int    { return []int{0} }
+func (f *fakeTransport) Start(Handlers) error { return nil }
+func (f *fakeTransport) Abort()               {}
+func (f *fakeTransport) Close() error         { return nil }
+func (f *fakeTransport) Stats() Stats         { return Stats{} }
+
+func (f *fakeTransport) Send(fr Frame) {
+	f.mu.Lock()
+	f.sent = append(f.sent, fr)
+	f.mu.Unlock()
+}
+
+func (f *fakeTransport) Sever(rank int) {
+	f.mu.Lock()
+	f.sev = append(f.sev, rank)
+	f.mu.Unlock()
+}
+
+func (f *fakeTransport) sentCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.sent)
+}
+
+func TestChaosDropByPair(t *testing.T) {
+	inner := &fakeTransport{size: 3}
+	c := NewChaos(inner)
+	c.AddRule(ChaosRule{Src: 0, Dst: 1, Epoch: -1, Action: ChaosDrop})
+	c.Start(Handlers{Deliver: func(Frame) {}})
+	c.Send(Frame{Src: 0, Dst: 1, Payload: []int64{1}}) // dropped
+	c.Send(Frame{Src: 0, Dst: 2, Payload: []int64{2}}) // forwarded
+	c.Send(Frame{Src: 1, Dst: 0, Payload: []int64{3}}) // forwarded (src mismatch)
+	if got := inner.sentCount(); got != 2 {
+		t.Fatalf("forwarded %d frames, want 2", got)
+	}
+	if c.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", c.Dropped())
+	}
+}
+
+func TestChaosWildcardAndAfterFrames(t *testing.T) {
+	inner := &fakeTransport{size: 2}
+	c := NewChaos(inner)
+	// Drop everything to rank 1 from the third frame of each pair onward.
+	c.AddRule(ChaosRule{Src: -1, Dst: 1, Epoch: -1, AfterFrames: 2, Action: ChaosDrop})
+	c.Start(Handlers{Deliver: func(Frame) {}})
+	for i := 0; i < 5; i++ {
+		c.Send(Frame{Src: 0, Dst: 1, Payload: []int64{int64(i)}})
+	}
+	if got := inner.sentCount(); got != 2 {
+		t.Fatalf("forwarded %d frames, want the first 2", got)
+	}
+}
+
+func TestChaosEpochScoping(t *testing.T) {
+	inner := &fakeTransport{size: 2}
+	c := NewChaos(inner)
+	c.AddRule(ChaosRule{Src: 0, Dst: 1, Epoch: 2, Action: ChaosDrop})
+	c.Start(Handlers{Deliver: func(Frame) {}})
+	c.Send(Frame{Src: 0, Dst: 1}) // epoch 0: forwarded
+	c.SetEpoch(2)
+	c.Send(Frame{Src: 0, Dst: 1}) // epoch 2: dropped
+	c.SetEpoch(3)
+	c.Send(Frame{Src: 0, Dst: 1}) // epoch 3: forwarded
+	if got := inner.sentCount(); got != 2 {
+		t.Fatalf("forwarded %d frames, want 2", got)
+	}
+}
+
+func TestChaosOnceDisarms(t *testing.T) {
+	inner := &fakeTransport{size: 2}
+	c := NewChaos(inner)
+	c.AddRule(ChaosRule{Src: 0, Dst: 1, Epoch: -1, Action: ChaosDrop, Once: true})
+	c.Start(Handlers{Deliver: func(Frame) {}})
+	c.Send(Frame{Src: 0, Dst: 1})
+	c.Send(Frame{Src: 0, Dst: 1})
+	if got := inner.sentCount(); got != 1 {
+		t.Fatalf("forwarded %d frames, want 1 (rule disarms after first strike)", got)
+	}
+}
+
+func TestChaosDelayForwards(t *testing.T) {
+	inner := &fakeTransport{size: 2}
+	c := NewChaos(inner)
+	c.AddRule(ChaosRule{Src: 0, Dst: 1, Epoch: -1, Action: ChaosDelay, Delay: 20 * time.Millisecond, Once: true})
+	c.Start(Handlers{Deliver: func(Frame) {}})
+	start := time.Now()
+	c.Send(Frame{Src: 0, Dst: 1})
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("delayed send returned after %v, want >= 20ms", elapsed)
+	}
+	if inner.sentCount() != 1 {
+		t.Fatal("delayed frame was not forwarded")
+	}
+	if c.Delayed() != 1 {
+		t.Fatalf("Delayed() = %d, want 1", c.Delayed())
+	}
+}
+
+func TestChaosSeverDelegates(t *testing.T) {
+	inner := &fakeTransport{size: 2}
+	c := NewChaos(inner)
+	c.AddRule(ChaosRule{Src: 0, Dst: 1, Epoch: -1, Action: ChaosSever})
+	released := 0
+	c.Start(Handlers{
+		Deliver: func(Frame) {},
+		Release: func([]int64) { released++ },
+	})
+	c.Send(Frame{Src: 0, Dst: 1, Payload: []int64{1, 2}})
+	inner.mu.Lock()
+	defer inner.mu.Unlock()
+	if len(inner.sev) != 1 || inner.sev[0] != 1 {
+		t.Fatalf("sever not delegated to the inner transport: %v", inner.sev)
+	}
+	if len(inner.sent) != 0 {
+		t.Fatal("severed frame was forwarded")
+	}
+	if released != 1 {
+		t.Fatalf("discarded payload not released to the pool (released=%d)", released)
+	}
+}
+
+func TestChaosPassthroughInterfaces(t *testing.T) {
+	inner := &fakeTransport{size: 4}
+	c := NewChaos(inner)
+	if c.Size() != 4 {
+		t.Errorf("Size() = %d", c.Size())
+	}
+	if got := c.LocalRanks(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("LocalRanks() = %v", got)
+	}
+	var _ Transport = c // Chaos must satisfy the Transport interface
+}

@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// collector is a Handlers sink recording deliveries and peer failures.
+type collector struct {
+	mu     sync.Mutex
+	frames []Frame
+	downs  []error
+	downc  chan struct{}
+}
+
+func newCollector() *collector { return &collector{downc: make(chan struct{}, 16)} }
+
+func (c *collector) handlers() Handlers {
+	return Handlers{
+		Deliver: func(f Frame) {
+			c.mu.Lock()
+			c.frames = append(c.frames, f)
+			c.mu.Unlock()
+		},
+		Down: func(rank int, err error) {
+			c.mu.Lock()
+			c.downs = append(c.downs, fmt.Errorf("rank %d: %w", rank, err))
+			c.mu.Unlock()
+			c.downc <- struct{}{}
+		},
+	}
+}
+
+func (c *collector) frameCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frames)
+}
+
+func (c *collector) firstDown() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.downs) == 0 {
+		return nil
+	}
+	return c.downs[0]
+}
+
+// waitFrames polls until the collector has at least n frames.
+func (c *collector) waitFrames(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.frameCount() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d frames (have %d)", n, c.frameCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// startMesh brings up an n-rank loopback mesh with one collector per rank.
+func startMesh(t *testing.T, n int, cfg TCPConfig) ([]*TCP, []*collector) {
+	t.Helper()
+	ts, err := Loopback(n, cfg)
+	if err != nil {
+		t.Fatalf("Loopback: %v", err)
+	}
+	cols := make([]*collector, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, tr := range ts {
+		cols[i] = newCollector()
+		wg.Add(1)
+		go func(i int, tr *TCP) {
+			defer wg.Done()
+			errs[i] = tr.Start(cols[i].handlers())
+		}(i, tr)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d Start: %v", i, err)
+		}
+	}
+	return ts, cols
+}
+
+func closeMesh(ts []*TCP) {
+	for _, tr := range ts {
+		tr.Close()
+	}
+}
+
+func TestLoopbackMeshDelivery(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ts, cols := startMesh(t, 3, TCPConfig{})
+	for src, tr := range ts {
+		for dst := 0; dst < 3; dst++ {
+			if dst == src {
+				continue
+			}
+			tr.Send(Frame{Src: src, Dst: dst, Kind: 1, Tag: int32(10*src + dst),
+				Payload: []int64{int64(src), int64(dst), 42}})
+		}
+	}
+	for rank, col := range cols {
+		col.waitFrames(t, 2)
+		col.mu.Lock()
+		for _, f := range col.frames {
+			if f.Dst != rank {
+				t.Errorf("rank %d received frame for %d", rank, f.Dst)
+			}
+			if want := int32(10*f.Src + f.Dst); f.Tag != want {
+				t.Errorf("rank %d: frame from %d has tag %d, want %d", rank, f.Src, f.Tag, want)
+			}
+			if len(f.Payload) != 3 || f.Payload[0] != int64(f.Src) || f.Payload[2] != 42 {
+				t.Errorf("rank %d: corrupt payload %v from %d", rank, f.Payload, f.Src)
+			}
+		}
+		col.mu.Unlock()
+		if err := col.firstDown(); err != nil {
+			t.Errorf("rank %d saw a spurious peer failure: %v", rank, err)
+		}
+	}
+	s := ts[0].Stats()
+	if s.FramesSent != 2 || s.FramesRecv != 2 {
+		t.Errorf("rank 0 stats: sent %d recv %d, want 2/2", s.FramesSent, s.FramesRecv)
+	}
+	if s.BytesSent == 0 || s.BytesRecv == 0 {
+		t.Errorf("rank 0 stats: zero byte counters: %+v", s)
+	}
+	closeMesh(ts)
+	testutil.WaitNoLeak(t, base, 2)
+}
+
+func TestLargeFrameDelivery(t *testing.T) {
+	ts, cols := startMesh(t, 2, TCPConfig{})
+	defer closeMesh(ts)
+	payload := make([]int64, 1<<16)
+	for i := range payload {
+		payload[i] = int64(i) * 3
+	}
+	ts[0].Send(Frame{Src: 0, Dst: 1, Payload: payload})
+	cols[1].waitFrames(t, 1)
+	cols[1].mu.Lock()
+	got := cols[1].frames[0].Payload
+	cols[1].mu.Unlock()
+	if len(got) != len(payload) {
+		t.Fatalf("payload length: got %d want %d", len(got), len(payload))
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("payload[%d]: got %d want %d", i, got[i], payload[i])
+		}
+	}
+}
+
+func TestSelfSendDeliversLocally(t *testing.T) {
+	ts, cols := startMesh(t, 2, TCPConfig{})
+	defer closeMesh(ts)
+	ts[0].Send(Frame{Src: 0, Dst: 0, Payload: []int64{9}})
+	cols[0].waitFrames(t, 1)
+}
+
+func TestReconnectResumesCleanly(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ts, cols := startMesh(t, 2, TCPConfig{})
+	for i := 0; i < 5; i++ {
+		ts[0].Send(Frame{Src: 0, Dst: 1, Payload: []int64{int64(i)}})
+		ts[1].Send(Frame{Src: 1, Dst: 0, Payload: []int64{int64(100 + i)}})
+	}
+	cols[0].waitFrames(t, 5)
+	cols[1].waitFrames(t, 5)
+
+	// With traffic quiesced (all 5 frames delivered each way), kill the
+	// established connection out from under both sides. The dialer
+	// (rank 1) must repair it; the resume handshake must find the clean
+	// counts and traffic must then continue without loss or duplication.
+	// (Killing the connection with writes in flight is the *unrecoverable*
+	// case — frames buffered in the kernel die with the socket and the
+	// handshake correctly declares the world lost.)
+	p := ts[1].peers[0]
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	conn.Close()
+	waitRepair := time.Now().Add(5 * time.Second)
+	for ts[1].Stats().Reconnects == 0 {
+		if time.Now().After(waitRepair) {
+			t.Fatalf("connection never repaired (down: %v / %v)", cols[0].firstDown(), cols[1].firstDown())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for i := 5; i < 10; i++ {
+		ts[0].Send(Frame{Src: 0, Dst: 1, Payload: []int64{int64(i)}})
+		ts[1].Send(Frame{Src: 1, Dst: 0, Payload: []int64{int64(100 + i)}})
+	}
+	cols[0].waitFrames(t, 10)
+	cols[1].waitFrames(t, 10)
+	for _, col := range cols {
+		if err := col.firstDown(); err != nil {
+			t.Fatalf("peer declared down despite successful reconnect: %v", err)
+		}
+	}
+	// Exactly 10 data frames must have arrived per side — the resume
+	// arithmetic may not duplicate or drop across the reconnect.
+	seen := map[int64]bool{}
+	cols[1].mu.Lock()
+	for _, f := range cols[1].frames {
+		if seen[f.Payload[0]] {
+			t.Errorf("duplicate frame %d after reconnect", f.Payload[0])
+		}
+		seen[f.Payload[0]] = true
+	}
+	cols[1].mu.Unlock()
+	if ts[1].Stats().Reconnects == 0 {
+		t.Error("reconnect not counted in stats")
+	}
+	closeMesh(ts)
+	testutil.WaitNoLeak(t, base, 2)
+}
+
+func TestSeverAbortsWithinHeartbeatTimeout(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cfg := TCPConfig{
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  300 * time.Millisecond,
+		ReconnectBackoff:  10 * time.Millisecond,
+	}
+	ts, cols := startMesh(t, 3, cfg)
+	start := time.Now()
+	ts[0].Sever(1)
+	// Both ends of the severed link must declare the peer dead: rank 0 via
+	// heartbeat silence, rank 1 via the refused reconnect (or silence).
+	for _, rank := range []int{0, 1} {
+		select {
+		case <-cols[rank].downc:
+		case <-time.After(3 * cfg.HeartbeatTimeout):
+			t.Fatalf("rank %d did not declare its peer down within 3x the heartbeat timeout", rank)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 3*cfg.HeartbeatTimeout {
+		t.Errorf("abort took %v, beyond 3x the %v heartbeat timeout", elapsed, cfg.HeartbeatTimeout)
+	}
+	// Rank 2 is not on the severed link, but rank 1 going dead stops its
+	// heartbeats to everyone, so rank 2 eventually times out on rank 1's
+	// silence too — the failure gossips even without the rank layer. No
+	// assertion on rank 2 here beyond the world-level sever test in
+	// internal/mpi, which checks the whole world aborts.
+	closeMesh(ts)
+	testutil.WaitNoLeak(t, base, 2)
+}
+
+func TestAbortPropagatesToPeers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ts, cols := startMesh(t, 2, TCPConfig{})
+	ts[0].Abort()
+	select {
+	case <-cols[1].downc:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rank 1 never observed the propagated abort")
+	}
+	if err := cols[1].firstDown(); !errors.Is(err, ErrPeerAborted) {
+		t.Fatalf("rank 1 down error = %v, want ErrPeerAborted", err)
+	}
+	closeMesh(ts)
+	testutil.WaitNoLeak(t, base, 2)
+}
+
+func TestBootstrapTimesOutWithoutPeers(t *testing.T) {
+	ts, err := Loopback(2, TCPConfig{BootstrapTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Loopback: %v", err)
+	}
+	// Rank 0 never starts: rank 1's dial handshake gets no ack and its
+	// bootstrap must give up within the configured timeout.
+	ts[0].Close()
+	defer ts[1].Close()
+	if err := ts[1].Start(newCollector().handlers()); err == nil {
+		t.Fatal("Start succeeded although the peer never came up")
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := NewTCP(TCPConfig{}); err == nil {
+		t.Error("NewTCP accepted an empty address table")
+	}
+	if _, err := NewTCP(TCPConfig{Self: 2, Addrs: []string{"127.0.0.1:0"}}); err == nil {
+		t.Error("NewTCP accepted an out-of-range self rank")
+	}
+}

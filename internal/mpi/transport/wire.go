@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Wire protocol of the TCP backend.
+//
+// Each rank pair shares one persistent full-duplex connection, established
+// by the higher rank dialing the lower one (so rank 0 — the natural
+// rendezvous point — only accepts). A connection starts with a fixed-size
+// preamble from the dialer and an ack from the acceptor; after that both
+// directions carry a stream of frames:
+//
+//	preamble (40 B): magic | version | world size | src rank | dst rank | recvCount
+//	ack      (24 B): magic | recvCount | status
+//	frame  (16 B + payload): words | kind | op | tag | seq-less payload of words×8 B
+//
+// recvCount is the number of DATA frames the sender of the preamble/ack
+// has delivered from its peer so far; on a reconnect both sides compare it
+// against their own sent count to detect frames lost in flight (§ tcp.go,
+// resume arithmetic). Control frames (heartbeat, abort) are never counted:
+// their number is scheduling-dependent, data-frame counts are not.
+//
+// All integers are little-endian. Payload words are int64.
+
+const (
+	wireMagic   uint64 = 0x50484950_54435031 // "PHIPTCP1"
+	wireVersion uint32 = 1
+
+	preambleLen = 40
+	ackLen      = 24
+	headerLen   = 16
+
+	// maxFrameWords bounds a frame payload (2 GiB) so a corrupt length
+	// prefix cannot OOM the receiver.
+	maxFrameWords = 1 << 28
+)
+
+// Frame ops: what the 16-byte header announces.
+const (
+	opData      uint8 = 0 // payload frame for the rank layer
+	opHeartbeat uint8 = 1 // liveness beacon, empty payload
+	opAbort     uint8 = 2 // cooperative world abort propagation
+)
+
+// Ack status codes.
+const (
+	ackOK          uint32 = 0
+	ackBadVersion  uint32 = 1
+	ackBadSize     uint32 = 2
+	ackBadRank     uint32 = 3
+	ackLostFrames  uint32 = 4
+	ackSevered     uint32 = 5
+	ackShuttingRun uint32 = 6
+)
+
+func ackStatusString(s uint32) string {
+	switch s {
+	case ackOK:
+		return "ok"
+	case ackBadVersion:
+		return "protocol version mismatch"
+	case ackBadSize:
+		return "world size mismatch"
+	case ackBadRank:
+		return "unexpected rank"
+	case ackLostFrames:
+		return "frames lost across reconnect"
+	case ackSevered:
+		return "link severed (fault injection)"
+	case ackShuttingRun:
+		return "peer shutting down"
+	default:
+		return fmt.Sprintf("status %d", s)
+	}
+}
+
+// preamble is the dialer's connection opener.
+type preamble struct {
+	version   uint32
+	worldSize uint32
+	src, dst  uint32
+	recvCount uint64
+}
+
+func writePreamble(conn net.Conn, p preamble) error {
+	var buf [preambleLen]byte
+	binary.LittleEndian.PutUint64(buf[0:], wireMagic)
+	binary.LittleEndian.PutUint32(buf[8:], p.version)
+	binary.LittleEndian.PutUint32(buf[12:], p.worldSize)
+	binary.LittleEndian.PutUint32(buf[16:], p.src)
+	binary.LittleEndian.PutUint32(buf[20:], p.dst)
+	binary.LittleEndian.PutUint64(buf[24:], p.recvCount)
+	// buf[32:40] reserved, zero.
+	_, err := conn.Write(buf[:])
+	return err
+}
+
+func readPreamble(conn net.Conn) (preamble, error) {
+	var buf [preambleLen]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		return preamble{}, err
+	}
+	if m := binary.LittleEndian.Uint64(buf[0:]); m != wireMagic {
+		return preamble{}, fmt.Errorf("transport: bad preamble magic %#x", m)
+	}
+	return preamble{
+		version:   binary.LittleEndian.Uint32(buf[8:]),
+		worldSize: binary.LittleEndian.Uint32(buf[12:]),
+		src:       binary.LittleEndian.Uint32(buf[16:]),
+		dst:       binary.LittleEndian.Uint32(buf[20:]),
+		recvCount: binary.LittleEndian.Uint64(buf[24:]),
+	}, nil
+}
+
+func writeAck(conn net.Conn, recvCount uint64, status uint32) error {
+	var buf [ackLen]byte
+	binary.LittleEndian.PutUint64(buf[0:], wireMagic)
+	binary.LittleEndian.PutUint64(buf[8:], recvCount)
+	binary.LittleEndian.PutUint32(buf[16:], status)
+	_, err := conn.Write(buf[:])
+	return err
+}
+
+func readAck(conn net.Conn) (recvCount uint64, status uint32, err error) {
+	var buf [ackLen]byte
+	if _, err = io.ReadFull(conn, buf[:]); err != nil {
+		return 0, 0, err
+	}
+	if m := binary.LittleEndian.Uint64(buf[0:]); m != wireMagic {
+		return 0, 0, fmt.Errorf("transport: bad ack magic %#x", m)
+	}
+	return binary.LittleEndian.Uint64(buf[8:]), binary.LittleEndian.Uint32(buf[16:]), nil
+}
+
+// appendFrame encodes a frame header + payload into buf (reused across
+// calls; grown as needed) and returns the encoded bytes.
+func appendFrame(buf []byte, kind, op uint8, tag int32, payload []int64) []byte {
+	need := headerLen + 8*len(payload)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	buf[4] = kind
+	buf[5] = op
+	buf[6], buf[7] = 0, 0 // reserved
+	binary.LittleEndian.PutUint32(buf[8:], uint32(tag))
+	binary.LittleEndian.PutUint32(buf[12:], 0) // reserved
+	out := buf[headerLen:]
+	for i, v := range payload {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return buf
+}
+
+// wireFrame is a decoded inbound frame before rank attribution.
+type wireFrame struct {
+	kind, op uint8
+	tag      int32
+	payload  []int64 // from Handlers.Acquire; nil for empty payloads
+}
+
+// readFrame reads one frame. rbuf is the reusable byte staging buffer
+// (returned possibly grown); the payload slice comes from acquire.
+func readFrame(conn net.Conn, rbuf []byte, acquire func(n int) []int64) (wireFrame, []byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return wireFrame{}, rbuf, err
+	}
+	words := binary.LittleEndian.Uint32(hdr[0:])
+	if words > maxFrameWords {
+		return wireFrame{}, rbuf, fmt.Errorf("transport: frame of %d words exceeds the %d-word bound", words, maxFrameWords)
+	}
+	f := wireFrame{
+		kind: hdr[4],
+		op:   hdr[5],
+		tag:  int32(binary.LittleEndian.Uint32(hdr[8:])),
+	}
+	n := int(words)
+	if n == 0 {
+		return f, rbuf, nil
+	}
+	if acquire == nil {
+		acquire = func(n int) []int64 { return make([]int64, n) }
+	}
+	if cap(rbuf) < 8*n {
+		rbuf = make([]byte, 8*n)
+	}
+	rbuf = rbuf[:8*n]
+	if _, err := io.ReadFull(conn, rbuf); err != nil {
+		return wireFrame{}, rbuf, err
+	}
+	f.payload = acquire(n)
+	for i := range f.payload {
+		f.payload[i] = int64(binary.LittleEndian.Uint64(rbuf[8*i:]))
+	}
+	return f, rbuf, nil
+}

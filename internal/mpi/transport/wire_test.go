@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"net"
+	"testing"
+)
+
+// pipeConns returns two ends of an in-memory connection.
+func pipeConns() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestPreambleRoundtrip(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	want := preamble{version: wireVersion, worldSize: 7, src: 5, dst: 2, recvCount: 123456789}
+	done := make(chan error, 1)
+	go func() { done <- writePreamble(a, want) }()
+	got, err := readPreamble(b)
+	if err != nil {
+		t.Fatalf("readPreamble: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("writePreamble: %v", err)
+	}
+	if got != want {
+		t.Fatalf("preamble roundtrip: got %+v want %+v", got, want)
+	}
+}
+
+func TestAckRoundtrip(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() { done <- writeAck(a, 42, ackLostFrames) }()
+	recv, status, err := readAck(b)
+	if err != nil {
+		t.Fatalf("readAck: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("writeAck: %v", err)
+	}
+	if recv != 42 || status != ackLostFrames {
+		t.Fatalf("ack roundtrip: got (%d, %d) want (42, %d)", recv, status, ackLostFrames)
+	}
+}
+
+func TestPreambleRejectsBadMagic(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		buf := make([]byte, preambleLen)
+		buf[0] = 0xff
+		a.Write(buf)
+	}()
+	if _, err := readPreamble(b); err == nil {
+		t.Fatal("readPreamble accepted a bad magic")
+	}
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	payload := []int64{0, -1, 1 << 40, -(1 << 40), 7}
+	done := make(chan error, 1)
+	go func() {
+		buf := appendFrame(nil, 3, opData, -99, payload)
+		_, err := a.Write(buf)
+		done <- err
+	}()
+	f, _, err := readFrame(b, nil, nil)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if f.kind != 3 || f.op != opData || f.tag != -99 {
+		t.Fatalf("frame header: got kind=%d op=%d tag=%d", f.kind, f.op, f.tag)
+	}
+	if len(f.payload) != len(payload) {
+		t.Fatalf("payload length: got %d want %d", len(f.payload), len(payload))
+	}
+	for i := range payload {
+		if f.payload[i] != payload[i] {
+			t.Fatalf("payload[%d]: got %d want %d", i, f.payload[i], payload[i])
+		}
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	go a.Write(appendFrame(nil, 0, opHeartbeat, 0, nil))
+	f, _, err := readFrame(b, nil, func(n int) []int64 {
+		t.Fatalf("acquire called for an empty payload")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if f.op != opHeartbeat || f.payload != nil {
+		t.Fatalf("heartbeat frame: got op=%d payload=%v", f.op, f.payload)
+	}
+}
+
+func TestFrameRejectsOversizedLength(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		buf := appendFrame(nil, 0, opData, 0, nil)
+		// Corrupt the word count beyond the bound.
+		buf[0], buf[1], buf[2], buf[3] = 0xff, 0xff, 0xff, 0xff
+		a.Write(buf)
+	}()
+	if _, _, err := readFrame(b, nil, nil); err == nil {
+		t.Fatal("readFrame accepted an oversized length prefix")
+	}
+}
+
+func TestAppendFrameReusesBuffer(t *testing.T) {
+	buf := appendFrame(nil, 1, opData, 7, []int64{1, 2, 3})
+	buf2 := appendFrame(buf, 1, opData, 8, []int64{4})
+	if &buf[0] != &buf2[0] {
+		t.Fatal("appendFrame reallocated although the buffer was large enough")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro"
 	"repro/internal/graph"
 	"repro/internal/mpi"
+	"repro/internal/mpi/transport"
 	"repro/internal/obs"
 )
 
@@ -123,6 +124,8 @@ type jobManager struct {
 	workers  int
 	running  int // guarded by mu
 
+	draining bool // guarded by mu: shutdown drain deadline expired
+
 	submitted   int64 // guarded by mu
 	completed   int64 // guarded by mu
 	failed      int64 // guarded by mu
@@ -131,13 +134,14 @@ type jobManager struct {
 	cacheHits   int64 // guarded by mu
 	cacheMisses int64 // guarded by mu
 
-	coreRuns    int64         // guarded by mu
-	coarsenTime time.Duration // guarded by mu
-	initTime    time.Duration // guarded by mu
-	refineTime  time.Duration // guarded by mu
-	totalTime   time.Duration // guarded by mu
-	comm        mpi.Stats     // guarded by mu
-	cutSum      int64         // guarded by mu
+	coreRuns    int64           // guarded by mu
+	coarsenTime time.Duration   // guarded by mu
+	initTime    time.Duration   // guarded by mu
+	refineTime  time.Duration   // guarded by mu
+	totalTime   time.Duration   // guarded by mu
+	comm        mpi.Stats       // guarded by mu
+	transport   transport.Stats // guarded by mu
+	cutSum      int64           // guarded by mu
 
 	// queueWait/runDur are the /metrics latency histograms, observed by
 	// runJob for every job that occupies a worker (cache hits at
@@ -169,17 +173,43 @@ func newJobManager(workers, queueSize, cacheSize int, fn PartitionFunc, reg *obs
 }
 
 // close drains the queue (workers finish every accepted job) and waits for
-// the pool to exit. Submissions after close fail.
-func (m *jobManager) close() {
+// the pool to exit. Submissions after close fail. Unbounded: a stuck job
+// holds close forever — daemons should prefer shutdown with a deadline.
+func (m *jobManager) close() { _ = m.shutdown(context.Background()) }
+
+// shutdown stops accepting submissions and drains the queue like close,
+// but bounds the wait by ctx: once the deadline passes, every job still
+// queued or running is cancelled cooperatively (the partitioner unwinds at
+// its next superstep) and the pool is waited for. Returns nil on a full
+// drain, ctx.Err() when the drain was cut short. Idempotent and safe to
+// call concurrently.
+func (m *jobManager) shutdown(ctx context.Context) error {
 	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return
-	}
 	m.closed = true
 	m.qcond.Broadcast()
 	m.mu.Unlock()
-	m.wg.Wait()
+
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Drain deadline expired: abort the stragglers. Queued jobs are dropped
+	// at dequeue (the ctx check in runJob), running ones unwind through the
+	// partitioner's cooperative cancellation; both land in the cancelled
+	// terminal state, never in the cache.
+	m.mu.Lock()
+	m.draining = true
+	for _, id := range m.order {
+		if j := m.jobs[id]; (j.state == StateQueued || j.state == StateRunning) && j.cancel != nil {
+			j.cancel()
+		}
+	}
+	m.mu.Unlock()
+	<-done
+	return ctx.Err()
 }
 
 var (
@@ -394,8 +424,12 @@ func (m *jobManager) runJob(j *job) {
 		return
 	}
 	if err := j.ctx.Err(); err != nil {
-		// timeout_ms expired while queued.
-		m.cancelLocked(j, "timeout expired while queued: "+err.Error(), time.Now())
+		// timeout_ms expired — or the shutdown drain cut the queue short.
+		msg := "timeout expired while queued: " + err.Error()
+		if m.draining && !j.cancelReq {
+			msg = "cancelled: server shutdown drained the queue"
+		}
+		m.cancelLocked(j, msg, time.Now())
 		m.mu.Unlock()
 		return
 	}
@@ -438,6 +472,9 @@ func (m *jobManager) runJob(j *job) {
 		msg := "cancelled by client"
 		if !j.cancelReq {
 			msg = fmt.Sprintf("timeout after %dms", j.timeoutMS)
+			if m.draining {
+				msg = "cancelled: server shutdown drain deadline exceeded"
+			}
 		}
 		if err != nil {
 			msg += ": " + err.Error()
@@ -480,6 +517,7 @@ func (m *jobManager) runJob(j *job) {
 	m.refineTime += res.Stats.RefineTime
 	m.totalTime += res.Stats.TotalTime
 	m.comm.Add(res.Stats.Comm)
+	m.transport.Add(res.Stats.Transport)
 	m.cutSum += res.Cut
 	m.finishLocked(j, &res, false, end)
 }

@@ -79,6 +79,18 @@ func (s *Server) buildMetrics(reg *obs.Registry) {
 	reg.CounterFunc("parhipd_comm_bytes_total",
 		"Wire bytes sent across the simulated ranks of all core runs.",
 		lockedGauge(func() float64 { return float64(m.comm.BytesSent()) }))
+	reg.CounterFunc("parhipd_transport_frames_total",
+		"Frames handed to the rank transport across all core runs.",
+		lockedGauge(func() float64 { return float64(m.transport.FramesSent) }))
+	reg.CounterFunc("parhipd_transport_bytes_total",
+		"Payload bytes handed to the rank transport across all core runs.",
+		lockedGauge(func() float64 { return float64(m.transport.BytesSent) }))
+	reg.CounterFunc("parhipd_transport_reconnects_total",
+		"Transport reconnect attempts across all core runs (zero in-process).",
+		lockedGauge(func() float64 { return float64(m.transport.Reconnects) }))
+	reg.CounterFunc("parhipd_transport_peer_failures_total",
+		"Peers declared dead by the transport across all core runs (zero in-process).",
+		lockedGauge(func() float64 { return float64(m.transport.PeerFailures) }))
 
 	reg.GaugeFunc("parhipd_cache_entries",
 		"Result cache occupancy.",

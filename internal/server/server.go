@@ -43,6 +43,7 @@ import (
 
 	"repro"
 	"repro/internal/graph"
+	"repro/internal/mpi/transport"
 	"repro/internal/obs"
 )
 
@@ -145,8 +146,16 @@ func New(cfg Config) *Server {
 // Handler returns the HTTP handler for the service.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains the job queue and stops the worker pool.
+// Close drains the job queue and stops the worker pool, waiting however
+// long the jobs in flight take. Daemons should prefer Shutdown.
 func (s *Server) Close() { s.jobs.close() }
+
+// Shutdown gracefully stops the service: no new submissions are accepted,
+// queued and running jobs are drained until ctx's deadline, and past it
+// the stragglers are cancelled cooperatively (they land in the cancelled
+// terminal state). Returns nil when every accepted job finished, ctx.Err()
+// when the drain was cut short.
+func (s *Server) Shutdown(ctx context.Context) error { return s.jobs.shutdown(ctx) }
 
 type apiError struct {
 	Error string `json:"error"`
@@ -335,6 +344,10 @@ type progressView struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 	CommMsgs  int64   `json:"comm_msgs"`
 	CommBytes int64   `json:"comm_bytes"`
+	// transport_frames/transport_bytes mirror the transport counters at
+	// the checkpoint (see StatsView.Core.Transport).
+	TransportFrames int64 `json:"transport_frames"`
+	TransportBytes  int64 `json:"transport_bytes"`
 }
 
 // jobView is the wire form of a job's state.
@@ -378,17 +391,19 @@ func viewLocked(j *job) jobView {
 	if j.progress != nil {
 		ev := *j.progress
 		v.Progress = &progressView{
-			Phase:     ev.Phase,
-			Cycle:     ev.Cycle,
-			Cycles:    ev.Cycles,
-			Level:     ev.Level,
-			N:         ev.N,
-			M:         ev.M,
-			Cut:       ev.Cut,
-			Imbalance: ev.Imbalance,
-			ElapsedMS: float64(ev.Elapsed) / float64(time.Millisecond),
-			CommMsgs:  ev.CommMsgs,
-			CommBytes: ev.CommBytes,
+			Phase:           ev.Phase,
+			Cycle:           ev.Cycle,
+			Cycles:          ev.Cycles,
+			Level:           ev.Level,
+			N:               ev.N,
+			M:               ev.M,
+			Cut:             ev.Cut,
+			Imbalance:       ev.Imbalance,
+			ElapsedMS:       float64(ev.Elapsed) / float64(time.Millisecond),
+			CommMsgs:        ev.CommMsgs,
+			CommBytes:       ev.CommBytes,
+			TransportFrames: ev.TransportFrames,
+			TransportBytes:  ev.TransportBytes,
 		}
 	}
 	if !j.started.IsZero() {
@@ -711,6 +726,11 @@ type StatsView struct {
 		DenseExchanges    int64 `json:"dense_exchanges"`
 		NeighborExchanges int64 `json:"neighbor_exchanges"`
 		CumulativeCut     int64 `json:"cumulative_cut"`
+		// Transport is the transport-level view of the same traffic,
+		// aggregated over those runs: frames/bytes actually handed to the
+		// transport, plus the failure-path counters (reconnects, heartbeat
+		// misses, peer failures — always zero on the in-process transport).
+		Transport transport.Stats `json:"transport"`
 	} `json:"core"`
 
 	// RecentJobs holds per-job timings for the last completed jobs,
@@ -748,6 +768,7 @@ func (s *Server) Stats() StatsView {
 	v.Core.NeighborWords = m.comm.NeighborWords
 	v.Core.DenseExchanges = m.comm.DenseExchanges
 	v.Core.NeighborExchanges = m.comm.NeighborExchanges
+	v.Core.Transport = m.transport
 	v.Core.CumulativeCut = m.cutSum
 	v.RecentJobs = append([]JobTiming(nil), m.recent...)
 	m.mu.Unlock()

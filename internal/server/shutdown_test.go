@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShutdownDrainsCompletedJobs: a Shutdown with a generous deadline
+// waits for the running job to finish and returns nil; the job lands done.
+func TestShutdownDrainsCompletedJobs(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	cfg := Config{Workers: 1}
+	cfg.PartitionFn = blockingPartitionFn(&calls, release)
+	e := newEnv(t, cfg)
+	id := e.uploadMetis(testGraph(20))
+
+	v, _ := e.submit(fmt.Sprintf(`{"graph_id":%q,"k":2,"options":{"pes":2}}`, id))
+	e.awaitRunning(v.ID)
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- e.srv.Shutdown(ctx)
+	}()
+	// The drain must be blocked on the running job, not racing past it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown returned %v with time to spare", err)
+	}
+	j, ok := e.srv.jobs.get(v.ID)
+	if !ok || j.state != StateDone {
+		t.Fatalf("job state after drained shutdown: %v, want done", j.state)
+	}
+}
+
+// TestShutdownDeadlineCancelsStragglers: a Shutdown whose deadline expires
+// while a job is still running (and another is queued) cancels both
+// cooperatively, returns ctx.Err(), and the worker pool exits.
+func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	defer close(release)
+	cfg := Config{Workers: 1}
+	cfg.PartitionFn = blockingPartitionFn(&calls, release)
+	e := newEnv(t, cfg)
+	id := e.uploadMetis(testGraph(20))
+
+	running, _ := e.submit(fmt.Sprintf(`{"graph_id":%q,"k":2,"options":{"pes":2}}`, id))
+	e.awaitRunning(running.ID)
+	queued, _ := e.submit(fmt.Sprintf(`{"graph_id":%q,"k":3,"options":{"pes":2}}`, id))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := e.srv.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("Shutdown returned nil although a job could never finish")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Shutdown took %v; the deadline cut should be fast", elapsed)
+	}
+	for _, id := range []string{running.ID, queued.ID} {
+		j, ok := e.srv.jobs.get(id)
+		if !ok {
+			t.Fatalf("job %s evicted during shutdown", id)
+		}
+		if j.state != StateCancelled {
+			t.Errorf("job %s state %s after deadline-cut shutdown, want cancelled", id, j.state)
+		}
+		if !strings.Contains(j.errMsg, "shutdown") {
+			t.Errorf("job %s error %q does not mention the shutdown", id, j.errMsg)
+		}
+	}
+}

@@ -46,6 +46,12 @@ type ProgressEvent struct {
 	// have exchanged since the run started (cumulative, monotone).
 	CommMsgs  int64
 	CommBytes int64
+	// TransportFrames and TransportBytes are the transport-level view of
+	// that traffic: frames and payload bytes the hosting process's
+	// transport has sent (cumulative; equals the rank-level counts on the
+	// in-process transport, and this process's wire share on TCP).
+	TransportFrames int64
+	TransportBytes  int64
 }
 
 // settings is the resolved configuration of a Partitioner session. The
@@ -357,17 +363,19 @@ func (p *Partitioner) Run(ctx context.Context) (Result, error) {
 	if p.emitsProgress() {
 		cfg.OnProgress = func(cp core.Progress) {
 			p.emit(ProgressEvent{
-				Phase:     string(cp.Phase),
-				Cycle:     cp.Cycle,
-				Cycles:    cp.Cycles,
-				Level:     cp.Level,
-				N:         cp.N,
-				M:         cp.M,
-				Cut:       cp.Cut,
-				Imbalance: cp.Imbalance,
-				Elapsed:   cp.Elapsed,
-				CommMsgs:  cp.CommMsgs,
-				CommBytes: cp.CommBytes,
+				Phase:           string(cp.Phase),
+				Cycle:           cp.Cycle,
+				Cycles:          cp.Cycles,
+				Level:           cp.Level,
+				N:               cp.N,
+				M:               cp.M,
+				Cut:             cp.Cut,
+				Imbalance:       cp.Imbalance,
+				Elapsed:         cp.Elapsed,
+				CommMsgs:        cp.CommMsgs,
+				CommBytes:       cp.CommBytes,
+				TransportFrames: cp.TransportFrames,
+				TransportBytes:  cp.TransportBytes,
 			})
 		}
 	}
