@@ -3,11 +3,18 @@
 // pes). Quality (cut) regressions beyond -cut-tol fail the run with exit
 // status 1 — as do records that flipped to failed/infeasible, and records
 // present in the baseline but missing from the current document. Timing
-// drift is reported but never fails the run: CI machines are too noisy for
-// wall-clock gates, while a cut is a deterministic function of (graph,
-// seed, algorithm) for fast/minimal and only budget-dependent for eco —
-// which is why the default tolerance is generous enough to absorb eco's
-// time-budget nondeterminism.
+// drift is reported but by default never fails the run: CI machines are
+// too noisy for wall-clock gates on every PR, while a cut is a
+// deterministic function of (graph, seed, algorithm) for fast/minimal and
+// only budget-dependent for eco — which is why the default tolerance is
+// generous enough to absorb eco's time-budget nondeterminism. -time-fail
+// promotes timing drift beyond -time-tol to a failure; the scheduled
+// (non-PR) benchmark job runs with it on dedicated time, where wall-clock
+// is trustworthy.
+//
+// Every matched, non-failed record also reports its speedup (baseline
+// seconds / current seconds), and the run ends with a geometric-mean
+// speedup summary line.
 //
 //	bench -table2 -json > current.json
 //	benchcmp -baseline BENCH_2026-08-07_table2.json -current current.json
@@ -17,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/exp"
@@ -28,6 +36,7 @@ func main() {
 		currentPath  = flag.String("current", "", "current bench -json document to compare")
 		cutTol       = flag.Float64("cut-tol", 0.15, "relative cut increase tolerated before failing")
 		timeTol      = flag.Float64("time-tol", 0.50, "relative slowdown reported as a timing warning")
+		timeFail     = flag.Bool("time-fail", false, "fail (exit 1) on timing drift beyond -time-tol instead of warning; for scheduled benchmark jobs on quiet machines")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -52,6 +61,9 @@ func main() {
 	}
 
 	var failures, warnings int
+	var logSpeedupSum float64 // sum of ln(speedup) over timed records
+	var speedups int
+	minSpeedup, maxSpeedup := math.Inf(1), math.Inf(-1)
 	for _, b := range base.Records {
 		key := recordKey(b)
 		c, ok := curByKey[key]
@@ -84,18 +96,36 @@ func main() {
 			failures++
 			continue
 		}
+		speedup := 0.0
+		if b.Seconds > 0 && c.Seconds > 0 {
+			speedup = b.Seconds / c.Seconds
+			logSpeedupSum += math.Log(speedup)
+			speedups++
+			minSpeedup = math.Min(minSpeedup, speedup)
+			maxSpeedup = math.Max(maxSpeedup, speedup)
+		}
 		if b.Seconds > 0 && c.Seconds > b.Seconds*(1+*timeTol) {
-			fmt.Printf("warn %-40s time %.3fs -> %.3fs (+%.1f%%; timing is warn-only)\n",
-				key, b.Seconds, c.Seconds, 100*(c.Seconds/b.Seconds-1))
-			warnings++
+			if *timeFail {
+				fmt.Printf("FAIL %-40s time %.3fs -> %.3fs (+%.1f%%, tolerance %.0f%%)\n",
+					key, b.Seconds, c.Seconds, 100*(c.Seconds/b.Seconds-1), 100**timeTol)
+				failures++
+			} else {
+				fmt.Printf("warn %-40s time %.3fs -> %.3fs (+%.1f%%; timing is warn-only)\n",
+					key, b.Seconds, c.Seconds, 100*(c.Seconds/b.Seconds-1))
+				warnings++
+			}
 			continue
 		}
-		fmt.Printf("ok   %-40s cut %.0f -> %.0f, time %.3fs -> %.3fs\n",
-			key, b.Cut, c.Cut, b.Seconds, c.Seconds)
+		fmt.Printf("ok   %-40s cut %.0f -> %.0f, time %.3fs -> %.3fs (%.2fx)\n",
+			key, b.Cut, c.Cut, b.Seconds, c.Seconds, speedup)
 	}
 
 	fmt.Printf("\n%d baseline records, %d failures, %d timing warnings\n",
 		len(base.Records), failures, warnings)
+	if speedups > 0 {
+		fmt.Printf("speedup vs baseline: geomean %.2fx over %d records (min %.2fx, max %.2fx)\n",
+			math.Exp(logSpeedupSum/float64(speedups)), speedups, minSpeedup, maxSpeedup)
+	}
 	if failures > 0 {
 		os.Exit(1)
 	}

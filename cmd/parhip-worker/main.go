@@ -47,6 +47,7 @@ func main() {
 		hbTimeout = flag.Duration("hb-timeout", 0, "declare a silent peer dead after this long (default 5s)")
 		bootWait  = flag.Duration("bootstrap-timeout", 0, "give up the rendezvous after this long (default 30s)")
 		out       = flag.String("out", "", "rank 0: write the block assignment to this file (one block per line)")
+		workers   = flag.Int("workers", 0, "OS threads for superstep compute (0 = NumCPU; a TCP worker hosts one rank, so it gets the node)")
 		verbose   = flag.Bool("v", false, "log transport lifecycle events to stderr")
 	)
 	flag.Parse()
@@ -73,6 +74,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *workers < 0 {
+		fail(fmt.Errorf("-workers %d, must be >= 0 (0 selects the default)", *workers))
+	}
+	coreCfg.Workers = *workers
 
 	cfg := cluster.Config{
 		Rank:             *rank,

@@ -57,6 +57,7 @@ func main() {
 		prevFile  = flag.String("prev", "", "previous partition file: run a migration-aware repartition seeded with it")
 		out       = flag.String("out", "", "write the partition to this file (text format; binary when the name ends in .bpart)")
 		traceFile = flag.String("trace", "", "record per-rank spans and write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
+		workers   = flag.Int("workers", 0, "OS threads per rank for superstep compute (0 = NumCPU / ranks in this process; results are bit-identical for any value)")
 		backend   = flag.String("transport", "inproc", "rank communication: inproc (all ranks in this process) or tcp (this process hosts one rank of a multi-process world)")
 		rank      = flag.Int("rank", 0, "tcp: rank this process hosts, in [0, world size)")
 		peersList = flag.String("peers", "", "tcp: rank-ordered comma-separated host:port list; its length is the world size")
@@ -69,9 +70,10 @@ func main() {
 		os.Exit(1)
 	}
 	opt := parhip.Options{
-		PEs:  *pes,
-		Eps:  *eps,
-		Seed: *seed,
+		PEs:     *pes,
+		Eps:     *eps,
+		Seed:    *seed,
+		Workers: *workers,
 	}
 	var tracer *parhip.Tracer
 	if *traceFile != "" {
@@ -276,6 +278,7 @@ func runTCP(g *parhip.Graph, opt parhip.Options, rank int, peersList, mode strin
 	if err != nil {
 		fail(err)
 	}
+	coreCfg.Workers = opt.Workers
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

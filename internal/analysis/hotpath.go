@@ -18,7 +18,13 @@ import (
 //   - function literals in stored positions (assigned, returned, placed in
 //     a composite or channel: those always escape to the heap; literals
 //     passed directly as call arguments are commonly inlined and are not
-//     flagged) and go statements.
+//     flagged) and go statements;
+//   - sync.Mutex / sync.RWMutex lock operations (Lock, Unlock, RLock,
+//     RUnlock, TryLock, TryRLock): a contended lock parks the goroutine —
+//     the worksharing kernels (PR 9) keep their inner loops lock-free by
+//     design, with disjoint writes and a sequential commit pass;
+//   - channel sends: a send synchronizes (and parks when the buffer is
+//     full), which belongs at superstep boundaries, not inside kernels.
 //
 // The analyzer is an upper bound, not a proof: the alloc-ratio benchmarks
 // (obs TestNilTracerZeroAllocs, sclp TestExchangeLabelsAllocRatio) remain
@@ -78,9 +84,7 @@ func checkHotpathBody(p *Pass, fd *ast.FuncDecl) {
 				}
 			}
 		case *ast.SendStmt:
-			if fl, ok := n.Value.(*ast.FuncLit); ok {
-				report(fl, "closure sent on a channel in a hot path")
-			}
+			report(n, "channel send in a hot path: sends synchronize and can park the goroutine")
 		case *ast.GoStmt:
 			report(n, "go statement in a hot path: goroutine spawn allocates")
 		}
@@ -98,6 +102,10 @@ func checkHotCall(p *Pass, call *ast.CallExpr, report func(ast.Node, string, ...
 	if fn != nil {
 		if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
 			report(call, "fmt.%s in a hot path: formatting allocates", fn.Name())
+			return
+		}
+		if recv := mutexLockOp(fn); recv != "" {
+			report(call, "sync.%s.%s in a hot path: a contended lock parks the goroutine (restructure for disjoint writes + sequential commit)", recv, fn.Name())
 			return
 		}
 	}
@@ -127,6 +135,39 @@ func checkHotCall(p *Pass, call *ast.CallExpr, report func(ast.Node, string, ...
 			report(arg, "basic value boxed into interface in a hot path (argument escapes to the heap)")
 		}
 	}
+}
+
+// mutexLockOp returns the receiver type name ("Mutex" or "RWMutex") when
+// fn is a lock operation on a sync mutex, and "" otherwise. Calls through
+// an embedded mutex field (m.mu.Lock()) resolve to the same *types.Func,
+// so they are caught too.
+func mutexLockOp(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil || pkg.Path() != "sync" {
+		return ""
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	switch name := named.Obj().Name(); name {
+	case "Mutex", "RWMutex":
+		return name
+	}
+	return ""
 }
 
 func isBuiltinCall(p *Pass, call *ast.CallExpr) bool {

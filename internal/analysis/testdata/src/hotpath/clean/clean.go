@@ -1,6 +1,8 @@
 // Package clean holds hot-path shapes the analyzer must accept.
 package clean
 
+import "sync"
+
 // Grow uses builtin append: a compiler intrinsic whose variadic signature
 // never materializes an argument slice.
 //
@@ -38,4 +40,20 @@ func SumEach(xs []int64) int64 {
 func Logged(log func(args ...interface{}), n int64) {
 	//lint:hotpath-ok fixture: verified allocation-free by benchmark
 	log("n", n)
+}
+
+// guarded documents the escape hatch for a deliberate, uncontended lock
+// (the tracer's span buffer: a disabled tracer never reaches it).
+type guarded struct {
+	mu sync.Mutex
+	n  int64
+}
+
+//parhip:hotpath
+func (g *guarded) Bump(x int64) {
+	//lint:hotpath-ok fixture: lock held only in the disabled-tracer slow path
+	g.mu.Lock()
+	g.n += x
+	//lint:hotpath-ok fixture: paired with the annotated Lock above
+	g.mu.Unlock()
 }

@@ -2,7 +2,10 @@
 // forbids inside //parhip:hotpath functions.
 package dirty
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 func sum(xs ...int64) int64 {
 	var s int64
@@ -32,7 +35,39 @@ func Hot(a, b int64) string {
 	return msg
 }
 
+// locked embeds a mutex the way the production structs do (obs.Tracer,
+// the server's jobManager): calls through the field still resolve to
+// sync.(*Mutex).Lock.
+type locked struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	n   int64
+	out chan int64
+}
+
+// HotLocked violates the synchronization rules.
+//
+//parhip:hotpath
+func (l *locked) HotLocked(x int64) int64 {
+	l.mu.Lock() // want `sync.Mutex.Lock in a hot path`
+	l.n += x
+	l.mu.Unlock() // want `sync.Mutex.Unlock in a hot path`
+	l.rw.RLock()  // want `sync.RWMutex.RLock in a hot path`
+	n := l.n
+	l.rw.RUnlock() // want `sync.RWMutex.RUnlock in a hot path`
+	l.out <- n     // want `channel send in a hot path`
+	return n
+}
+
 // Cold is unannotated: the same patterns pass without comment.
 func Cold(a, b int64) string {
 	return fmt.Sprintf("%d", sum(a, b))
+}
+
+// ColdLocked is unannotated: locking outside hot paths is fine.
+func (l *locked) ColdLocked(x int64) {
+	l.mu.Lock()
+	l.n += x
+	l.mu.Unlock()
+	l.out <- x
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/arena"
 	"repro/internal/dgraph"
 	"repro/internal/hashtab"
 	"repro/internal/mpi"
+	"repro/internal/workpool"
 )
 
 // ParResult is the outcome of one parallel contraction step.
@@ -37,6 +39,32 @@ type ParResult struct {
 //
 //parhip:collective
 func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
+	return ParContractWith(fine, labels, ContractOptions{})
+}
+
+// ContractOptions configures the intra-rank worksharing of ParContract.
+// The zero value runs everything on the calling goroutine with heap
+// scratch; results are bit-identical for any option combination.
+type ContractOptions struct {
+	// Pool, when non-nil, fills the per-shard quotient accumulators of
+	// step 4 in parallel.
+	Pool *workpool.Pool
+	// Arena, when non-nil, backs the shard accumulators; the caller resets
+	// it after the contraction's scratch is dead.
+	Arena *arena.Arena
+}
+
+// quotientShard is the number of local fine nodes one quotient-accumulation
+// shard covers. Like the sclp propose chunks, the shard count is a function
+// of the node count alone, so the shard tables — and the shard-order merge
+// into the exchange below — are identical for any worker count.
+const quotientShard = 2048
+
+// ParContractWith is ParContract with explicit worksharing options.
+// Collective.
+//
+//parhip:collective
+func ParContractWith(fine *dgraph.DGraph, labels []int64, opt ContractOptions) *ParResult {
 	c := fine.Comm
 	size := c.Size()
 	nl := fine.NLocal()
@@ -141,29 +169,49 @@ func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
 		}
 		return lo
 	}
-	// Accumulate local quotient edges keyed by the (cu, cv) pair. A
+	// Accumulate local quotient edges keyed by the (cu, cv) pair, sharded
+	// over fixed node ranges so the pool's workers fill disjoint tables. A
 	// composite cu*coarseN+cv key would overflow int64 once coarseN exceeds
-	// ~3·10^9, silently merging unrelated coarse edges.
-	edgeAcc := hashtab.NewAccumulatorPairI64(1024)
-	nodeAcc := hashtab.NewAccumulatorI64(int(nl) + 16)
-	for v := int32(0); v < nl; v++ {
-		cu := fineToCoarse[v]
-		nodeAcc.Add(cu, fine.NW[v])
-		ws := fine.EdgeWeights(v)
-		for i, u := range fine.Neighbors(v) {
-			cv := cOf(u)
-			if cv != cu {
-				edgeAcc.Add(cu, cv, ws[i])
+	// ~3·10^9, silently merging unrelated coarse edges. A pair occurring in
+	// several shards is sent once per shard; the receiver-side sort-and-merge
+	// below already combines contributions from different ranks, so
+	// cross-shard duplicates collapse the same way and the coarse graph is
+	// identical for any shard count or worker schedule.
+	nshards := workpool.Chunks(int(nl), quotientShard)
+	edgeAccs := make([]*hashtab.AccumulatorPairI64, nshards)
+	nodeAccs := make([]*hashtab.AccumulatorI64, nshards)
+	for s := 0; s < nshards; s++ {
+		slo, shi := workpool.Bounds(int(nl), nshards, s)
+		edgeAccs[s] = hashtab.NewAccumulatorPairI64In(opt.Arena, 1024)
+		nodeAccs[s] = hashtab.NewAccumulatorI64In(opt.Arena, shi-slo+16)
+	}
+	tracer := c.Tracer()
+	qsp := tracer.Begin(c.Rank(), "contract.quotient")
+	busy := opt.Pool.Run(nshards, func(_, s int) {
+		slo, shi := workpool.Bounds(int(nl), nshards, s)
+		edgeAcc, nodeAcc := edgeAccs[s], nodeAccs[s]
+		for v := int32(slo); v < int32(shi); v++ {
+			cu := fineToCoarse[v]
+			nodeAcc.Add(cu, fine.NW[v])
+			ws := fine.EdgeWeights(v)
+			for i, u := range fine.Neighbors(v) {
+				cv := cOf(u)
+				if cv != cu {
+					edgeAcc.Add(cu, cv, ws[i])
+				}
 			}
 		}
-	}
+	})
+	tracer.End2(qsp, "busy_ns", int64(busy), "shards", int64(nshards))
 	lo := coarseVtx[c.Rank()]
 	cLocal := int32(coarseVtx[c.Rank()+1] - lo)
 	type triple struct{ src, dst, w int64 }
 	var edges []triple
-	edgeAcc.ForEach(func(cu, cv, w int64) {
-		sh.Add(ownerOfCoarse(cu), cu, cv, w)
-	})
+	for _, edgeAcc := range edgeAccs {
+		edgeAcc.ForEach(func(cu, cv, w int64) {
+			sh.Add(ownerOfCoarse(cu), cu, cv, w)
+		})
+	}
 	sh.Exchange(func(rk int, buf []int64) {
 		if len(buf)%3 != 0 {
 			c.PoisonPeers()
@@ -174,9 +222,11 @@ func ParContract(fine *dgraph.DGraph, labels []int64) *ParResult {
 		}
 	})
 	nw := make([]int64, cLocal)
-	nodeAcc.ForEach(func(cu, w int64) {
-		sh.Add(ownerOfCoarse(cu), cu, w)
-	})
+	for _, nodeAcc := range nodeAccs {
+		nodeAcc.ForEach(func(cu, w int64) {
+			sh.Add(ownerOfCoarse(cu), cu, w)
+		})
+	}
 	sh.Exchange(func(rk int, buf []int64) {
 		if len(buf)%2 != 0 {
 			c.PoisonPeers()

@@ -8,9 +8,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/contract"
 	"repro/internal/dgraph"
 	"repro/internal/evo"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/rng"
 	"repro/internal/sclp"
+	"repro/internal/workpool"
 )
 
 // Phase identifies what part of the multilevel pipeline a Progress event
@@ -132,6 +135,15 @@ type Config struct {
 	//lint:rawslice-ok internal SPMD plumbing: the raw assignment slice is the working representation; wrapped in *parhip.Partition at the public boundary
 	PrevPartition []int32
 
+	// Workers sizes the per-rank worker pool behind the parallel propose
+	// passes of label propagation and contract's quotient accumulation.
+	// 0 (the default) resolves to runtime.NumCPU() divided by the number
+	// of ranks hosted in this process, so in-process worlds do not
+	// oversubscribe the machine while one-rank-per-process (TCP) worlds
+	// get the whole node; values below 1 after resolution are clamped to 1
+	// (serial). Partitions are bit-identical for every worker count.
+	Workers int
+
 	// Seed drives all randomness (identical value on every rank).
 	Seed uint64
 
@@ -232,7 +244,11 @@ type Stats struct {
 	MigratedNodes   int64
 	MigrationVolume int64
 	Feasible        bool
-	Comm            mpi.Stats // whole-world traffic (filled by Run)
+	// Par reports this rank's intra-rank worksharing measurements: the
+	// resolved worker count, superstep propose/commit wall-clock split and
+	// summed worker busy time.
+	Par  sclp.ParStats
+	Comm mpi.Stats // whole-world traffic (filled by Run)
 	// Transport is the transport-level counter snapshot of this process's
 	// world (filled by Run alongside Comm). On the in-process backend it
 	// mirrors Comm; on TCP it additionally reports reconnects and
@@ -311,6 +327,21 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 		st.TotalTime = time.Since(startAll) //lint:determinism-ok stats timing, never partition state
 		return part, st, nil
 	}
+	// Per-rank worker pool and scratch arena for the intra-rank parallel
+	// supersteps. The pool's helpers live for the whole run and are joined
+	// on return; the arena is reset between pipeline stages, so per-level
+	// scratch recycles instead of reallocating.
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU() / c.LocalRankCount()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	pool := workpool.New(workers)
+	defer pool.Close()
+	ar := arena.New()
+	st.Par.Workers = workers
 	// Shared stream: identical on every rank, used for cross-rank-consistent
 	// decisions (level seeds, the per-cycle size factor f).
 	shared := rng.New(cfg.Seed)
@@ -403,9 +434,14 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 				PhasesPerRound: cfg.PhasesPerRound,
 				Constraint:     constraint,
 				Seed:           shared.Uint64(),
+				Pool:           pool,
+				Arena:          ar,
+				Stats:          &st.Par,
 			})
-			res := contract.ParContract(cur, labels)
+			res := contract.ParContractWith(cur, labels, contract.ContractOptions{Pool: pool, Arena: ar})
 			c.Tracer().End2(spLvl, "level", int64(len(levels)), "coarse_n", res.Coarse.GlobalN)
+			// The level's sclp/contract scratch is dead; recycle the slabs.
+			ar.Reset()
 			if res.Coarse.GlobalN >= cur.GlobalN*19/20 {
 				break // coarsening stalled
 			}
@@ -516,8 +552,10 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 			K: cfg.K, Lmax: lmax, Iterations: cfg.RefineIters,
 			PhasesPerRound: cfg.PhasesPerRound, Seed: shared.Uint64(),
 			Prev: prevCur,
+			Pool: pool, Arena: ar, Stats: &st.Par,
 		})
 		c.Tracer().End1(spRef, "level", int64(len(levels)))
+		ar.Reset()
 		reportRefine(cur, curPart, len(levels))
 		for i := len(levels) - 1; i >= 0; i-- {
 			if err := ctx.Err(); err != nil {
@@ -530,8 +568,10 @@ func PartitionDistributed(ctx context.Context, d *dgraph.DGraph, cfg Config) ([]
 				K: cfg.K, Lmax: lmax, Iterations: cfg.RefineIters,
 				PhasesPerRound: cfg.PhasesPerRound, Seed: shared.Uint64(),
 				Prev: lv.prevFine,
+				Pool: pool, Arena: ar, Stats: &st.Par,
 			})
 			c.Tracer().End1(spRef, "level", int64(i))
+			ar.Reset()
 			reportRefine(lv.fine, curPart, i)
 		}
 		st.RefineTime += time.Since(tRefine) //lint:determinism-ok stats timing, never partition state

@@ -7,7 +7,15 @@
 // number of distinct keys is bounded by the node degree and the table is
 // reused across nodes. These tables fill the same role here: they are
 // allocation-free in steady state and support O(keys) reset via a key log.
+//
+// The *In constructors carve the backing arrays out of an arena instead of
+// the heap, so per-superstep tables (one per worker lane, one per contraction
+// shard) recycle their memory across V-cycle levels. Growth beyond the
+// initial capacity falls back to plain heap slices — an arena is a bump
+// allocator and cannot free the outgrown arrays early.
 package hashtab
+
+import "repro/internal/arena"
 
 // AccumulatorI64 maps int64 keys to accumulated int64 values. It is designed
 // for the aggregate-then-scan-then-reset pattern of label propagation: Add
@@ -35,6 +43,22 @@ func NewAccumulatorI64(capacity int) *AccumulatorI64 {
 		vals:    make([]int64, n),
 		used:    make([]bool, n),
 		touched: make([]int, 0, capacity),
+		mask:    uint64(n - 1),
+	}
+}
+
+// NewAccumulatorI64In is NewAccumulatorI64 with the backing arrays carved
+// from ar. A nil arena degrades to heap allocation.
+func NewAccumulatorI64In(ar *arena.Arena, capacity int) *AccumulatorI64 {
+	n := 16
+	for n < 2*capacity {
+		n *= 2
+	}
+	return &AccumulatorI64{
+		keys:    ar.Int64s(n),
+		vals:    ar.Int64s(n),
+		used:    ar.Bools(n),
+		touched: ar.Ints(capacity)[:0],
 		mask:    uint64(n - 1),
 	}
 }
@@ -297,6 +321,23 @@ func NewAccumulatorPairI64(capacity int) *AccumulatorPairI64 {
 		vals:    make([]int64, n),
 		used:    make([]bool, n),
 		touched: make([]int, 0, capacity),
+		mask:    uint64(n - 1),
+	}
+}
+
+// NewAccumulatorPairI64In is NewAccumulatorPairI64 with the backing arrays
+// carved from ar. A nil arena degrades to heap allocation.
+func NewAccumulatorPairI64In(ar *arena.Arena, capacity int) *AccumulatorPairI64 {
+	n := 16
+	for n < 2*capacity {
+		n *= 2
+	}
+	return &AccumulatorPairI64{
+		keysA:   ar.Int64s(n),
+		keysB:   ar.Int64s(n),
+		vals:    ar.Int64s(n),
+		used:    ar.Bools(n),
+		touched: ar.Ints(capacity)[:0],
 		mask:    uint64(n - 1),
 	}
 }

@@ -537,6 +537,11 @@ func (c *Comm) WorldStats() Stats { return c.world.TotalStats() }
 // bytes, reconnects, heartbeat misses). Atomics only, like WorldStats.
 func (c *Comm) TransportStats() transport.Stats { return c.world.tr.Stats() }
 
+// LocalRankCount returns how many of the world's ranks run in this process
+// (all of them on the in-process transport, typically one on TCP). Callers
+// use it to split the machine's cores between co-hosted ranks.
+func (c *Comm) LocalRankCount() int { return len(c.world.local) }
+
 func (c *Comm) sendClass(dst int, kind msgKind, tag int, data []int64, class commClass) {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("mpi: send to rank %d outside world of size %d", dst, c.world.size))

@@ -103,6 +103,7 @@ func (t *Tracer) Begin(rank int, name string) Span {
 func (t *Tracer) record(sp Span, a0, a1, a2 Arg, nargs int) {
 	end := int64(time.Since(t.epoch))
 	tr := &t.tracks[sp.rank]
+	//lint:hotpath-ok per-rank track: only that rank's goroutine ends spans, so the lock is uncontended; it guards WriteJSON racing a live run
 	tr.mu.Lock()
 	tr.events = append(tr.events, event{
 		name:  sp.name,
@@ -111,6 +112,7 @@ func (t *Tracer) record(sp Span, a0, a1, a2 Arg, nargs int) {
 		args:  [maxSpanArgs]Arg{a0, a1, a2},
 		nargs: nargs,
 	})
+	//lint:hotpath-ok paired with the annotated Lock above
 	tr.mu.Unlock()
 }
 

@@ -31,6 +31,18 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// Reseed resets r in place to the exact state New(seed) would construct,
+// without allocating. The worksharing propose passes reseed one per-worker
+// generator at every chunk boundary, so a chunk's tie-breaking stream is a
+// function of its seed alone — never of the worker that ran it.
+func (r *RNG) Reseed(seed uint64) {
+	r.inc = 1442695040888963407
+	r.state = 0
+	r.next32()
+	r.state += seed
+	r.next32()
+}
+
 // Split derives an independent generator from r. The derived stream is a
 // deterministic function of r's current state, so calling Split at the same
 // point in two identical runs yields identical children. It is used to hand

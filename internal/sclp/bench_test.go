@@ -1,13 +1,16 @@
 package sclp
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/arena"
 	"repro/internal/dgraph"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/mpi"
 	"repro/internal/partition"
+	"repro/internal/workpool"
 )
 
 func BenchmarkClusterCommunity(b *testing.B) {
@@ -47,6 +50,31 @@ func BenchmarkParClusterP4(b *testing.B) {
 		mpi.NewWorld(4).Run(func(c *mpi.Comm) {
 			d := dgraph.FromGraph(c, g)
 			ParCluster(d, ParClusterConfig{U: 600, Iterations: 3, DegreeOrder: true, Seed: uint64(i + 1)})
+		})
+	}
+}
+
+// BenchmarkParClusterWorkers measures the intra-rank worksharing speedup
+// of the propose/commit superstep split on a large mesh hosted by a single
+// rank (P=1 isolates the worker pool from rank-level parallelism). The
+// partition is bit-identical across the sub-benchmarks by construction
+// (TestWorkerBitIdentity); only the wall clock may differ.
+func BenchmarkParClusterWorkers(b *testing.B) {
+	g := gen.DelaunayLike(200000, 5)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pool := workpool.New(w)
+			defer pool.Close()
+			ar := arena.New()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ar.Reset()
+				mpi.NewWorld(1).Run(func(c *mpi.Comm) {
+					d := dgraph.FromGraph(c, g)
+					ParCluster(d, ParClusterConfig{U: 6000, Iterations: 3, DegreeOrder: true,
+						Seed: uint64(i + 1), Pool: pool, Arena: ar})
+				})
+			}
 		})
 	}
 }

@@ -1,13 +1,15 @@
 package sclp
 
 import (
-	"sort"
+	"time"
 
+	"repro/internal/arena"
 	"repro/internal/dgraph"
 	"repro/internal/hashtab"
 	"repro/internal/intmath"
 	"repro/internal/mpi"
 	"repro/internal/rng"
+	"repro/internal/workpool"
 )
 
 // ParClusterConfig controls the parallel clustering run (§IV-A/B).
@@ -33,6 +35,19 @@ type ParClusterConfig struct {
 	// Seed drives traversal order and tie breaking; each rank derives its
 	// own stream.
 	Seed uint64
+	// Pool, when non-nil, runs the propose half of every superstep on its
+	// workers. Results are bit-identical for any pool size (nil included):
+	// chunk grids and per-chunk RNG streams depend only on the phase, and
+	// moves are decided by a sequential commit pass that re-selects in
+	// traversal order.
+	Pool *workpool.Pool
+	// Arena, when non-nil, supplies the per-call scratch (traversal order,
+	// proposal buffer, dirty-set bits, accumulator backing arrays). The
+	// caller resets it after the call returns; nil falls back to the heap.
+	Arena *arena.Arena
+	// Stats, when non-nil, accumulates the propose/commit split timings and
+	// worker busy time of every superstep.
+	Stats *ParStats
 }
 
 // ParCluster runs parallel size-constrained label propagation on the
@@ -57,10 +72,15 @@ func ParCluster(d *dgraph.DGraph, cfg ParClusterConfig) []int64 {
 		weight.Put(labels[v], d.NW[v])
 	}
 	r := rng.New(cfg.Seed).Split(uint64(d.Comm.Rank()))
-	conn := hashtab.NewAccumulatorI64(64)
+	conn := hashtab.NewAccumulatorI64In(cfg.Arena, 64)
 
-	order := localOrder(d, cfg.DegreeOrder, r)
-	changedSet := newDirtySet(d.NLocal())
+	nl := d.NLocal()
+	order := localOrder(d, cfg.DegreeOrder, r, cfg.Arena)
+	props := cfg.Arena.Int64s(len(order))
+	lanes := newLanes(cfg.Pool, cfg.Arena)
+	var crng rng.RNG
+	changedSet := newDirtySetIn(nl, cfg.Arena)
+	casc := newDirtySetIn(nl, cfg.Arena)
 	tracer := d.Comm.Tracer()
 	rank := d.Comm.Rank()
 
@@ -80,14 +100,50 @@ func ParCluster(d *dgraph.DGraph, cfg ParClusterConfig) []int64 {
 			movedBefore := movedLocal
 			start := ph * len(order) / cfg.PhasesPerRound
 			end := (ph + 1) * len(order) / cfg.PhasesPerRound
-			for _, v := range order[start:end] {
-				if parMoveNode(d, v, labels, weight, cfg.Constraint, cfg.U, conn, r) {
+			phase := order[start:end]
+			phaseProps := props[start:end]
+			// The phase seed is drawn from the rank stream whether or not the
+			// phase has nodes, keeping the stream aligned across ranks with
+			// different local counts.
+			phaseSeed := r.Uint64()
+
+			// Parallel propose: workers evaluate disjoint chunks of the
+			// traversal order against the frozen phase-start state.
+			psp := tracer.Begin(rank, "sclp.propose")
+			pt0 := time.Now() //lint:determinism-ok stats timing only, never feeds partition state
+			busy := proposeCluster(d, cfg.Pool, lanes, phaseSeed, phase, phaseProps,
+				labels, weight, cfg.Constraint, cfg.U)
+			proposeDur := time.Since(pt0) //lint:determinism-ok stats timing only, never feeds partition state
+			tracer.End2(psp, "busy_ns", int64(busy), "nodes", int64(len(phase)))
+
+			// Sequential commit: re-run the selection in traversal order
+			// against current labels and weights for every node the stale
+			// propose flagged, plus every node a committed move dirtied —
+			// marking the moved node's local neighbors keeps the
+			// Gauss-Seidel cascades (move one node, its neighbor becomes
+			// attractive, ...) that a pure propose filter would cut off.
+			csp := tracer.Begin(rank, "sclp.commit")
+			ct0 := time.Now() //lint:determinism-ok stats timing only, never feeds partition state
+			crng.Reseed(commitSeed(phaseSeed))
+			for i, v := range phase {
+				if (phaseProps[i] >= 0 || casc.has(v)) &&
+					commitClusterMove(d, v, labels, weight, cfg.Constraint, cfg.U, conn, &crng) {
 					movedLocal++
+					for _, nb := range d.Neighbors(v) {
+						if nb < nl {
+							casc.add(nb)
+						}
+					}
 					if d.IsInterface(v) {
 						changedSet.add(v)
 					}
 				}
 			}
+			casc.reset()
+			commitDur := time.Since(ct0) //lint:determinism-ok stats timing only, never feeds partition state
+			tracer.End1(csp, "moves", movedLocal-movedBefore)
+			cfg.Stats.observe(cfg.Pool.Size(), proposeDur, commitDur, busy)
+
 			exchangeLabels(d, labels, weight, changedSet)
 			tracer.End2(sp, "moves", movedLocal-movedBefore, "phase", int64(iter*cfg.PhasesPerRound+ph))
 		}
@@ -98,79 +154,20 @@ func ParCluster(d *dgraph.DGraph, cfg ParClusterConfig) []int64 {
 	return labels
 }
 
-// localOrder computes the traversal order of local nodes.
-func localOrder(d *dgraph.DGraph, degreeOrder bool, r *rng.RNG) []int32 {
+// localOrder computes the traversal order of local nodes, with the order
+// slice (and the degree sort's scratch) carved from ar when non-nil.
+func localOrder(d *dgraph.DGraph, degreeOrder bool, r *rng.RNG, ar *arena.Arena) []int32 {
 	nl := int(d.NLocal())
-	order := make([]int32, nl)
+	order := ar.Int32s(nl)
 	for i := range order {
 		order[i] = int32(i)
 	}
 	if degreeOrder {
-		sort.Slice(order, func(i, j int) bool {
-			di, dj := d.Degree(order[i]), d.Degree(order[j])
-			if di != dj {
-				return di < dj
-			}
-			return order[i] < order[j]
-		})
+		countingSortByDegree(d, order, ar)
 	} else {
 		r.Shuffle(nl, func(i, j int) { order[i], order[j] = order[j], order[i] })
 	}
 	return order
-}
-
-// parMoveNode is the parallel counterpart of moveNode: cluster weights come
-// from the locally maintained map.
-//
-//parhip:hotpath
-func parMoveNode(d *dgraph.DGraph, v int32, labels []int64, weight *hashtab.MapI64,
-	constraint []int64, u int64, conn *hashtab.AccumulatorI64, r *rng.RNG) bool {
-
-	nbrs := d.Neighbors(v)
-	if len(nbrs) == 0 {
-		return false
-	}
-	ws := d.EdgeWeights(v)
-	conn.Reset()
-	for i, nb := range nbrs {
-		if constraint != nil && constraint[nb] != constraint[v] {
-			continue
-		}
-		conn.Add(labels[nb], ws[i])
-	}
-	cur := labels[v]
-	curConn, _ := conn.Get(cur)
-	best := cur
-	bestConn := curConn
-	ties := 1
-	nw := d.NW[v]
-	conn.ForEach(func(label, c int64) {
-		if label == cur {
-			return
-		}
-		lw, _ := weight.Get(label)
-		if lw+nw > u {
-			return
-		}
-		switch {
-		case c > bestConn:
-			best, bestConn, ties = label, c, 1
-		case c == bestConn && label != cur:
-			ties++
-			if r.Intn(ties) == 0 {
-				best = label
-			}
-		}
-	})
-	if best == cur {
-		return false
-	}
-	cw, _ := weight.Get(cur)
-	weight.Put(cur, cw-nw)
-	bw, _ := weight.Get(best)
-	weight.Put(best, bw+nw)
-	labels[v] = best
-	return true
 }
 
 // dirtySet tracks the interface nodes changed during one phase: a stack
@@ -183,7 +180,13 @@ type dirtySet struct {
 }
 
 func newDirtySet(n int32) *dirtySet {
-	return &dirtySet{bits: make([]uint64, (int(n)+63)/64)}
+	return newDirtySetIn(n, nil)
+}
+
+// newDirtySetIn carves the bitset from ar when non-nil; the stack still
+// grows on the heap (its size is data-dependent).
+func newDirtySetIn(n int32, ar *arena.Arena) *dirtySet {
+	return &dirtySet{bits: ar.Uint64s((int(n) + 63) / 64)}
 }
 
 //parhip:hotpath
@@ -193,6 +196,11 @@ func (s *dirtySet) add(v int32) {
 		s.bits[w] |= b
 		s.stack = append(s.stack, v)
 	}
+}
+
+//parhip:hotpath
+func (s *dirtySet) has(v int32) bool {
+	return s.bits[v>>6]&(uint64(1)<<(uint(v)&63)) != 0
 }
 
 func (s *dirtySet) reset() {
@@ -245,6 +253,10 @@ type ParRefineConfig struct {
 	// the tie — so cut-neutral churn never migrates nodes. Nil leaves the
 	// behavior (including the RNG stream) exactly as before.
 	Prev []int64
+	// Pool, Arena, Stats: see ParClusterConfig.
+	Pool  *workpool.Pool
+	Arena *arena.Arena
+	Stats *ParStats
 }
 
 // ParRefine improves the distributed partition part (NTotal entries, ghosts
@@ -266,20 +278,24 @@ func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 	k := cfg.K
 	nl := d.NLocal()
 	// localContrib[b] = node weight local nodes contribute to block b.
-	localContrib := make([]int64, k)
+	localContrib := cfg.Arena.Int64s(int(k))
 	for v := int32(0); v < nl; v++ {
 		localContrib[part[v]] += d.NW[v]
 	}
 	blockWeight := d.Comm.AllreduceSum(localContrib)
-	headroom := make([]int64, k) // weight this rank may still add per block
-	demand := make([]int64, k)
+	headroom := cfg.Arena.Int64s(int(k)) // weight this rank may still add per block
+	demand := cfg.Arena.Int64s(int(k))
 	// Global max node weight, for the fast headroom path below.
 	maxNW := d.MaxNodeWeightGlobal()
 	P := int64(d.Comm.Size())
 	r := rng.New(cfg.Seed).Split(uint64(d.Comm.Rank()))
-	conn := hashtab.NewAccumulatorI64(64)
-	order := localOrder(d, false, r)
-	changedSet := newDirtySet(nl)
+	conn := hashtab.NewAccumulatorI64In(cfg.Arena, 64)
+	order := localOrder(d, false, r, cfg.Arena)
+	props := cfg.Arena.Int64s(len(order))
+	lanes := newLanes(cfg.Pool, cfg.Arena)
+	var crng rng.RNG
+	changedSet := newDirtySetIn(nl, cfg.Arena)
+	casc := newDirtySetIn(nl, cfg.Arena)
 	tracer := d.Comm.Tracer()
 	rank := d.Comm.Rank()
 	var totalMoves int64
@@ -299,6 +315,7 @@ func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 			start := ph * len(order) / cfg.PhasesPerRound
 			end := (ph + 1) * len(order) / cfg.PhasesPerRound
 			phase := order[start:end]
+			phaseProps := props[start:end]
 			// Fast path: when every block with headroom can take a uniform
 			// h/P share that still fits the heaviest node, the old local
 			// split is exact and costs no communication. Only tight blocks
@@ -326,14 +343,46 @@ func ParRefine(d *dgraph.DGraph, part []int64, cfg ParRefineConfig) int64 {
 					headroom[b] = h / P
 				}
 			}
-			for _, v := range phase {
-				if parRefineNode(d, v, part, cfg.Prev, blockWeight, localContrib, headroom, cfg.Lmax, conn, r) {
+			// Phase seed: drawn on every rank regardless of local node count
+			// (see ParCluster).
+			phaseSeed := r.Uint64()
+
+			// Parallel propose against the frozen phase-start part, block
+			// weights and headroom shares.
+			psp := tracer.Begin(rank, "sclp.propose")
+			pt0 := time.Now() //lint:determinism-ok stats timing only, never feeds partition state
+			busy := proposeRefine(d, cfg.Pool, lanes, phaseSeed, phase, phaseProps,
+				part, cfg.Prev, blockWeight, headroom, cfg.Lmax)
+			proposeDur := time.Since(pt0) //lint:determinism-ok stats timing only, never feeds partition state
+			tracer.End2(psp, "busy_ns", int64(busy), "nodes", int64(len(phase)))
+
+			// Sequential commit in traversal order; headroom is consumed
+			// here, so the claimed shares still bound what this rank adds.
+			// Like the clustering commit, a committed move dirties the moved
+			// node's local neighbors so same-phase cascades survive the
+			// propose filter.
+			csp := tracer.Begin(rank, "sclp.commit")
+			ct0 := time.Now() //lint:determinism-ok stats timing only, never feeds partition state
+			crng.Reseed(commitSeed(phaseSeed))
+			for i, v := range phase {
+				if (phaseProps[i] >= 0 || casc.has(v)) &&
+					commitRefineMove(d, v, part, cfg.Prev, blockWeight, localContrib, headroom, cfg.Lmax, conn, &crng) {
 					movedLocal++
+					for _, nb := range d.Neighbors(v) {
+						if nb < nl {
+							casc.add(nb)
+						}
+					}
 					if d.IsInterface(v) {
 						changedSet.add(v)
 					}
 				}
 			}
+			casc.reset()
+			commitDur := time.Since(ct0) //lint:determinism-ok stats timing only, never feeds partition state
+			tracer.End1(csp, "moves", movedLocal-movedBefore)
+			cfg.Stats.observe(cfg.Pool.Size(), proposeDur, commitDur, busy)
+
 			exchangeLabels(d, part, nil, changedSet)
 			// Restore exact block weights (one allreduce per phase).
 			blockWeight = d.Comm.AllreduceSum(localContrib)
@@ -460,100 +509,4 @@ func claimHeadroom(c *mpi.Comm, blockWeight, demand []int64, lmax int64, round i
 			}
 		}
 	}
-}
-
-//parhip:hotpath
-func parRefineNode(d *dgraph.DGraph, v int32, part, prev []int64,
-	blockWeight, localContrib, headroom []int64, lmax int64,
-	conn *hashtab.AccumulatorI64, r *rng.RNG) bool {
-
-	nbrs := d.Neighbors(v)
-	if len(nbrs) == 0 {
-		return false
-	}
-	ws := d.EdgeWeights(v)
-	conn.Reset()
-	for i, nb := range nbrs {
-		conn.Add(part[nb], ws[i])
-	}
-	cur := part[v]
-	nw := d.NW[v]
-	overloaded := blockWeight[cur] > lmax
-	curConn, _ := conn.Get(cur)
-
-	// prevB is the node's block in the previous partition (-1 when the run
-	// is not migration-aware). It wins connectivity ties and pins the node
-	// against cut-neutral moves; with prevB == -1 every branch below
-	// reduces to the original logic, including the RNG call sequence.
-	prevB := int64(-1)
-	if prev != nil {
-		prevB = prev[v]
-	}
-
-	//lint:hotpath-ok never escapes the frame: only called here and captured by ForEach, which does not retain its callback
-	eligible := func(b int64) bool {
-		return blockWeight[b]+nw <= lmax && headroom[b] >= nw
-	}
-	best := int64(-1)
-	var bestConn int64 = -1
-	ties := 0
-	conn.ForEach(func(label, c int64) {
-		if label == cur || !eligible(label) {
-			return
-		}
-		switch {
-		case c > bestConn:
-			best, bestConn, ties = label, c, 1
-		case c == bestConn:
-			if label == prevB {
-				best = label // the previous block wins every tie
-				return
-			}
-			if best == prevB {
-				return // ...and never loses one it already won
-			}
-			ties++
-			if r.Intn(ties) == 0 {
-				best = label
-			}
-		}
-	})
-	if best < 0 {
-		if !overloaded {
-			return false
-		}
-		// Overloaded node with no eligible neighbouring block: lightest
-		// eligible block overall (see the sequential variant).
-		for b := int64(0); b < int64(len(blockWeight)); b++ {
-			if b == cur || !eligible(b) {
-				continue
-			}
-			if best < 0 || blockWeight[b] < blockWeight[best] {
-				best = b
-			}
-		}
-		if best < 0 {
-			return false
-		}
-	}
-	if !overloaded {
-		if bestConn < curConn {
-			return false
-		}
-		if bestConn == curConn {
-			if cur == prevB {
-				return false // cut-neutral move off the previous block: never
-			}
-			if best != prevB && blockWeight[best]+nw >= blockWeight[cur] {
-				return false
-			}
-		}
-	}
-	blockWeight[cur] -= nw
-	blockWeight[best] += nw
-	localContrib[cur] -= nw
-	localContrib[best] += nw
-	headroom[best] -= nw
-	part[v] = best
-	return true
 }

@@ -1,0 +1,373 @@
+package sclp
+
+import (
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/dgraph"
+	"repro/internal/hashtab"
+	"repro/internal/rng"
+	"repro/internal/workpool"
+)
+
+// proposeChunk is the number of traversal-order nodes one propose chunk
+// covers. A phase's chunk count is derived from its length alone — never
+// from the worker count — so the per-chunk RNG streams, and with them the
+// proposals, are bit-identical for any pool size.
+const proposeChunk = 256
+
+// ParStats aggregates one rank's intra-rank worksharing measurements: the
+// wall-clock split between the parallel propose pass and the sequential
+// commit pass of every superstep, and the summed busy time of the worker
+// lanes during propose (BusyNS / (ProposeNS * Workers) is the propose-pass
+// utilization).
+type ParStats struct {
+	Workers    int
+	Supersteps int64
+	ProposeNS  int64 // wall time of the parallel propose passes
+	CommitNS   int64 // wall time of the sequential commit passes
+	BusyNS     int64 // summed per-lane busy time inside propose passes
+}
+
+// Add accumulates o into s; Workers adopts o's value when set.
+func (s *ParStats) Add(o ParStats) {
+	if o.Workers > 0 {
+		s.Workers = o.Workers
+	}
+	s.Supersteps += o.Supersteps
+	s.ProposeNS += o.ProposeNS
+	s.CommitNS += o.CommitNS
+	s.BusyNS += o.BusyNS
+}
+
+// Utilization returns the mean fraction of propose wall time the worker
+// lanes spent busy, in [0, 1]; 0 when nothing was measured.
+func (s *ParStats) Utilization() float64 {
+	if s == nil || s.Workers <= 0 || s.ProposeNS <= 0 {
+		return 0
+	}
+	u := float64(s.BusyNS) / (float64(s.ProposeNS) * float64(s.Workers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// observe folds one superstep's measurements into s. Nil-safe.
+func (s *ParStats) observe(workers int, propose, commit, busy time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Workers = workers
+	s.Supersteps++
+	s.ProposeNS += int64(propose)
+	s.CommitNS += int64(commit)
+	s.BusyNS += int64(busy)
+}
+
+// lane is the per-worker scratch of a propose pass: a connectivity
+// accumulator and a generator reseeded at every chunk boundary. Lanes are
+// indexed by the workpool worker ID; no state survives from one chunk into
+// the next, so which lane runs a chunk cannot influence results.
+type lane struct {
+	conn *hashtab.AccumulatorI64
+	rng  rng.RNG
+}
+
+// newLanes allocates one lane per pool worker, with the accumulator backing
+// arrays carved from ar (heap when ar is nil).
+func newLanes(pool *workpool.Pool, ar *arena.Arena) []lane {
+	lanes := make([]lane, pool.Size())
+	for i := range lanes {
+		lanes[i].conn = hashtab.NewAccumulatorI64In(ar, 64)
+	}
+	return lanes
+}
+
+// chunkSeed derives the tie-breaking RNG seed of one propose chunk. A pure
+// function of (phaseSeed, chunk): the streams are identical no matter which
+// worker runs the chunk or how many workers exist.
+func chunkSeed(phaseSeed uint64, chunk int) uint64 {
+	return phaseSeed ^ (uint64(chunk)+1)*0x9e3779b97f4a7c15
+}
+
+// commitSeed derives the seed of a phase's sequential commit RNG stream.
+// A different mixing constant than chunkSeed keeps it uncorrelated with
+// every propose chunk stream; since the commit pass runs in traversal
+// order on one goroutine, a single per-phase stream is deterministic and
+// independent of the worker count.
+func commitSeed(phaseSeed uint64) uint64 {
+	return phaseSeed ^ 0xbf58476d1ce4e5b9
+}
+
+// proposeCluster is the parallel half of one clustering superstep: every
+// chunk of the phase's traversal order evaluates its nodes against the
+// phase-start labels and cluster weights (both frozen during the pass) and
+// records the winning target label — or -1 for "stay" — in props. props is
+// indexed by traversal position, so chunk writes are disjoint. Returns the
+// summed lane busy time.
+func proposeCluster(d *dgraph.DGraph, pool *workpool.Pool, lanes []lane, phaseSeed uint64,
+	phase []int32, props []int64, labels []int64, weight *hashtab.MapI64,
+	constraint []int64, u int64) time.Duration {
+
+	nchunks := workpool.Chunks(len(phase), proposeChunk)
+	return pool.Run(nchunks, func(worker, chunk int) {
+		ln := &lanes[worker]
+		ln.rng.Reseed(chunkSeed(phaseSeed, chunk))
+		lo, hi := workpool.Bounds(len(phase), nchunks, chunk)
+		for i := lo; i < hi; i++ {
+			props[i] = proposeClusterNode(d, phase[i], labels, weight, constraint, u, ln.conn, &ln.rng)
+		}
+	})
+}
+
+// proposeClusterNode evaluates one node against the phase-start state and
+// returns the cluster label it proposes to join, or -1 to stay. It mutates
+// nothing shared: labels and weight are only read.
+//
+//parhip:hotpath
+func proposeClusterNode(d *dgraph.DGraph, v int32, labels []int64, weight *hashtab.MapI64,
+	constraint []int64, u int64, conn *hashtab.AccumulatorI64, r *rng.RNG) int64 {
+
+	nbrs := d.Neighbors(v)
+	if len(nbrs) == 0 {
+		return -1
+	}
+	ws := d.EdgeWeights(v)
+	conn.Reset()
+	for i, nb := range nbrs {
+		if constraint != nil && constraint[nb] != constraint[v] {
+			continue
+		}
+		conn.Add(labels[nb], ws[i])
+	}
+	cur := labels[v]
+	curConn, _ := conn.Get(cur)
+	best := cur
+	bestConn := curConn
+	ties := 1
+	nw := d.NW[v]
+	conn.ForEach(func(label, c int64) {
+		if label == cur {
+			return
+		}
+		lw, _ := weight.Get(label)
+		if lw+nw > u {
+			return
+		}
+		switch {
+		case c > bestConn:
+			best, bestConn, ties = label, c, 1
+		case c == bestConn && label != cur:
+			ties++
+			if r.Intn(ties) == 0 {
+				best = label
+			}
+		}
+	})
+	if best == cur {
+		return -1
+	}
+	return best
+}
+
+// commitClusterMove finalizes one move during the sequential commit pass.
+// The stale proposal (or the cascade dirty-set) only decided that the node
+// is worth re-examining; the actual decision re-runs the full selection against the
+// current labels and cluster weights, so a committed move is exactly the
+// one the sequential kernel would have made at this point of the
+// traversal. Because commits run one at a time in traversal order with a
+// dedicated commit RNG stream, the result is independent of how the
+// propose pass was scheduled.
+//
+//parhip:hotpath
+func commitClusterMove(d *dgraph.DGraph, v int32, labels []int64,
+	weight *hashtab.MapI64, constraint []int64, u int64,
+	conn *hashtab.AccumulatorI64, r *rng.RNG) bool {
+
+	b := proposeClusterNode(d, v, labels, weight, constraint, u, conn, r)
+	if b < 0 {
+		return false
+	}
+	cur := labels[v]
+	nw := d.NW[v]
+	bw, _ := weight.Get(b) // fits: the selection enforced bw+nw <= u
+	cw, _ := weight.Get(cur)
+	weight.Put(cur, cw-nw)
+	weight.Put(b, bw+nw)
+	labels[v] = b
+	return true
+}
+
+// proposeRefine is the parallel half of one refinement superstep; see
+// proposeCluster. blockWeight and headroom are the phase-start vectors,
+// frozen during the pass.
+func proposeRefine(d *dgraph.DGraph, pool *workpool.Pool, lanes []lane, phaseSeed uint64,
+	phase []int32, props []int64, part, prev []int64,
+	blockWeight, headroom []int64, lmax int64) time.Duration {
+
+	nchunks := workpool.Chunks(len(phase), proposeChunk)
+	return pool.Run(nchunks, func(worker, chunk int) {
+		ln := &lanes[worker]
+		ln.rng.Reseed(chunkSeed(phaseSeed, chunk))
+		lo, hi := workpool.Bounds(len(phase), nchunks, chunk)
+		for i := lo; i < hi; i++ {
+			props[i] = proposeRefineNode(d, phase[i], part, prev, blockWeight, headroom, lmax, ln.conn, &ln.rng)
+		}
+	})
+}
+
+// proposeRefineNode evaluates one node and returns the block it selects,
+// or -1 to stay. The selection logic — eligibility, previous-block tie
+// pinning, the overloaded fallback to the lightest eligible block, and the
+// non-overloaded acceptance rules — matches the sequential kernel this
+// pass replaced. It runs in two roles: during the parallel propose pass it
+// sees phase-start state and its verdict only *flags* the node for
+// re-examination; during the sequential commit pass it re-runs against
+// current state and its verdict is final. Nodes whose stale verdict said
+// "stay" still get re-examined when a same-phase committed move dirtied
+// them (see the cascade dirty-set in ParRefine).
+//
+//parhip:hotpath
+func proposeRefineNode(d *dgraph.DGraph, v int32, part, prev []int64,
+	blockWeight, headroom []int64, lmax int64,
+	conn *hashtab.AccumulatorI64, r *rng.RNG) int64 {
+
+	nbrs := d.Neighbors(v)
+	if len(nbrs) == 0 {
+		return -1
+	}
+	ws := d.EdgeWeights(v)
+	conn.Reset()
+	for i, nb := range nbrs {
+		conn.Add(part[nb], ws[i])
+	}
+	cur := part[v]
+	nw := d.NW[v]
+	overloaded := blockWeight[cur] > lmax
+	curConn, _ := conn.Get(cur)
+
+	// prevB is the node's block in the previous partition (-1 when the run
+	// is not migration-aware). It wins connectivity ties and pins the node
+	// against cut-neutral moves.
+	prevB := int64(-1)
+	if prev != nil {
+		prevB = prev[v]
+	}
+
+	//lint:hotpath-ok never escapes the frame: only called here and captured by ForEach, which does not retain its callback
+	eligible := func(b int64) bool {
+		return blockWeight[b]+nw <= lmax && headroom[b] >= nw
+	}
+	best := int64(-1)
+	var bestConn int64 = -1
+	ties := 0
+	conn.ForEach(func(label, c int64) {
+		if label == cur || !eligible(label) {
+			return
+		}
+		switch {
+		case c > bestConn:
+			best, bestConn, ties = label, c, 1
+		case c == bestConn:
+			if label == prevB {
+				best = label // the previous block wins every tie
+				return
+			}
+			if best == prevB {
+				return // ...and never loses one it already won
+			}
+			ties++
+			if r.Intn(ties) == 0 {
+				best = label
+			}
+		}
+	})
+	if best < 0 {
+		if !overloaded {
+			return -1
+		}
+		// Overloaded node with no eligible neighbouring block: lightest
+		// eligible block overall (see the sequential variant).
+		for b := int64(0); b < int64(len(blockWeight)); b++ {
+			if b == cur || !eligible(b) {
+				continue
+			}
+			if best < 0 || blockWeight[b] < blockWeight[best] {
+				best = b
+			}
+		}
+		return best
+	}
+	if !overloaded {
+		if bestConn < curConn {
+			return -1
+		}
+		if bestConn == curConn {
+			if cur == prevB {
+				return -1 // cut-neutral move off the previous block: never
+			}
+			if best != prevB && blockWeight[best]+nw >= blockWeight[cur] {
+				return -1
+			}
+		}
+	}
+	return best
+}
+
+// commitRefineMove finalizes one refinement proposal during the sequential
+// commit pass: the full selection of proposeRefineNode re-runs against the
+// current part, block weights and remaining headroom, so a committed move
+// is exactly the one the sequential kernel would have made at this point
+// of the traversal (the stale proposal only decided that the node is worth
+// re-examining). headroom is decremented here and only here, so the union
+// of committed moves keeps every block within the rank's claimed share and
+// Lmax is never exceeded.
+//
+//parhip:hotpath
+func commitRefineMove(d *dgraph.DGraph, v int32, part, prev []int64,
+	blockWeight, localContrib, headroom []int64, lmax int64,
+	conn *hashtab.AccumulatorI64, r *rng.RNG) bool {
+
+	b := proposeRefineNode(d, v, part, prev, blockWeight, headroom, lmax, conn, r)
+	if b < 0 {
+		return false
+	}
+	cur := part[v]
+	nw := d.NW[v]
+	blockWeight[cur] -= nw
+	blockWeight[b] += nw
+	localContrib[cur] -= nw
+	localContrib[b] += nw
+	headroom[b] -= nw
+	part[v] = b
+	return true
+}
+
+// countingSortByDegree reorders order — currently the identity permutation
+// over the local nodes — ascending by local degree with ties broken by node
+// ID, in O(n + maxDegree) time and without a comparator closure. Filling
+// the buckets by increasing node ID makes the sort stable, so the result is
+// exactly the permutation the old sort.Slice comparator produced.
+func countingSortByDegree(d *dgraph.DGraph, order []int32, ar *arena.Arena) {
+	maxDeg := int32(0)
+	for _, v := range order {
+		if dg := d.Degree(v); dg > maxDeg {
+			maxDeg = dg
+		}
+	}
+	counts := ar.Ints(int(maxDeg) + 2)
+	for _, v := range order {
+		counts[d.Degree(v)+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	out := ar.Int32s(len(order))
+	for v := int32(0); v < int32(len(order)); v++ {
+		dg := d.Degree(v)
+		out[counts[dg]] = v
+		counts[dg]++
+	}
+	copy(order, out)
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpi/transport"
 	"repro/internal/obs"
+	"repro/internal/sclp"
 )
 
 // JobState is the lifecycle of a partitioning job.
@@ -141,6 +142,7 @@ type jobManager struct {
 	totalTime   time.Duration   // guarded by mu
 	comm        mpi.Stats       // guarded by mu
 	transport   transport.Stats // guarded by mu
+	par         sclp.ParStats   // guarded by mu: intra-rank worksharing totals
 	cutSum      int64           // guarded by mu
 
 	// queueWait/runDur are the /metrics latency histograms, observed by
@@ -518,6 +520,7 @@ func (m *jobManager) runJob(j *job) {
 	m.totalTime += res.Stats.TotalTime
 	m.comm.Add(res.Stats.Comm)
 	m.transport.Add(res.Stats.Transport)
+	m.par.Add(res.Stats.Par)
 	m.cutSum += res.Cut
 	m.finishLocked(j, &res, false, end)
 }

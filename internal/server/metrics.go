@@ -92,6 +92,25 @@ func (s *Server) buildMetrics(reg *obs.Registry) {
 		"Peers declared dead by the transport across all core runs (zero in-process).",
 		lockedGauge(func() float64 { return float64(m.transport.PeerFailures) }))
 
+	reg.CounterFunc("parhipd_sclp_supersteps_total",
+		"Label-propagation supersteps executed across all core runs (rank 0's view).",
+		lockedGauge(func() float64 { return float64(m.par.Supersteps) }))
+	reg.CounterFunc("parhipd_sclp_propose_seconds_total",
+		"Wall seconds spent in the parallel propose half of supersteps.",
+		lockedGauge(func() float64 { return float64(m.par.ProposeNS) / 1e9 }))
+	reg.CounterFunc("parhipd_sclp_commit_seconds_total",
+		"Wall seconds spent in the sequential commit half of supersteps.",
+		lockedGauge(func() float64 { return float64(m.par.CommitNS) / 1e9 }))
+	reg.CounterFunc("parhipd_sclp_worker_busy_seconds_total",
+		"Summed per-lane busy seconds inside propose passes.",
+		lockedGauge(func() float64 { return float64(m.par.BusyNS) / 1e9 }))
+	reg.GaugeFunc("parhipd_sclp_workers",
+		"Intra-rank worker threads per simulated rank (last core run).",
+		lockedGauge(func() float64 { return float64(m.par.Workers) }))
+	reg.GaugeFunc("parhipd_sclp_propose_utilization",
+		"Mean fraction of propose wall time the worker lanes were busy.",
+		lockedGauge(func() float64 { return m.par.Utilization() }))
+
 	reg.GaugeFunc("parhipd_cache_entries",
 		"Result cache occupancy.",
 		func() float64 { return float64(m.cache.len()) })

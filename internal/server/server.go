@@ -62,6 +62,12 @@ type Config struct {
 	CacheSize int
 	// MaxGraphs bounds the in-memory graph store (default 256).
 	MaxGraphs int
+	// CoreWorkers is the intra-rank worker-thread count every core run uses
+	// for superstep compute (parhip.Options.Workers). 0 keeps the library
+	// default. It is deliberately a server setting, not a job option:
+	// results are bit-identical for any value, so it must never enter the
+	// result cache key.
+	CoreWorkers int
 	// PartitionFn overrides the partitioning implementation (tests); the
 	// default wraps parhip.Partition.
 	PartitionFn PartitionFunc
@@ -84,8 +90,12 @@ func (c Config) withDefaults() Config {
 		c.MaxGraphs = 256
 	}
 	if c.PartitionFn == nil {
+		coreWorkers := c.CoreWorkers
 		c.PartitionFn = func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options,
 			prev *parhip.Partition, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
+			// Applied after the cache key was built from opt: Workers only
+			// changes wall-clock time, never the partition.
+			opt.Workers = coreWorkers
 			opts := []parhip.Option{parhip.WithK(k), parhip.WithOptions(opt),
 				parhip.WithProgressFunc(onProgress)}
 			if prev != nil {
@@ -731,6 +741,18 @@ type StatsView struct {
 		// transport, plus the failure-path counters (reconnects, heartbeat
 		// misses, peer failures — always zero on the in-process transport).
 		Transport transport.Stats `json:"transport"`
+		// Sclp is the intra-rank worksharing view of those runs (rank 0):
+		// the wall-time split between the parallel propose and sequential
+		// commit halves of the label-propagation supersteps, and the mean
+		// propose-pass worker utilization.
+		Sclp struct {
+			Workers            int     `json:"workers"`
+			Supersteps         int64   `json:"supersteps"`
+			ProposeMS          float64 `json:"propose_ms"`
+			CommitMS           float64 `json:"commit_ms"`
+			WorkerBusyMS       float64 `json:"worker_busy_ms"`
+			ProposeUtilization float64 `json:"propose_utilization"`
+		} `json:"sclp"`
 	} `json:"core"`
 
 	// RecentJobs holds per-job timings for the last completed jobs,
@@ -770,6 +792,12 @@ func (s *Server) Stats() StatsView {
 	v.Core.NeighborExchanges = m.comm.NeighborExchanges
 	v.Core.Transport = m.transport
 	v.Core.CumulativeCut = m.cutSum
+	v.Core.Sclp.Workers = m.par.Workers
+	v.Core.Sclp.Supersteps = m.par.Supersteps
+	v.Core.Sclp.ProposeMS = float64(m.par.ProposeNS) / 1e6
+	v.Core.Sclp.CommitMS = float64(m.par.CommitNS) / 1e6
+	v.Core.Sclp.WorkerBusyMS = float64(m.par.BusyNS) / 1e6
+	v.Core.Sclp.ProposeUtilization = m.par.Utilization()
 	v.RecentJobs = append([]JobTiming(nil), m.recent...)
 	m.mu.Unlock()
 

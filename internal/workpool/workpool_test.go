@@ -1,0 +1,106 @@
+package workpool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCoversEveryChunkExactlyOnce(t *testing.T) {
+	for _, size := range []int{1, 2, 4, 8} {
+		p := New(size)
+		const n = 1000
+		var hits [n]atomic.Int32
+		p.Run(n, func(_, chunk int) { hits[chunk].Add(1) })
+		for c := range hits {
+			if got := hits[c].Load(); got != 1 {
+				t.Errorf("size %d: chunk %d ran %d times", size, c, got)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Size() != 1 {
+		t.Fatalf("nil pool size = %d", p.Size())
+	}
+	var sum int
+	p.Run(10, func(worker, chunk int) {
+		if worker != 0 {
+			t.Errorf("worker = %d on nil pool", worker)
+		}
+		sum += chunk
+	})
+	if sum != 45 {
+		t.Errorf("sum = %d", sum)
+	}
+	p.Close() // must not panic
+}
+
+func TestWorkerIndexInRange(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var bad atomic.Int32
+	p.Run(64, func(worker, _ int) {
+		if worker < 0 || worker >= 4 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Error("worker index out of [0, size)")
+	}
+}
+
+func TestDeterministicResultAcrossSizes(t *testing.T) {
+	// A chunked computation whose output depends only on the chunk index
+	// must be identical for any pool size.
+	compute := func(size int) []int64 {
+		p := New(size)
+		defer p.Close()
+		out := make([]int64, 256)
+		p.Run(len(out), func(_, chunk int) {
+			v := int64(chunk)
+			for i := 0; i < 1000; i++ {
+				v = v*6364136223846793005 + 1442695040888963407
+			}
+			out[chunk] = v
+		})
+		return out
+	}
+	want := compute(1)
+	for _, size := range []int{2, 3, 8} {
+		got := compute(size)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("size %d: out[%d] = %d, want %d", size, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCloseJoinsHelpers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := New(8)
+	p.Run(100, func(_, _ int) {})
+	p.Close()
+	// Helpers must have exited synchronously.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines after Close: %d > %d before New", g, before)
+	}
+}
+
+func TestBusyTimeReported(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	busy := p.Run(8, func(_, _ int) { time.Sleep(time.Millisecond) })
+	if busy < 8*time.Millisecond {
+		t.Errorf("busy = %v, want >= 8ms", busy)
+	}
+}

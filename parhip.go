@@ -124,6 +124,13 @@ type Options struct {
 	// Tracer.WriteJSON afterwards to obtain a Chrome trace-event file.
 	// Nil (the default) disables tracing at zero cost.
 	Trace *Tracer
+	// Workers is the number of OS threads each simulated rank uses for the
+	// compute half of its supersteps (label propagation proposals, quotient
+	// edge accumulation). 0 selects the default, NumCPU divided by the
+	// number of ranks hosted in this process, so in-process worlds don't
+	// oversubscribe the machine. The partition is bit-identical for every
+	// worker count; Workers trades wall-clock time only.
+	Workers int
 }
 
 // Tracer records per-rank spans of a partitioning run and serializes them
@@ -207,6 +214,7 @@ func (o Options) coreConfig(k int32) core.Config {
 	cfg.Objective = o.Objective
 	cfg.Prepartition = o.Prepartition
 	cfg.Tracer = o.Trace
+	cfg.Workers = o.Workers
 	return cfg
 }
 

@@ -66,6 +66,7 @@ type settings struct {
 	epsSet     bool
 	seedSet    bool
 	pesSet     bool
+	workersSet bool
 	onProgress []func(ProgressEvent)
 	progressN  int // Progress channel capacity
 }
@@ -101,6 +102,15 @@ func WithEps(eps float64) Option {
 // the default of 1 (0 is the legacy "unset" sentinel and is rejected).
 func WithSeed(seed uint64) Option {
 	return func(s *settings) { s.opts.Seed = seed; s.seedSet = true }
+}
+
+// WithWorkers sets the number of OS threads each simulated rank uses for
+// the compute half of its supersteps. Must be positive; omit the option
+// for the default (NumCPU divided by the ranks hosted in this process).
+// The partition is bit-identical for every worker count — this is purely
+// a wall-clock knob.
+func WithWorkers(n int) Option {
+	return func(s *settings) { s.opts.Workers = n; s.workersSet = true }
 }
 
 // WithEvoTimeBudget bounds the evolutionary search by wall-clock time,
@@ -144,7 +154,7 @@ func WithOptions(o Options) Option {
 		s.opts = o
 		// The struct carries v1 zero-means-default semantics, so earlier
 		// explicit-zero markers no longer apply to its fields.
-		s.epsSet, s.seedSet, s.pesSet = false, false, false
+		s.epsSet, s.seedSet, s.pesSet, s.workersSet = false, false, false, false
 	}
 }
 
@@ -238,6 +248,9 @@ func New(g *Graph, opts ...Option) (*Partitioner, error) {
 	if s.pesSet && s.opts.PEs == 0 {
 		return nil, errors.New("parhip: WithPEs(0) is not supported (0 is the legacy 'use default' sentinel); omit WithPEs for the default of 4")
 	}
+	if s.workersSet && s.opts.Workers == 0 {
+		return nil, errors.New("parhip: WithWorkers(0) is not supported (0 is the legacy 'use default' sentinel); omit WithWorkers for the NumCPU-derived default")
+	}
 	return &Partitioner{g: g, s: s}, nil
 }
 
@@ -261,6 +274,9 @@ func validateRun(g *Graph, k int32, o Options) error {
 	}
 	if o.PEs < 0 {
 		return fmt.Errorf("parhip: PEs = %d, must be >= 0 (0 selects the default)", o.PEs)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("parhip: Workers = %d, must be >= 0 (0 selects the default)", o.Workers)
 	}
 	if o.Mode < Fast || o.Mode > Minimal {
 		return fmt.Errorf("parhip: unknown mode %d", o.Mode)
