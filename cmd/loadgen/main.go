@@ -16,6 +16,15 @@
 // completed job on the same graph (exercising the service's dynamic-graph
 // path and its prev-aware cache keying). It reports client-side latency
 // percentiles and the server's own /v1/stats.
+//
+// -stream switches loadgen into the live-graph scenario instead: it
+// uploads one community graph, promotes it with POST /v1/graphs/{id}/live,
+// streams -stream-churn edge churn as sequence-numbered delta batches
+// (placement lookups interleaved), and verifies the controller
+// auto-repartitioned with a feasible final partition — CI's live-smoke
+// gate:
+//
+//	loadgen -addr http://localhost:8090 -stream -n 3000 -stream-k 8 -mode eco
 package main
 
 import (
@@ -102,8 +111,27 @@ func main() {
 		jobTimeout  = flag.Int64("job-timeout-ms", 0, "server-side timeout_ms attached to every job (0 = none)")
 		seed        = flag.Int64("seed", 1, "load generator seed")
 		timeout     = flag.Duration("timeout", 5*time.Minute, "per-job completion timeout")
+
+		stream        = flag.Bool("stream", false, "run the live-graph streaming scenario instead of batch jobs")
+		streamK       = flag.Int("stream-k", 8, "block count for the -stream live graph")
+		streamChurn   = flag.Float64("stream-churn", 0.05, "fraction of edges churned over a -stream run")
+		streamBatches = flag.Int("stream-batches", 10, "delta batches a -stream run is split into")
 	)
 	flag.Parse()
+
+	if *stream {
+		runStream(streamCfg{
+			addr:    *addr,
+			n:       int32(*nNodes),
+			k:       int32(*streamK),
+			mode:    *mode,
+			churn:   *streamChurn,
+			batches: *streamBatches,
+			seed:    *seed,
+			timeout: *timeout,
+		})
+		return
+	}
 
 	fams := strings.Split(*families, ",")
 	var ks []int32

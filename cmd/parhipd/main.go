@@ -67,6 +67,7 @@ func main() {
 		CacheSize:   *cacheSize,
 		MaxGraphs:   *maxGraphs,
 		CoreWorkers: *coreWkrs,
+		Logger:      logger,
 	})
 
 	handler := srv.Handler()

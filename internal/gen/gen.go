@@ -441,13 +441,29 @@ func maxI32(a, b int32) int32 {
 // dynamic-graph scenario the repartitioning API serves — so examples,
 // benchmarks and tests can exercise Repartition realistically.
 func Perturb(g *graph.Graph, frac float64, seed uint64) *graph.Graph {
+	return ApplyEdgeDeltas(g, PerturbDeltas(g, frac, seed))
+}
+
+// EdgeDelta is one undirected edge mutation produced by PerturbDeltas:
+// an insertion (Add) of {U, V} with weight W, or a removal. The delta
+// stream uses the same semantics as the live-graph update API: adding an
+// edge that already exists merges by summing weights, removing an absent
+// edge is a no-op.
+type EdgeDelta struct {
+	Add  bool
+	U, V graph.NodeID
+	W    int64
+}
+
+// PerturbDeltas returns the edge-delta stream Perturb applies: for each
+// dropped edge a removal (in adjacency scan order), then one weight-1
+// insertion at uniform-random endpoints per removal. The stream is
+// deterministic under seed, and ApplyEdgeDeltas(g, PerturbDeltas(g, frac,
+// seed)) is identical to Perturb(g, frac, seed) — loadgen's stream mode
+// and the live-graph tests feed these deltas incrementally instead of
+// diffing whole graphs.
+func PerturbDeltas(g *graph.Graph, frac float64, seed uint64) []EdgeDelta {
 	n := g.NumNodes()
-	b := graph.NewBuilder(n)
-	for v := int32(0); v < n; v++ {
-		if g.NW[v] != 1 {
-			b.SetNodeWeight(v, g.NW[v])
-		}
-	}
 	if frac < 0 {
 		frac = 0
 	}
@@ -455,7 +471,7 @@ func Perturb(g *graph.Graph, frac float64, seed uint64) *graph.Graph {
 		frac = 1
 	}
 	r := rng.New(seed)
-	var dropped int64
+	var deltas []EdgeDelta
 	for v := int32(0); v < n; v++ {
 		ws := g.EdgeWeights(v)
 		for i, u := range g.Neighbors(v) {
@@ -463,21 +479,83 @@ func Perturb(g *graph.Graph, frac float64, seed uint64) *graph.Graph {
 				continue // each undirected edge handled once
 			}
 			if frac > 0 && r.Float64() < frac {
-				dropped++
-				continue
+				deltas = append(deltas, EdgeDelta{U: v, V: u, W: ws[i]})
 			}
-			b.AddEdgeW(v, u, ws[i])
 		}
 	}
+	dropped := len(deltas)
 	if n >= 2 {
-		for i := int64(0); i < dropped; i++ {
+		for i := 0; i < dropped; i++ {
 			u := r.Int31n(n)
 			v := r.Int31n(n - 1)
 			if v >= u {
 				v++
 			}
-			b.AddEdge(u, v)
+			deltas = append(deltas, EdgeDelta{Add: true, U: u, V: v, W: 1})
 		}
+	}
+	return deltas
+}
+
+// ApplyEdgeDeltas applies an edge-delta stream to g and returns the
+// resulting graph. Node count and node weights are preserved. Deltas are
+// applied in order with merge-on-add semantics: an insertion on an
+// existing (or earlier-inserted) edge sums weights, a removal zeroes the
+// edge whatever its weight, and a removal of an absent edge is a no-op.
+func ApplyEdgeDeltas(g *graph.Graph, deltas []EdgeDelta) *graph.Graph {
+	n := g.NumNodes()
+	// Effective weight of every touched edge (0 = absent).
+	eff := make(map[uint64]int64, len(deltas))
+	baseWeight := func(u, v graph.NodeID) int64 {
+		w, ok := g.HasEdge(u, v)
+		if !ok {
+			return 0
+		}
+		return w
+	}
+	for _, d := range deltas {
+		key := graph.EdgeKey(d.U, d.V)
+		w, ok := eff[key]
+		if !ok {
+			w = baseWeight(d.U, d.V)
+		}
+		if d.Add {
+			w += d.W
+		} else {
+			w = 0
+		}
+		eff[key] = w
+	}
+	b := graph.NewBuilder(n)
+	for v := int32(0); v < n; v++ {
+		if g.NW[v] != 1 {
+			b.SetNodeWeight(v, g.NW[v])
+		}
+	}
+	for v := int32(0); v < n; v++ {
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			if u <= v {
+				continue
+			}
+			if w, ok := eff[graph.EdgeKey(v, u)]; ok {
+				if w > 0 {
+					b.AddEdgeW(v, u, w)
+				}
+				continue
+			}
+			b.AddEdgeW(v, u, ws[i])
+		}
+	}
+	for key, w := range eff {
+		if w <= 0 {
+			continue
+		}
+		u, v := graph.EdgeKeyEndpoints(key)
+		if _, ok := g.HasEdge(u, v); ok {
+			continue // already emitted (possibly overridden) above
+		}
+		b.AddEdgeW(u, v, w)
 	}
 	return b.Build()
 }

@@ -269,3 +269,40 @@ func TestPerturb(t *testing.T) {
 		t.Fatal("frac=0 should be a structural no-op")
 	}
 }
+
+func TestPerturbDeltasDeterministicAndEquivalent(t *testing.T) {
+	g, _ := PlantedPartition(1500, 15, 8, 0.5, 3)
+	d1 := PerturbDeltas(g, 0.05, 11)
+	d2 := PerturbDeltas(g, 0.05, 11)
+	if len(d1) == 0 || len(d1) != len(d2) {
+		t.Fatalf("delta stream not deterministic: %d vs %d deltas", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("delta %d differs across runs: %+v vs %+v", i, d1[i], d2[i])
+		}
+	}
+	// Removals come first (scan order), then one insertion per removal.
+	removes, adds := 0, 0
+	for i, d := range d1 {
+		if d.Add {
+			adds++
+		} else {
+			if adds > 0 {
+				t.Fatalf("delta %d: removal after an insertion", i)
+			}
+			removes++
+		}
+	}
+	if adds != removes {
+		t.Fatalf("adds=%d removes=%d, want equal", adds, removes)
+	}
+	// Perturb must be exactly ApplyEdgeDeltas over PerturbDeltas.
+	if ApplyEdgeDeltas(g, d1).Fingerprint() != Perturb(g, 0.05, 11).Fingerprint() {
+		t.Fatal("ApplyEdgeDeltas(PerturbDeltas) differs from Perturb")
+	}
+	// Applying no deltas is a structural no-op.
+	if ApplyEdgeDeltas(g, nil).Fingerprint() != g.Fingerprint() {
+		t.Fatal("empty delta stream changed the graph")
+	}
+}

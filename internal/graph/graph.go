@@ -179,6 +179,22 @@ func (g *Graph) validateSymmetry() error {
 	return nil
 }
 
+// EdgeKey packs an undirected edge {u, v} into one comparable key (the
+// smaller endpoint in the high half), so overlay maps and delta sets can
+// index edges without caring about direction.
+func EdgeKey(u, v NodeID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// EdgeKeyEndpoints unpacks a key produced by EdgeKey, returning the smaller
+// endpoint first.
+func EdgeKeyEndpoints(k uint64) (NodeID, NodeID) {
+	return NodeID(k >> 32), NodeID(uint32(k))
+}
+
 // HasEdge reports whether {u, v} is an edge and returns its weight.
 func (g *Graph) HasEdge(u, v NodeID) (int64, bool) {
 	for i := g.XAdj[u]; i < g.XAdj[u+1]; i++ {

@@ -1,0 +1,154 @@
+package live
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy holds the knobs deciding when accumulated drift on a live graph
+// warrants an automatic repartition. The zero value triggers on the
+// default churn fraction with no debounce; DefaultPolicy is the tuned
+// server default.
+type Policy struct {
+	// ChurnFraction triggers when (edge adds + removes since the last
+	// swap) / (edges at the last swap) reaches this fraction. 0 selects
+	// the 0.05 default (the paper's 5%-churn operating point); negative
+	// disables the churn trigger.
+	ChurnFraction float64
+	// MaxImbalance triggers when the live block-weight imbalance
+	// (max/avg - 1) exceeds this bound, e.g. when node adds and weight
+	// updates overload one block without much edge churn. 0 disables.
+	MaxImbalance float64
+	// MinInterval debounces: no trigger fires within this duration of the
+	// previous one, no matter how hard the thresholds are exceeded. 0
+	// means no debounce.
+	MinInterval time.Duration
+	// MaxStaleness triggers once any pending delta has waited this long,
+	// even below every threshold — a trickle of updates must not stay
+	// unincorporated forever. 0 disables.
+	MaxStaleness time.Duration
+}
+
+// DefaultChurnFraction is the churn trigger applied when
+// Policy.ChurnFraction is 0.
+const DefaultChurnFraction = 0.05
+
+// churnThreshold resolves the ChurnFraction knob's 0 default.
+func (p Policy) churnThreshold() float64 {
+	if p.ChurnFraction == 0 {
+		return DefaultChurnFraction
+	}
+	return p.ChurnFraction
+}
+
+// State is the observation a Decide call judges: the live graph's
+// accounting snapshot plus the clock. The server assembles it from
+// Graph.Stats(); tests construct it directly.
+type State struct {
+	Now time.Time
+	// ChurnFraction and Imbalance mirror Stats fields of the same name.
+	ChurnFraction float64
+	Imbalance     float64
+	// PendingDeltas counts mutations no repartition snapshot has seen.
+	PendingDeltas int64
+	// InFlight reports an outstanding repartition; the controller never
+	// stacks a second one.
+	InFlight bool
+	// Epoch is 0 until the initial partition exists; the controller only
+	// repartitions, it never schedules the first cold run.
+	Epoch int64
+}
+
+// Decision is the outcome of one Decide call.
+type Decision struct {
+	// Trigger is true when a repartition should be enqueued now.
+	Trigger bool
+	// Reason names the rule that fired ("churn", "imbalance",
+	// "staleness") or why not ("in_flight", "no_pending", "no_epoch",
+	// "debounce", "below_thresholds").
+	Reason string
+	// Detail is a human-readable elaboration for logs.
+	Detail string
+}
+
+// Controller evaluates a Policy against successive State observations.
+// It is a pure policy engine: no goroutines, no clock reads — the caller
+// supplies time via State.Now and reports accepted triggers back with
+// MarkTriggered, so the debounce window only starts when a job was
+// actually enqueued (a queue-full rejection leaves the controller ready
+// to fire again on the next observation). Not safe for concurrent use;
+// the server serializes calls per live graph.
+type Controller struct {
+	policy Policy
+
+	lastTrigger   time.Time // zero until the first MarkTriggered
+	oldestPending time.Time // zero when no deltas are pending
+	last          Decision
+}
+
+// NewController returns a controller applying p.
+func NewController(p Policy) *Controller {
+	return &Controller{policy: p}
+}
+
+// Policy returns the controller's policy.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// Decide judges one observation. Rules, in order: never stack on an
+// in-flight run; nothing pending means nothing to do (and resets the
+// staleness clock); no trigger before the initial partition exists;
+// debounce inside MinInterval; then churn, imbalance and staleness
+// thresholds.
+func (c *Controller) Decide(s State) Decision {
+	d := c.decide(s)
+	c.last = d
+	return d
+}
+
+func (c *Controller) decide(s State) Decision {
+	if s.InFlight {
+		return Decision{Reason: "in_flight", Detail: "repartition already running"}
+	}
+	if s.PendingDeltas == 0 {
+		c.oldestPending = time.Time{}
+		return Decision{Reason: "no_pending", Detail: "no deltas since last snapshot"}
+	}
+	if c.oldestPending.IsZero() {
+		c.oldestPending = s.Now
+	}
+	if s.Epoch == 0 {
+		return Decision{Reason: "no_epoch", Detail: "initial partition not computed yet"}
+	}
+	if c.policy.MinInterval > 0 && !c.lastTrigger.IsZero() {
+		if wait := c.policy.MinInterval - s.Now.Sub(c.lastTrigger); wait > 0 {
+			return Decision{Reason: "debounce", Detail: fmt.Sprintf("min interval not elapsed (%v remaining)", wait.Round(time.Millisecond))}
+		}
+	}
+	if th := c.policy.churnThreshold(); th >= 0 && s.ChurnFraction >= th {
+		return Decision{Trigger: true, Reason: "churn",
+			Detail: fmt.Sprintf("churn fraction %.4f >= %.4f", s.ChurnFraction, th)}
+	}
+	if c.policy.MaxImbalance > 0 && s.Imbalance > c.policy.MaxImbalance {
+		return Decision{Trigger: true, Reason: "imbalance",
+			Detail: fmt.Sprintf("imbalance %.4f > %.4f", s.Imbalance, c.policy.MaxImbalance)}
+	}
+	if c.policy.MaxStaleness > 0 && s.Now.Sub(c.oldestPending) >= c.policy.MaxStaleness {
+		return Decision{Trigger: true, Reason: "staleness",
+			Detail: fmt.Sprintf("pending deltas older than %v", c.policy.MaxStaleness)}
+	}
+	return Decision{Reason: "below_thresholds",
+		Detail: fmt.Sprintf("churn %.4f, imbalance %.4f", s.ChurnFraction, s.Imbalance)}
+}
+
+// MarkTriggered records that a trigger was accepted (a job actually
+// enqueued) at now: the debounce window restarts and the staleness clock
+// resets. The server calls this only after a successful enqueue, so a
+// full queue does not silently consume the trigger.
+func (c *Controller) MarkTriggered(now time.Time) {
+	c.lastTrigger = now
+	c.oldestPending = time.Time{}
+}
+
+// LastDecision returns the most recent Decide outcome (zero before the
+// first call). Exposed on the live status endpoint.
+func (c *Controller) LastDecision() Decision { return c.last }

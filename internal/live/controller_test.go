@@ -1,0 +1,113 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestControllerChurnTrigger(t *testing.T) {
+	c := NewController(Policy{}) // default 5% churn
+	base := State{Now: t0, Epoch: 1, PendingDeltas: 10}
+
+	s := base
+	s.ChurnFraction = 0.01
+	if d := c.Decide(s); d.Trigger {
+		t.Fatalf("triggered below threshold: %+v", d)
+	}
+	s.ChurnFraction = 0.05
+	d := c.Decide(s)
+	if !d.Trigger || d.Reason != "churn" {
+		t.Fatalf("no churn trigger at threshold: %+v", d)
+	}
+	if got := c.LastDecision(); got != d {
+		t.Fatalf("LastDecision = %+v, want %+v", got, d)
+	}
+}
+
+func TestControllerSuppressions(t *testing.T) {
+	c := NewController(Policy{})
+	hot := State{Now: t0, Epoch: 1, PendingDeltas: 10, ChurnFraction: 0.5}
+
+	s := hot
+	s.InFlight = true
+	if d := c.Decide(s); d.Trigger || d.Reason != "in_flight" {
+		t.Fatalf("in-flight not suppressed: %+v", d)
+	}
+	s = hot
+	s.PendingDeltas = 0
+	if d := c.Decide(s); d.Trigger || d.Reason != "no_pending" {
+		t.Fatalf("no-pending not suppressed: %+v", d)
+	}
+	s = hot
+	s.Epoch = 0
+	if d := c.Decide(s); d.Trigger || d.Reason != "no_epoch" {
+		t.Fatalf("epoch 0 not suppressed: %+v", d)
+	}
+	// Negative churn knob disables the churn rule entirely.
+	c2 := NewController(Policy{ChurnFraction: -1})
+	if d := c2.Decide(hot); d.Trigger {
+		t.Fatalf("disabled churn rule triggered: %+v", d)
+	}
+}
+
+func TestControllerDebounce(t *testing.T) {
+	c := NewController(Policy{MinInterval: time.Minute})
+	hot := State{Now: t0, Epoch: 1, PendingDeltas: 10, ChurnFraction: 0.5}
+
+	if d := c.Decide(hot); !d.Trigger {
+		t.Fatalf("first trigger suppressed: %+v", d)
+	}
+	c.MarkTriggered(t0)
+
+	s := hot
+	s.Now = t0.Add(30 * time.Second)
+	if d := c.Decide(s); d.Trigger || d.Reason != "debounce" {
+		t.Fatalf("debounce failed: %+v", d)
+	}
+	s.Now = t0.Add(61 * time.Second)
+	if d := c.Decide(s); !d.Trigger {
+		t.Fatalf("trigger after debounce window suppressed: %+v", d)
+	}
+}
+
+func TestControllerImbalanceTrigger(t *testing.T) {
+	c := NewController(Policy{ChurnFraction: -1, MaxImbalance: 0.10})
+	s := State{Now: t0, Epoch: 1, PendingDeltas: 3, Imbalance: 0.08}
+	if d := c.Decide(s); d.Trigger {
+		t.Fatalf("triggered below imbalance bound: %+v", d)
+	}
+	s.Imbalance = 0.12
+	if d := c.Decide(s); !d.Trigger || d.Reason != "imbalance" {
+		t.Fatalf("no imbalance trigger: %+v", d)
+	}
+}
+
+func TestControllerStalenessTrigger(t *testing.T) {
+	c := NewController(Policy{ChurnFraction: -1, MaxStaleness: time.Minute})
+	s := State{Now: t0, Epoch: 1, PendingDeltas: 1, ChurnFraction: 0.001}
+
+	// First observation with pending deltas starts the staleness clock.
+	if d := c.Decide(s); d.Trigger {
+		t.Fatalf("early staleness trigger: %+v", d)
+	}
+	s.Now = t0.Add(59 * time.Second)
+	if d := c.Decide(s); d.Trigger {
+		t.Fatalf("staleness triggered before bound: %+v", d)
+	}
+	s.Now = t0.Add(61 * time.Second)
+	if d := c.Decide(s); !d.Trigger || d.Reason != "staleness" {
+		t.Fatalf("no staleness trigger: %+v", d)
+	}
+	c.MarkTriggered(s.Now)
+
+	// Draining the queue resets the clock: a later trickle starts fresh.
+	s2 := State{Now: s.Now.Add(time.Second), Epoch: 2}
+	c.Decide(s2) // no pending
+	s2.PendingDeltas = 1
+	s2.Now = s2.Now.Add(30 * time.Second)
+	if d := c.Decide(s2); d.Trigger {
+		t.Fatalf("staleness clock not reset: %+v", d)
+	}
+}

@@ -78,6 +78,12 @@ type job struct {
 	// "trace": true and actually ran the partitioner (never allocated for
 	// cache hits). Served by GET /v1/jobs/{id}/trace once terminal.
 	tracer *parhip.Tracer
+
+	// done is closed exactly once when the job reaches a terminal state
+	// (done, failed or cancelled — every transition funnels through
+	// pushTimingLocked). The live manager blocks on it to swap results in
+	// without polling.
+	done chan struct{}
 }
 
 // JobTiming is one completed job's timing record, exposed by /v1/stats.
@@ -273,6 +279,7 @@ func (m *jobManager) submit(sg *storedGraph, k int32, opts parhip.Options, view 
 		state:     StateQueued,
 		submitted: now,
 		timeoutMS: timeoutMS,
+		done:      make(chan struct{}),
 	}
 
 	if res, ok := m.cache.get(key); ok {
@@ -549,6 +556,7 @@ func (m *jobManager) finishLocked(j *job, res *parhip.Result, cached bool, now t
 
 //parhip:holds mu
 func (m *jobManager) pushTimingLocked(j *job) {
+	close(j.done) // terminal: wake waiters (exactly one transition per job)
 	t := JobTiming{
 		ID:        j.id,
 		GraphID:   j.graphID,
@@ -589,6 +597,22 @@ func (m *jobManager) evictFinishedLocked() {
 		keep = append(keep, id)
 	}
 	m.order = keep
+}
+
+// graphInUse reports whether any queued or running job still references
+// graph id. DELETE /v1/graphs/{id} refuses with 409 while this holds:
+// jobs carry the *graph.Graph pointer, so the partitioner itself never
+// races a vanished graph, but deleting the store entry mid-run would let
+// the client re-upload a same-ID-looking graph and misattribute results.
+func (m *jobManager) graphInUse(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		if j.graphID == id && (j.state == StateQueued || j.state == StateRunning) {
+			return true
+		}
+	}
+	return false
 }
 
 func (m *jobManager) get(id string) (*job, bool) {

@@ -1,0 +1,427 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// stubPartitionFn returns a fast PartitionFunc producing a feasible
+// round-robin partition — live control-flow tests don't need the real
+// solver. calls counts invocations.
+func stubPartitionFn(calls *atomic.Int64) PartitionFunc {
+	return func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options,
+		prev *parhip.Partition, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
+		calls.Add(1)
+		assign := make([]int32, g.NumNodes())
+		for v := range assign {
+			assign[v] = int32(v) % k
+		}
+		p, err := parhip.NewPartition(g, assign, k, opt.Eps)
+		if err != nil {
+			return parhip.Result{}, err
+		}
+		return parhip.Result{Partition: p, Part: assign, Cut: p.Cut(), Feasible: true}, nil
+	}
+}
+
+// enableLive promotes graph id and returns the initial status view.
+func (e *testEnv) enableLive(id, body string) liveStatusView {
+	e.t.Helper()
+	var v liveStatusView
+	code, raw := e.do("POST", "/v1/graphs/"+id+"/live", []byte(body), &v)
+	if code != http.StatusCreated {
+		e.t.Fatalf("enable live: status %d: %s", code, raw)
+	}
+	return v
+}
+
+// awaitLive polls the live status until cond holds.
+func (e *testEnv) awaitLive(id string, what string, cond func(liveStatusView) bool) liveStatusView {
+	e.t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var v liveStatusView
+		code, raw := e.do("GET", "/v1/graphs/"+id+"/live", nil, &v)
+		if code != http.StatusOK {
+			e.t.Fatalf("live status: %d: %s", code, raw)
+		}
+		if cond(v) {
+			return v
+		}
+		if time.Now().After(deadline) {
+			e.t.Fatalf("live graph %s: timed out waiting for %s (status %+v)", id, what, v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// deltaJSON renders gen edge deltas as a wire batch.
+func deltaJSON(seq int64, ds []gen.EdgeDelta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"seq":%d,"deltas":[`, seq)
+	for i, d := range ds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		op := "remove_edge"
+		if d.Add {
+			op = "add_edge"
+		}
+		fmt.Fprintf(&b, `{"op":%q,"u":%d,"v":%d,"w":%d}`, op, d.U, d.V, d.W)
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// TestLiveEndToEnd is the acceptance scenario: upload a graph, promote it
+// to live, stream ~5%% edge churn in batches, and verify the controller
+// auto-triggers repartitions whose final cut is within tolerance of a
+// cold run on the drifted graph with <5%% node migration per warm run,
+// while placement lookups answer correctly with a monotone epoch
+// throughout.
+func TestLiveEndToEnd(t *testing.T) {
+	e := newEnv(t, Config{Workers: 2})
+	g, _ := gen.PlantedPartition(3000, 30, 10, 0.4, 1)
+	id := e.uploadMetis(g)
+
+	// Eco mode: the migration-aware warm path keeps node movement tiny,
+	// which the <5% migration assertion below depends on.
+	e.enableLive(id, `{"k":8,"options":{"mode":"eco","pes":4},"policy":{"churn_fraction":0.05,"max_staleness_ms":100}}`)
+
+	// The initial cold partition swaps in as epoch 1.
+	st := e.awaitLive(id, "epoch 1", func(v liveStatusView) bool { return v.Epoch >= 1 })
+	if st.AutoRepartitions < 1 {
+		t.Fatalf("no initial repartition recorded: %+v", st)
+	}
+
+	// Placement answers immediately and consistently with the status.
+	var pv placementView
+	code, raw := e.do("GET", "/v1/graphs/"+id+"/placement/0", nil, &pv)
+	if code != http.StatusOK {
+		t.Fatalf("placement: %d: %s", code, raw)
+	}
+	if pv.Epoch < 1 || pv.Block < 0 || pv.Block >= 8 {
+		t.Fatalf("placement view %+v", pv)
+	}
+
+	// Stream the perturbation as 10 sequence-numbered batches, with
+	// placement lookups interleaved; epochs must never go backwards.
+	deltas := gen.PerturbDeltas(g, 0.05, 7)
+	batches := 10
+	per := (len(deltas) + batches - 1) / batches
+	lastEpoch := pv.Epoch
+	seq := int64(0)
+	for i := 0; i < len(deltas); i += per {
+		endIdx := i + per
+		if endIdx > len(deltas) {
+			endIdx = len(deltas)
+		}
+		seq++
+		var ur updateResponse
+		code, raw := e.do("POST", "/v1/graphs/"+id+"/updates", []byte(deltaJSON(seq, deltas[i:endIdx])), &ur)
+		if code != http.StatusOK {
+			t.Fatalf("updates batch %d: %d: %s", seq, code, raw)
+		}
+		if ur.Applied != endIdx-i || ur.Replayed {
+			t.Fatalf("batch %d: applied %d of %d (replayed=%v)", seq, ur.Applied, endIdx-i, ur.Replayed)
+		}
+		var pv placementView
+		if code, raw := e.do("GET", "/v1/graphs/"+id+"/placement/42", nil, &pv); code != http.StatusOK {
+			t.Fatalf("interleaved placement: %d: %s", code, raw)
+		}
+		if pv.Epoch < lastEpoch {
+			t.Fatalf("epoch went backwards: %d -> %d", lastEpoch, pv.Epoch)
+		}
+		lastEpoch = pv.Epoch
+	}
+
+	// Idempotent replay: resending the last batch is a no-op.
+	var ur updateResponse
+	code, raw = e.do("POST", "/v1/graphs/"+id+"/updates", []byte(deltaJSON(seq, deltas[len(deltas)-1:])), &ur)
+	if code != http.StatusOK || !ur.Replayed || ur.Applied != 0 {
+		t.Fatalf("replay: %d %s (%+v)", code, raw, ur)
+	}
+
+	// Drain: churn + staleness triggers must incorporate every delta.
+	final := e.awaitLive(id, "all deltas incorporated", func(v liveStatusView) bool {
+		return v.PendingDeltas == 0 && !v.InFlight
+	})
+	if final.AutoRepartitions < 2 {
+		t.Fatalf("controller never auto-triggered beyond the initial run: %+v", final)
+	}
+	if final.Epoch < 2 {
+		t.Fatalf("no epoch swap beyond the initial partition: %+v", final)
+	}
+	if final.LastError != "" {
+		t.Fatalf("live graph reports error: %s", final.LastError)
+	}
+
+	// The fully drained live graph is exactly the perturbed graph; its cut
+	// must be within 5% of a cold run (plus slack for tiny cuts), matching
+	// the library-level repartition acceptance.
+	drifted := gen.ApplyEdgeDeltas(g, deltas)
+	cold, err := parhip.PartitionGraph(drifted, 8, parhip.Options{Mode: parhip.Eco, PEs: 4, Eps: 0.03, Seed: 1})
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if final.Cut == nil {
+		t.Fatal("final status has no cut")
+	}
+	if limit := cold.Cut + cold.Cut/20; *final.Cut > limit {
+		t.Errorf("live cut %d more than 5%% above cold cut %d", *final.Cut, cold.Cut)
+	}
+
+	// Every warm auto-run must have migrated <5% of nodes.
+	var jobs []jobView
+	if code, raw := e.do("GET", "/v1/jobs", nil, &jobs); code != http.StatusOK {
+		t.Fatalf("list jobs: %d: %s", code, raw)
+	}
+	warm := 0
+	for _, jv := range jobs {
+		if !jv.Repartition || jv.State != StateDone {
+			continue
+		}
+		warm++
+		var res resultView
+		if code, raw := e.do("GET", "/v1/jobs/"+jv.ID+"/result", nil, &res); code != http.StatusOK {
+			t.Fatalf("result %s: %d: %s", jv.ID, code, raw)
+		}
+		if frac := float64(res.MigratedNodes) / float64(g.NumNodes()); frac >= 0.05 {
+			t.Errorf("job %s migrated %.1f%% of nodes, want <5%%", jv.ID, 100*frac)
+		}
+	}
+	if warm == 0 {
+		t.Fatal("no warm repartition job found")
+	}
+	t.Logf("epochs %d, auto runs %d, live cut %d vs cold %d",
+		final.Epoch, final.AutoRepartitions, *final.Cut, cold.Cut)
+}
+
+func TestLiveEnableValidation(t *testing.T) {
+	var calls atomic.Int64
+	e := newEnv(t, Config{Workers: 1, PartitionFn: stubPartitionFn(&calls)})
+	id := e.uploadMetis(graph.Grid2D(10, 10))
+
+	if code, _ := e.do("POST", "/v1/graphs/nope/live", []byte(`{"k":2}`), nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph: %d, want 404", code)
+	}
+	if code, _ := e.do("POST", "/v1/graphs/"+id+"/live", []byte(`{"k":0}`), nil); code != http.StatusBadRequest {
+		t.Fatalf("k=0: %d, want 400", code)
+	}
+	if code, _ := e.do("POST", "/v1/graphs/"+id+"/live", []byte(`{"k":101}`), nil); code != http.StatusBadRequest {
+		t.Fatalf("k>n: %d, want 400", code)
+	}
+	if code, _ := e.do("POST", "/v1/graphs/"+id+"/live", []byte(`{"k":2,"options":{"mode":"bogus"}}`), nil); code != http.StatusBadRequest {
+		t.Fatalf("bad mode: %d, want 400", code)
+	}
+	if code, _ := e.do("POST", "/v1/graphs/"+id+"/live", []byte(`{"k":2,"policy":{"min_interval_ms":-1}}`), nil); code != http.StatusBadRequest {
+		t.Fatalf("bad policy: %d, want 400", code)
+	}
+	e.enableLive(id, `{"k":2,"options":{"pes":2}}`)
+	if code, _ := e.do("POST", "/v1/graphs/"+id+"/live", []byte(`{"k":2}`), nil); code != http.StatusConflict {
+		t.Fatalf("double enable: %d, want 409", code)
+	}
+	if code, _ := e.do("POST", "/v1/graphs/"+id+"/updates", []byte(`{"seq":0,"deltas":[]}`), nil); code != http.StatusBadRequest {
+		t.Fatalf("seq 0: %d, want 400", code)
+	}
+	if code, _ := e.do("POST", "/v1/graphs/nope/updates", []byte(`{"seq":1,"deltas":[]}`), nil); code != http.StatusNotFound {
+		t.Fatalf("updates on non-live graph: %d, want 404", code)
+	}
+}
+
+func TestLiveUpdatesSequencingOverHTTP(t *testing.T) {
+	var calls atomic.Int64
+	e := newEnv(t, Config{Workers: 1, PartitionFn: stubPartitionFn(&calls)})
+	id := e.uploadMetis(graph.Grid2D(10, 10))
+	// Churn disabled: sequencing only, no auto jobs beyond the initial.
+	e.enableLive(id, `{"k":4,"options":{"pes":2},"policy":{"churn_fraction":-1}}`)
+	e.awaitLive(id, "epoch 1", func(v liveStatusView) bool { return v.Epoch >= 1 })
+
+	batch := `{"seq":1,"deltas":[{"op":"add_edge","u":0,"v":55}]}`
+	var ur updateResponse
+	if code, raw := e.do("POST", "/v1/graphs/"+id+"/updates", []byte(batch), &ur); code != http.StatusOK || ur.Applied != 1 {
+		t.Fatalf("batch 1: %d: %s", code, raw)
+	}
+	// Replay is an idempotent 200.
+	if code, raw := e.do("POST", "/v1/graphs/"+id+"/updates", []byte(batch), &ur); code != http.StatusOK || !ur.Replayed {
+		t.Fatalf("replay: %d: %s", code, raw)
+	}
+	// Gap is a 409.
+	gap := `{"seq":5,"deltas":[{"op":"add_edge","u":1,"v":50}]}`
+	if code, raw := e.do("POST", "/v1/graphs/"+id+"/updates", []byte(gap), nil); code != http.StatusConflict {
+		t.Fatalf("gap: %d: %s", code, raw)
+	}
+	// Unknown op and invalid delta are 400s that apply nothing.
+	if code, _ := e.do("POST", "/v1/graphs/"+id+"/updates", []byte(`{"seq":2,"deltas":[{"op":"warp","u":1}]}`), nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown op: want 400")
+	}
+	if code, _ := e.do("POST", "/v1/graphs/"+id+"/updates", []byte(`{"seq":2,"deltas":[{"op":"add_edge","u":1,"v":999}]}`), nil); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range delta: want 400")
+	}
+	st := e.awaitLive(id, "seq 1", func(v liveStatusView) bool { return v.Seq == 1 })
+	if st.PendingDeltas != 1 {
+		t.Fatalf("pending deltas = %d, want 1 (one applied edge add)", st.PendingDeltas)
+	}
+}
+
+func TestLivePlacementLifecycle(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	// The initial run parks until released: the pre-epoch window is
+	// observable deterministically.
+	blockFirst := func(ctx context.Context, g *graph.Graph, k int32, opt parhip.Options,
+		prev *parhip.Partition, onProgress func(parhip.ProgressEvent)) (parhip.Result, error) {
+		if calls.Add(1) == 1 {
+			select {
+			case <-ctx.Done():
+				return parhip.Result{}, ctx.Err()
+			case <-release:
+			}
+		}
+		return stubPartitionFn(new(atomic.Int64))(ctx, g, k, opt, prev, onProgress)
+	}
+	e := newEnv(t, Config{Workers: 1, PartitionFn: blockFirst})
+	id := e.uploadMetis(graph.Grid2D(10, 10))
+	e.enableLive(id, `{"k":4,"options":{"pes":2},"policy":{"churn_fraction":-1}}`)
+
+	// Before the first swap: no placement (409), status shows epoch 0.
+	if code, _ := e.do("GET", "/v1/graphs/"+id+"/placement/0", nil, nil); code != http.StatusConflict {
+		t.Fatalf("placement before epoch 1: %d, want 409", code)
+	}
+	st := e.awaitLive(id, "in flight", func(v liveStatusView) bool { return v.InFlight })
+	if st.Epoch != 0 || st.RepartitionJobID == "" {
+		t.Fatalf("pre-swap status %+v", st)
+	}
+	// Deltas are accepted while the initial run is still computing.
+	var ur updateResponse
+	if code, raw := e.do("POST", "/v1/graphs/"+id+"/updates",
+		[]byte(`{"seq":1,"deltas":[{"op":"add_node","w":2}]}`), &ur); code != http.StatusOK {
+		t.Fatalf("update during initial run: %d: %s", code, raw)
+	}
+
+	close(release)
+	e.awaitLive(id, "epoch 1", func(v liveStatusView) bool { return v.Epoch >= 1 })
+
+	// Round-robin stub: node v sits in block v%4.
+	var pv placementView
+	if code, raw := e.do("GET", "/v1/graphs/"+id+"/placement/7", nil, &pv); code != http.StatusOK {
+		t.Fatalf("placement: %d: %s", code, raw)
+	}
+	if pv.Block != 7%4 || pv.Epoch != 1 {
+		t.Fatalf("placement view %+v, want block 3 at epoch 1", pv)
+	}
+	// The node added mid-run got a provisional placement at the swap.
+	if code, raw := e.do("GET", "/v1/graphs/"+id+"/placement/100", nil, &pv); code != http.StatusOK {
+		t.Fatalf("provisional placement: %d: %s", code, raw)
+	}
+	if !pv.Provisional || pv.Block < 0 || pv.Block >= 4 {
+		t.Fatalf("provisional view %+v", pv)
+	}
+	// Beyond the node count: 404.
+	if code, _ := e.do("GET", "/v1/graphs/"+id+"/placement/101", nil, nil); code != http.StatusNotFound {
+		t.Fatal("out-of-range placement should 404")
+	}
+	if code, _ := e.do("GET", "/v1/graphs/"+id+"/placement/notanumber", nil, nil); code != http.StatusBadRequest {
+		t.Fatal("non-numeric node id should 400")
+	}
+}
+
+// TestDeleteGraphGuards: deleting a stored graph is refused while jobs or
+// a live overlay still reference it.
+func TestDeleteGraphGuards(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	e := newEnv(t, Config{Workers: 1, PartitionFn: blockingPartitionFn(&calls, release)})
+
+	// Guard 1: queued/running jobs.
+	gid := e.uploadMetis(testGraph(3))
+	v, _ := e.submit(fmt.Sprintf(`{"graph_id":%q,"k":2,"options":{"pes":2}}`, gid))
+	e.awaitRunning(v.ID)
+	if code, raw := e.do("DELETE", "/v1/graphs/"+gid, nil, nil); code != http.StatusConflict {
+		t.Fatalf("delete with running job: %d: %s", code, raw)
+	}
+	close(release)
+	if jv := e.await(v.ID); jv.State != StateDone {
+		t.Fatalf("job ended %s (%s)", jv.State, jv.Error)
+	}
+	if code, _ := e.do("DELETE", "/v1/graphs/"+gid, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete after job finished: %d, want 204", code)
+	}
+
+	// Guard 2: live overlays pin their base graph for good.
+	e2 := newEnv(t, Config{Workers: 1, PartitionFn: stubPartitionFn(&calls)})
+	lid := e2.uploadMetis(graph.Grid2D(8, 8))
+	e2.enableLive(lid, `{"k":2,"options":{"pes":2},"policy":{"churn_fraction":-1}}`)
+	e2.awaitLive(lid, "epoch 1", func(v liveStatusView) bool { return v.Epoch >= 1 })
+	if code, raw := e2.do("DELETE", "/v1/graphs/"+lid, nil, nil); code != http.StatusConflict {
+		t.Fatalf("delete live graph: %d: %s", code, raw)
+	}
+}
+
+// TestLiveTraceEndpoint: live graphs enabled with trace record apply,
+// materialize and swap spans.
+func TestLiveTraceEndpoint(t *testing.T) {
+	var calls atomic.Int64
+	e := newEnv(t, Config{Workers: 1, PartitionFn: stubPartitionFn(&calls)})
+	id := e.uploadMetis(graph.Grid2D(8, 8))
+	e.enableLive(id, `{"k":2,"options":{"pes":2},"policy":{"churn_fraction":-1},"trace":true}`)
+	e.awaitLive(id, "epoch 1", func(v liveStatusView) bool { return v.Epoch >= 1 })
+	if code, raw := e.do("POST", "/v1/graphs/"+id+"/updates",
+		[]byte(`{"seq":1,"deltas":[{"op":"add_edge","u":0,"v":63}]}`), nil); code != http.StatusOK {
+		t.Fatalf("update: %d: %s", code, raw)
+	}
+	code, raw := e.do("GET", "/v1/graphs/"+id+"/live/trace", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("trace: %d", code)
+	}
+	for _, span := range []string{"live.apply_batch", "live.materialize", "live.swap"} {
+		if !strings.Contains(raw, span) {
+			t.Errorf("trace missing span %q", span)
+		}
+	}
+	// Untraced live graphs 404 the endpoint.
+	id2 := e.uploadMetis(graph.Grid2D(9, 9))
+	e.enableLive(id2, `{"k":2,"options":{"pes":2},"policy":{"churn_fraction":-1}}`)
+	if code, _ := e.do("GET", "/v1/graphs/"+id2+"/live/trace", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("untraced trace endpoint: %d, want 404", code)
+	}
+}
+
+// TestLiveMetricsExposed: the parhipd_live_* series appear on /metrics
+// and move when the subsystem is exercised.
+func TestLiveMetricsExposed(t *testing.T) {
+	var calls atomic.Int64
+	e := newEnv(t, Config{Workers: 1, PartitionFn: stubPartitionFn(&calls)})
+	id := e.uploadMetis(graph.Grid2D(8, 8))
+	e.enableLive(id, `{"k":2,"options":{"pes":2},"policy":{"churn_fraction":-1}}`)
+	e.awaitLive(id, "epoch 1", func(v liveStatusView) bool { return v.Epoch >= 1 })
+	e.do("POST", "/v1/graphs/"+id+"/updates", []byte(`{"seq":1,"deltas":[{"op":"add_edge","u":0,"v":63}]}`), nil)
+	e.do("GET", "/v1/graphs/"+id+"/placement/0", nil, nil)
+
+	code, raw := e.do("GET", "/metrics", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		"parhipd_live_graphs 1",
+		"parhipd_live_deltas_applied_total 1",
+		"parhipd_live_batches_total 1",
+		"parhipd_live_repartitions_triggered_total 1",
+		"parhipd_live_swaps_total 1",
+		"parhipd_live_placement_lookups_total 1",
+		"parhipd_live_max_churn_fraction",
+	} {
+		if !strings.Contains(raw, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

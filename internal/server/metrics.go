@@ -117,6 +117,34 @@ func (s *Server) buildMetrics(reg *obs.Registry) {
 	reg.GaugeFunc("parhipd_graphs",
 		"Graphs in the in-memory store.",
 		func() float64 { return float64(s.store.len()) })
+
+	// Live-graph subsystem: streamed deltas, controller triggers, epoch
+	// swaps and the lock-free placement read path.
+	lv := s.live
+	reg.GaugeFunc("parhipd_live_graphs",
+		"Graphs promoted to live (streaming) mode.",
+		func() float64 { return float64(lv.count()) })
+	reg.CounterFunc("parhipd_live_deltas_applied_total",
+		"Deltas applied to live graphs (replays excluded).",
+		func() float64 { return float64(lv.deltasApplied.Load()) })
+	reg.CounterFunc("parhipd_live_batches_total",
+		"Delta batches accepted by POST /v1/graphs/{id}/updates (replays included).",
+		func() float64 { return float64(lv.batches.Load()) })
+	reg.CounterFunc("parhipd_live_batches_replayed_total",
+		"Delta batches answered as idempotent sequence-number replays.",
+		func() float64 { return float64(lv.batchesReplayed.Load()) })
+	reg.CounterFunc("parhipd_live_repartitions_triggered_total",
+		"Repartition jobs enqueued by the live controller (initial runs included).",
+		func() float64 { return float64(lv.triggered.Load()) })
+	reg.CounterFunc("parhipd_live_swaps_total",
+		"Completed epoch swaps across live graphs.",
+		func() float64 { return float64(lv.swaps.Load()) })
+	reg.CounterFunc("parhipd_live_placement_lookups_total",
+		"Placement lookups served from epoch snapshots.",
+		func() float64 { return float64(lv.lookups.Load()) })
+	reg.GaugeFunc("parhipd_live_max_churn_fraction",
+		"Largest pending churn fraction across live graphs (edge churn since last swap / edges at swap).",
+		lv.maxChurnFraction)
 }
 
 // handleMetrics serves GET /metrics in Prometheus text exposition format.

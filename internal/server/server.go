@@ -11,7 +11,19 @@
 //	                             sniffed by magic; raw body) -> metadata
 //	GET    /v1/graphs            list uploaded graphs
 //	GET    /v1/graphs/{id}       one graph's metadata
-//	DELETE /v1/graphs/{id}       drop a graph (running jobs are unaffected)
+//	DELETE /v1/graphs/{id}       drop a graph (409 while queued/running jobs
+//	                             or a live overlay still reference it)
+//	POST   /v1/graphs/{id}/live  promote the graph to a live graph: streamed
+//	                             deltas, placement lookups and controller-
+//	                             triggered continuous repartitioning
+//	GET    /v1/graphs/{id}/live  live status: epoch, churn since last cut,
+//	                             pending deltas, controller state
+//	GET    /v1/graphs/{id}/live/trace  live-graph span trace (delta applies,
+//	                             materializations, swaps; Chrome trace JSON)
+//	POST   /v1/graphs/{id}/updates  apply one sequence-numbered delta batch
+//	                             (idempotent on replay; 409 on a gap)
+//	GET    /v1/graphs/{id}/placement/{v}  node v's block in the current
+//	                             epoch, served lock-cheap during swaps
 //	POST   /v1/jobs              submit a partition job -> job view (202;
 //	                             200 when served from cache); the body may
 //	                             set timeout_ms to bound queue+run time
@@ -37,6 +49,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
@@ -71,6 +85,10 @@ type Config struct {
 	// PartitionFn overrides the partitioning implementation (tests); the
 	// default wraps parhip.Partition.
 	PartitionFn PartitionFunc
+	// Logger receives structured service events (live-controller decisions,
+	// epoch swaps). Nil discards them; request logging stays with the
+	// daemon's middleware.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +106,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxGraphs <= 0 {
 		c.MaxGraphs = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if c.PartitionFn == nil {
 		coreWorkers := c.CoreWorkers
@@ -117,6 +138,7 @@ type Server struct {
 	cfg   Config
 	store *graphStore
 	jobs  *jobManager
+	live  *liveManager
 	mux   *http.ServeMux
 	reg   *obs.Registry
 	start time.Time
@@ -134,11 +156,17 @@ func New(cfg Config) *Server {
 		reg:   reg,
 		start: time.Now(),
 	}
+	s.live = newLiveManager(s.jobs, cfg.Logger)
 	s.buildMetrics(reg)
 	s.mux.HandleFunc("POST /v1/graphs", s.handleUpload)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
 	s.mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
+	s.mux.HandleFunc("POST /v1/graphs/{id}/live", s.handleLiveEnable)
+	s.mux.HandleFunc("GET /v1/graphs/{id}/live", s.handleLiveStatus)
+	s.mux.HandleFunc("GET /v1/graphs/{id}/live/trace", s.handleLiveTrace)
+	s.mux.HandleFunc("POST /v1/graphs/{id}/updates", s.handleLiveUpdates)
+	s.mux.HandleFunc("GET /v1/graphs/{id}/placement/{v}", s.handlePlacement)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -158,14 +186,20 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close drains the job queue and stops the worker pool, waiting however
 // long the jobs in flight take. Daemons should prefer Shutdown.
-func (s *Server) Close() { s.jobs.close() }
+func (s *Server) Close() {
+	s.live.close()
+	s.jobs.close()
+}
 
 // Shutdown gracefully stops the service: no new submissions are accepted,
 // queued and running jobs are drained until ctx's deadline, and past it
 // the stragglers are cancelled cooperatively (they land in the cancelled
 // terminal state). Returns nil when every accepted job finished, ctx.Err()
 // when the drain was cut short.
-func (s *Server) Shutdown(ctx context.Context) error { return s.jobs.shutdown(ctx) }
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.live.close()
+	return s.jobs.shutdown(ctx)
+}
 
 type apiError struct {
 	Error string `json:"error"`
@@ -227,9 +261,25 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sg)
 }
 
+// handleDeleteGraph drops a stored graph. It refuses with 409 while the
+// graph is still referenced: by a queued or running job (deleting the
+// entry mid-run would let a re-upload reuse the slot and misattribute
+// results) or by a live overlay (the overlay aliases the base CSR and
+// continuously schedules jobs against it).
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
-	if !s.store.delete(r.PathValue("id")) {
-		writeError(w, http.StatusNotFound, "no graph %q", r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.live.isLive(id) {
+		writeError(w, http.StatusConflict,
+			"graph %s is live; live graphs cannot be deleted", id)
+		return
+	}
+	if s.jobs.graphInUse(id) {
+		writeError(w, http.StatusConflict,
+			"graph %s has queued or running jobs; cancel them or retry once they finish", id)
+		return
+	}
+	if !s.store.delete(id) {
+		writeError(w, http.StatusNotFound, "no graph %q", id)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -379,18 +379,24 @@ func TestResultBeforeDone(t *testing.T) {
 	}
 }
 
-func TestGraphDeleteKeepsRunningJob(t *testing.T) {
+func TestGraphDeleteAfterJobFinished(t *testing.T) {
 	e := newEnv(t, Config{Workers: 1})
 	id := e.uploadMetis(testGraph(7))
 	v, _ := e.submit(fmt.Sprintf(`{"graph_id":%q,"k":2,"options":{"mode":"minimal","pes":2}}`, id))
+	// While the job is queued or running, the delete guard answers 409
+	// (covered deterministically in TestDeleteGraphGuards); once the job
+	// is done the graph can go, and its result stays readable.
+	if v = e.await(v.ID); v.State != StateDone {
+		t.Fatalf("job ended %s (%s)", v.State, v.Error)
+	}
 	if code, raw := e.do("DELETE", "/v1/graphs/"+id, nil, nil); code != http.StatusNoContent {
 		t.Fatalf("delete: %d %s", code, raw)
 	}
-	if v = e.await(v.ID); v.State != StateDone {
-		t.Fatalf("job on deleted graph ended %s (%s)", v.State, v.Error)
-	}
 	if code, _ := e.do("GET", "/v1/graphs/"+id, nil, nil); code != http.StatusNotFound {
 		t.Fatalf("deleted graph still listed: %d", code)
+	}
+	if code, _ := e.do("GET", "/v1/jobs/"+v.ID+"/result", nil, nil); code != http.StatusOK {
+		t.Fatalf("result unreadable after graph delete: %d", code)
 	}
 }
 

@@ -20,9 +20,11 @@ type storedGraph struct {
 	g *graph.Graph
 }
 
-// graphStore is an in-memory bounded map of uploaded graphs. Jobs hold the
-// *graph.Graph pointer directly, so deleting a graph never breaks a queued
-// or running job that references it.
+// graphStore is an in-memory bounded map of uploaded graphs. Jobs hold
+// the *graph.Graph pointer directly, so a delete can never crash a run —
+// but the DELETE handler still refuses (409) while queued/running jobs or
+// a live overlay reference the entry, so results are never attributed to
+// a graph ID whose store slot was recycled underneath them.
 type graphStore struct {
 	mu     sync.Mutex
 	cap    int

@@ -248,6 +248,85 @@ func TestMigrationPlan(t *testing.T) {
 	}
 }
 
+// TestMigrationPlanEdgeCases pins down the plan's boundary behavior:
+// identical partitions diff to an empty plan, a k-change is a legitimate
+// repartitioning (every resident of removed blocks moves), mismatched
+// node counts are rejected, and cross-graph use is caught by Validate's
+// fingerprint check (MigrationPlan itself only compares assignments).
+func TestMigrationPlanEdgeCases(t *testing.T) {
+	g := gen.DelaunayLike(64, 6)
+	r := rand.New(rand.NewSource(17))
+	p := randomPartition(t, g, 4, 0.2, r)
+
+	// Identical partitions: zero moves, zero volume, full node count.
+	assign := make([]int32, g.NumNodes())
+	for v := range assign {
+		assign[v] = p.Block(int32(v))
+	}
+	same, err := parhip.NewPartition(g, assign, 4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := same.MigrationPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MigratedNodes != 0 || plan.MigrationVolume != 0 || len(plan.Moves) != 0 {
+		t.Fatalf("identical partitions produced a non-empty plan: %+v", plan)
+	}
+	if plan.TotalNodes != g.NumNodes() || plan.MigratedFraction() != 0 {
+		t.Fatalf("empty plan totals wrong: %+v", plan)
+	}
+
+	// Repartitioning to a different k: blocks 4..7 are new, and the diff
+	// must count exactly the nodes whose block changed.
+	wider := make([]int32, g.NumNodes())
+	changed := int64(0)
+	for v := range wider {
+		wider[v] = int32(v) % 8
+		if wider[v] != p.Block(int32(v)) {
+			changed++
+		}
+	}
+	p8, err := parhip.NewPartition(g, wider, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = p8.MigrationPlan(p)
+	if err != nil {
+		t.Fatalf("k-change plan: %v", err)
+	}
+	if plan.MigratedNodes != changed {
+		t.Fatalf("k-change plan counts %d moves, want %d", plan.MigratedNodes, changed)
+	}
+	for _, m := range plan.Moves {
+		if m.From == m.To {
+			t.Fatalf("plan lists a non-move: %+v", m)
+		}
+	}
+
+	// Node-count mismatch is an error, both ways.
+	small := gen.DelaunayLike(32, 6)
+	ps := randomPartition(t, small, 4, 0.2, r)
+	if _, err := p.MigrationPlan(ps); err == nil {
+		t.Error("MigrationPlan accepted a smaller previous partition")
+	}
+	if _, err := ps.MigrationPlan(p); err == nil {
+		t.Error("MigrationPlan accepted a larger previous partition")
+	}
+
+	// Same node count, different graph: MigrationPlan has no fingerprint
+	// of its own, but Validate refuses to bind the partition to the other
+	// graph, which is the documented guard for cross-graph confusion.
+	other := gen.DelaunayLike(64, 7)
+	if other.Fingerprint() == g.Fingerprint() {
+		t.Fatal("test graphs unexpectedly identical")
+	}
+	if err := p.Validate(other); err == nil {
+		t.Error("Validate bound a partition to a graph with a different fingerprint")
+	}
+}
+
 func min32(a, b int32) int32 {
 	if a < b {
 		return a
